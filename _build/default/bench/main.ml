@@ -1,0 +1,365 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) and times the core algorithm with
+   bechamel.
+
+   Usage: main.exe [table1|fig8|fig9|fig10|summary|ablation|simcheck|perf|all]
+   (default: all). *)
+
+open Noc_experiments
+
+let section title = Format.printf "@.==== %s ====@.@." title
+
+let run_table1 () =
+  section "Table 1 + Figures 1-7: the paper's worked example";
+  Format.printf "%t@." Ring_example.narrate
+
+let run_fig8 () =
+  section "Figure 8: extra VCs vs switch count, D26_media";
+  Figures.pp_vc_rows ~title:"Figure 8 (D26_media)" Format.std_formatter
+    (Figures.fig8 ());
+  Format.printf "@."
+
+let run_fig9 () =
+  section "Figure 9: extra VCs vs switch count, D36_8";
+  Figures.pp_vc_rows ~title:"Figure 9 (D36_8)" Format.std_formatter
+    (Figures.fig9 ());
+  Format.printf "@."
+
+let run_fig10 () =
+  section "Figure 10: normalised power across benchmarks (14 switches)";
+  Figures.pp_power_rows Format.std_formatter (Figures.fig10 ());
+  Format.printf "@."
+
+let run_summary () =
+  section "Aggregate claims (Section 5)";
+  Figures.pp_summary Format.std_formatter (Figures.summary ());
+  Format.printf "@."
+
+let run_ablation () =
+  section "Ablation: design choices of the removal algorithm";
+  Figures.pp_ablation Format.std_formatter (Figures.ablation ());
+  Format.printf "@."
+
+let run_sweeps () =
+  section "All-benchmark VC sweeps (beyond the paper's two)";
+  List.iter
+    (fun spec ->
+      let n_cores = spec.Noc_benchmarks.Spec.n_cores in
+      let counts =
+        List.filter (fun n -> n <= n_cores) [ 5; 8; 11; 14; 17; 20; 23; 26 ]
+      in
+      let rows =
+        List.map
+          (fun n ->
+            let p = Noc_experiments.Sweep.evaluate spec ~n_switches:n in
+            {
+              Noc_experiments.Figures.n_switches = n;
+              removal_vcs = p.Noc_experiments.Sweep.removal.Noc_experiments.Sweep.vcs_added;
+              ordering_vcs =
+                p.Noc_experiments.Sweep.ordering_hop.Noc_experiments.Sweep.vcs_added;
+            })
+          counts
+      in
+      Figures.pp_vc_rows
+        ~title:(Printf.sprintf "VC sweep (%s)" spec.Noc_benchmarks.Spec.name)
+        Format.std_formatter rows;
+      Format.printf "@.@.")
+    Noc_benchmarks.Registry.all
+
+let run_latency () =
+  section "Load-latency curves: removal-fixed vs ordering-fixed (D36_8@14)";
+  let spec =
+    match Noc_benchmarks.Registry.find "D36_8" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let base = Noc_synth.Custom.synthesize_exn traffic ~n_switches:14 in
+  let removal_net = Noc_model.Network.copy base in
+  ignore (Noc_deadlock.Removal.run removal_net);
+  let ordering_net = Noc_model.Network.copy base in
+  ignore
+    (Noc_deadlock.Resource_ordering.apply
+       ~strategy:Noc_deadlock.Resource_ordering.Hop_index ordering_net);
+  Load_latency.pp_rows ~title:"after deadlock removal (+3 VC)" Format.std_formatter
+    (Load_latency.sweep removal_net);
+  Format.printf "@.@.";
+  Load_latency.pp_rows ~title:"after hop-index resource ordering (+54 VC)"
+    Format.std_formatter
+    (Load_latency.sweep ordering_net);
+  Format.printf "@."
+
+let run_pareto () =
+  section "Design-space exploration (D26_media): Pareto over power/area/hops";
+  let spec =
+    match Noc_benchmarks.Registry.find "D26_media" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let points = Design_space.explore spec in
+  Design_space.pp Format.std_formatter points;
+  Format.printf "@.%d points, %d on the Pareto front@.@." (List.length points)
+    (List.length (Design_space.pareto_front points))
+
+let run_technode () =
+  section "Figure-10 relationship across technology nodes (D36_8@14)";
+  let spec =
+    match Noc_benchmarks.Registry.find "D36_8" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let base = Noc_synth.Custom.synthesize_exn traffic ~n_switches:14 in
+  let removal_net = Noc_model.Network.copy base in
+  ignore (Noc_deadlock.Removal.run removal_net);
+  let ordering_net = Noc_model.Network.copy base in
+  ignore
+    (Noc_deadlock.Resource_ordering.apply
+       ~strategy:Noc_deadlock.Resource_ordering.Hop_index ordering_net);
+  let table =
+    Series.create
+      ~header:[ "node"; "removal mW"; "ordering mW"; "ratio"; "area saving" ]
+  in
+  List.iter
+    (fun (label, params) ->
+      let p net =
+        (Noc_power.Report.of_network ~params net).Noc_power.Report.total_power_mw
+      in
+      let a net =
+        (Noc_power.Report.of_network ~params net).Noc_power.Report.total_area_mm2
+      in
+      Series.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f" (p removal_net);
+          Printf.sprintf "%.1f" (p ordering_net);
+          Printf.sprintf "%.2f" (p ordering_net /. p removal_net);
+          Printf.sprintf "%.1f%%"
+            (100. *. (1. -. (a removal_net /. a ordering_net)));
+        ])
+    [
+      ("90nm", Noc_power.Params.scaled_90nm);
+      ("65nm", Noc_power.Params.default_65nm);
+      ("45nm", Noc_power.Params.scaled_45nm);
+    ];
+  Format.printf "%a@.@." Series.pp table
+
+let run_sensitivity () =
+  section "Sensitivity: Figure-9 conclusion under different synthesis choices";
+  let spec =
+    match Noc_benchmarks.Registry.find "D36_8" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let table =
+    Series.create
+      ~header:[ "synthesis variant"; "removal VCs"; "ordering VCs"; "ratio" ]
+  in
+  let variant label options =
+    let traffic = spec.Noc_benchmarks.Spec.build () in
+    let base = Noc_synth.Custom.synthesize_exn ~options traffic ~n_switches:14 in
+    let removal_net = Noc_model.Network.copy base in
+    let r = Noc_deadlock.Removal.run removal_net in
+    let ordering_net = Noc_model.Network.copy base in
+    let o =
+      Noc_deadlock.Resource_ordering.apply
+        ~strategy:Noc_deadlock.Resource_ordering.Hop_index ordering_net
+    in
+    let rv = r.Noc_deadlock.Removal.vcs_added in
+    let ov = o.Noc_deadlock.Resource_ordering.vcs_added in
+    Series.add_row table
+      [
+        label; string_of_int rv; string_of_int ov;
+        (if rv = 0 then "inf"
+         else Printf.sprintf "%.1fx" (float_of_int ov /. float_of_int rv));
+      ]
+  in
+  let open Noc_synth.Custom in
+  variant "default (greedy mapper, degree 4)" default_options;
+  variant "min-cut mapper" { default_options with mapper = Min_cut };
+  variant "degree budget 3"
+    { default_options with max_out_degree = 3; max_in_degree = 3 };
+  variant "degree budget 6"
+    { default_options with max_out_degree = 6; max_in_degree = 6 };
+  variant "hop-count routing (not load-aware)"
+    { default_options with load_aware_routing = false };
+  variant "bidirectionalized"
+    { default_options with force_bidirectional = true };
+  Format.printf "%a@.@." Series.pp table
+
+let run_resilience () =
+  section "Single-link-failure resilience (D26_media@8, before/after hardening)";
+  let spec =
+    match Noc_benchmarks.Registry.find "D26_media" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let net = Noc_synth.Custom.synthesize_exn traffic ~n_switches:8 in
+  Format.printf "as synthesized:  %a@." Resilience.pp (Resilience.sweep net);
+  let hardened = Noc_model.Network.copy net in
+  let hr = Noc_synth.Harden.run hardened in
+  Format.printf "after hardening (+%d links): %a@.@." hr.Noc_synth.Harden.links_added
+    Resilience.pp (Resilience.sweep hardened)
+
+let run_qos () =
+  section "GT flow isolation under best-effort burst (D36_8@14)";
+  Format.printf "%a@.@." Qos_check.pp_result (Qos_check.run ())
+
+let run_simcheck () =
+  section "Simulation cross-check: deadlock before, completion after";
+  let before, after = Sim_check.ring_demo () in
+  Format.printf "%a@.@.%a@.@." Sim_check.pp_result before Sim_check.pp_result after;
+  let before, after = Sim_check.benchmark_demo () in
+  Format.printf "%a@.@.%a@.@." Sim_check.pp_result before Sim_check.pp_result after
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per regenerated artefact, plus the   *)
+(* end-to-end removal timing behind the paper's "runs in minutes"      *)
+(* claim (ours runs in microseconds-to-milliseconds).                  *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tests () =
+  let open Bechamel in
+  let ring = Ring_example.build () in
+  let cycle = Ring_example.cycle ring in
+  let spec name =
+    match Noc_benchmarks.Registry.find name with
+    | Some s -> s
+    | None -> assert false
+  in
+  let d36_8 = (spec "D36_8").Noc_benchmarks.Spec.build () in
+  let d26 = (spec "D26_media").Noc_benchmarks.Spec.build () in
+  let big = Noc_synth.Custom.synthesize_exn d36_8 ~n_switches:20 in
+  let test_table1 =
+    Test.make ~name:"table1: fwd+bwd cost tables (ring)"
+      (Staged.stage (fun () ->
+           ignore (Noc_deadlock.Cost_table.forward ring.Ring_example.net cycle);
+           ignore (Noc_deadlock.Cost_table.backward ring.Ring_example.net cycle)))
+  in
+  let test_cdg =
+    Test.make ~name:"cdg: build (D36_8@20)"
+      (Staged.stage (fun () -> ignore (Noc_model.Cdg.build big)))
+  in
+  let test_cycle_search =
+    let cdg = Noc_model.Cdg.build big in
+    Test.make ~name:"cdg: smallest-cycle search (D36_8@20)"
+      (Staged.stage (fun () -> ignore (Noc_model.Cdg.smallest_cycle cdg)))
+  in
+  let test_removal =
+    Test.make ~name:"fig9 core: removal (D36_8@20, copy+run)"
+      (Staged.stage (fun () ->
+           let net = Noc_model.Network.copy big in
+           ignore (Noc_deadlock.Removal.run net)))
+  in
+  let test_synthesis =
+    Test.make ~name:"fig8 core: synthesis (D26_media@14)"
+      (Staged.stage (fun () ->
+           ignore (Noc_synth.Custom.synthesize_exn d26 ~n_switches:14)))
+  in
+  let test_power =
+    Test.make ~name:"fig10 core: power model (D36_8@20)"
+      (Staged.stage (fun () -> ignore (Noc_power.Report.of_network big)))
+  in
+  let test_ordering =
+    Test.make ~name:"baseline: hop-index resource ordering (D36_8@20)"
+      (Staged.stage (fun () ->
+           let net = Noc_model.Network.copy big in
+           ignore
+             (Noc_deadlock.Resource_ordering.apply
+                ~strategy:Noc_deadlock.Resource_ordering.Hop_index net)))
+  in
+  let test_sim =
+    let t = Ring_example.build () in
+    ignore (Noc_deadlock.Removal.run t.Ring_example.net);
+    let packets =
+      Noc_sim.Traffic_gen.burst t.Ring_example.net ~packet_length:8
+        ~packets_per_flow:2
+    in
+    Test.make ~name:"simcheck: wormhole sim (ring, post-removal)"
+      (Staged.stage (fun () ->
+           ignore (Noc_sim.Engine.run t.Ring_example.net packets)))
+  in
+  [
+    test_table1; test_cdg; test_cycle_search; test_removal; test_synthesis;
+    test_power; test_ordering; test_sim;
+  ]
+
+let run_perf () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+  in
+  let grouped = Test.make_grouped ~name:"noc" (perf_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  let clock = Hashtbl.find results (Measure.label Toolkit.Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+        in
+        (name, estimate) :: acc)
+      clock []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns < 1_000. then Format.printf "%-55s %10.0f ns/run@." name ns
+      else if ns < 1_000_000. then Format.printf "%-55s %10.1f us/run@." name (ns /. 1e3)
+      else Format.printf "%-55s %10.2f ms/run@." name (ns /. 1e6))
+    rows;
+  (* The scalability claim, measured end to end on the densest design. *)
+  let d36_8 =
+    (Option.get (Noc_benchmarks.Registry.find "D36_8")).Noc_benchmarks.Spec.build ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let net = Noc_synth.Custom.synthesize_exn d36_8 ~n_switches:35 in
+  let report = Noc_deadlock.Removal.run net in
+  let t1 = Unix.gettimeofday () in
+  Format.printf
+    "@.end-to-end largest design (D36_8@@35): synthesis + removal of %d cycle(s) \
+     in %.1f ms (paper: \"within minutes\")@."
+    report.Noc_deadlock.Removal.iterations
+    (1000. *. (t1 -. t0))
+
+let all_sections =
+  [
+    ("table1", run_table1);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("summary", run_summary);
+    ("ablation", run_ablation);
+    ("sweeps", run_sweeps);
+    ("pareto", run_pareto);
+    ("technode", run_technode);
+    ("sensitivity", run_sensitivity);
+    ("resilience", run_resilience);
+    ("qos", run_qos);
+    ("latency", run_latency);
+    ("simcheck", run_simcheck);
+    ("perf", run_perf);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected = if args = [] || args = [ "all" ] then List.map fst all_sections else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_sections with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown section %S; available: %s all@." name
+            (String.concat " " (List.map fst all_sections));
+          exit 2)
+    selected

@@ -1,0 +1,459 @@
+(* noc_tool: command-line front end for the deadlock-removal flow.
+
+   Subcommands: list, synth, remove, ordering, updown, duato, optimal,
+   harden, analyze, dot, tables, compare, simulate, example.  Every
+   command works on a named benchmark synthesized at a chosen switch
+   count — or on a design file via --input — so results are
+   reproducible from the shell. *)
+
+open Cmdliner
+open Noc_model
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+(* Shared arguments ------------------------------------------------- *)
+
+let benchmark_arg =
+  let doc =
+    Printf.sprintf "Benchmark name. One of: %s."
+      (String.concat ", " Noc_benchmarks.Registry.names)
+  in
+  Arg.(value & opt string "D26_media" & info [ "b"; "benchmark" ] ~doc)
+
+let switches_arg =
+  let doc = "Number of switches to synthesize." in
+  Arg.(value & opt int 14 & info [ "s"; "switches" ] ~doc)
+
+let degree_arg =
+  let doc = "Per-switch link budget for synthesis." in
+  Arg.(value & opt int 4 & info [ "max-degree" ] ~doc)
+
+let lookup_benchmark name =
+  match Noc_benchmarks.Registry.find name with
+  | Some s -> Ok s
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %s (try: %s)" name
+           (String.concat ", " Noc_benchmarks.Registry.names))
+
+let synthesize name n_switches max_degree =
+  Result.bind (lookup_benchmark name) (fun spec ->
+      let traffic = spec.Noc_benchmarks.Spec.build () in
+      if n_switches > Traffic.n_cores traffic then
+        Error
+          (Printf.sprintf "%s has %d cores; switch count must not exceed that"
+             name (Traffic.n_cores traffic))
+      else begin
+        let options =
+          {
+            Noc_synth.Custom.default_options with
+            Noc_synth.Custom.max_out_degree = max_degree;
+            max_in_degree = max_degree;
+          }
+        in
+        match Noc_synth.Custom.synthesize ~options traffic ~n_switches with
+        | Ok net -> Ok (spec, net)
+        | Error e -> Error e
+      end)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+
+let input_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "i"; "input" ]
+           ~doc:"Load the design from $(docv) (noc-design format) instead of \
+                 synthesizing a benchmark."
+           ~docv:"FILE")
+
+let save_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "o"; "save" ]
+           ~doc:"Write the resulting design to $(docv) in noc-design format."
+           ~docv:"FILE")
+
+(* A design either loaded from a file or synthesized from a benchmark. *)
+let obtain_network ~input ~name ~n_switches ~degree =
+  match input with
+  | Some path -> Io.load_file path
+  | None -> Result.map snd (synthesize name n_switches degree)
+
+let maybe_save save net =
+  match save with
+  | None -> ()
+  | Some path ->
+      Io.save_file path net;
+      Format.printf "design written to %s@." path
+
+(* Commands --------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun s -> Format.printf "%a@." Noc_benchmarks.Spec.pp s)
+      Noc_benchmarks.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available benchmarks")
+    Term.(const run $ const ())
+
+let synth_cmd =
+  let run () name n_switches degree save =
+    let _, net = or_die (synthesize name n_switches degree) in
+    maybe_save save net;
+    let topo = Network.topology net in
+    Format.printf "%a@.@." Topology.pp topo;
+    let cdg = Cdg.build net in
+    Format.printf "CDG: %d channels, %d dependencies@."
+      (Cdg.n_channels cdg)
+      (Noc_graph.Digraph.n_edges (Cdg.graph cdg));
+    match Cdg.smallest_cycle cdg with
+    | None -> Format.printf "design is deadlock-free as synthesized@."
+    | Some cycle ->
+        Format.printf "smallest CDG cycle (%d channels): %a@."
+          (List.length cycle)
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+             Channel.pp)
+          cycle
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a topology and report deadlock status")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ save_arg)
+
+let heuristic_arg =
+  let choice =
+    Arg.enum
+      [
+        ("smallest", Noc_deadlock.Removal.Smallest_cycle_first);
+        ("any", Noc_deadlock.Removal.Any_cycle_first);
+      ]
+  in
+  Arg.(value & opt choice Noc_deadlock.Removal.Smallest_cycle_first
+       & info [ "heuristic" ] ~doc:"Cycle selection: $(b,smallest) or $(b,any).")
+
+let directions_arg =
+  let choice =
+    Arg.enum
+      [
+        ("both", [ Noc_deadlock.Cost_table.Forward; Noc_deadlock.Cost_table.Backward ]);
+        ("forward", [ Noc_deadlock.Cost_table.Forward ]);
+        ("backward", [ Noc_deadlock.Cost_table.Backward ]);
+      ]
+  in
+  Arg.(value
+       & opt choice [ Noc_deadlock.Cost_table.Forward; Noc_deadlock.Cost_table.Backward ]
+       & info [ "directions" ]
+           ~doc:"Break directions to consider: $(b,both), $(b,forward) or $(b,backward).")
+
+let resource_arg =
+  let choice =
+    Arg.enum
+      [
+        ("vc", Noc_deadlock.Break_cycle.Virtual_channel);
+        ("link", Noc_deadlock.Break_cycle.Physical_link);
+      ]
+  in
+  Arg.(value & opt choice Noc_deadlock.Break_cycle.Virtual_channel
+       & info [ "resource" ]
+           ~doc:"What a duplicated channel costs: a $(b,vc) on the same link \
+                 (default) or a parallel physical $(b,link) for VC-less \
+                 architectures.")
+
+let reroute_first_arg =
+  Arg.(value & flag
+       & info [ "reroute-first" ]
+           ~doc:"Try to break cycles by rerouting flows onto alternative \
+                 physical paths before adding any VCs.")
+
+let balance_arg =
+  Arg.(value & flag
+       & info [ "balance" ]
+           ~doc:"After removal, spread flows across each link's VCs \
+                 (acyclicity-preserving) to reduce head-of-line blocking.")
+
+let remove_cmd =
+  let run () name n_switches degree heuristic directions resource reroute
+      balance input save =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    if reroute then
+      Format.printf "%a@.@." Noc_deadlock.Reroute.pp_report
+        (Noc_deadlock.Reroute.run net);
+    let report = Noc_deadlock.Removal.run ~heuristic ~directions ~resource net in
+    Format.printf "%a@.@." Noc_deadlock.Removal.pp_report report;
+    if balance && report.Noc_deadlock.Removal.deadlock_free then
+      Format.printf "%a@.@." Noc_deadlock.Vc_balance.pp_report
+        (Noc_deadlock.Vc_balance.run net);
+    let cert = Noc_deadlock.Verify.certify net in
+    Format.printf "%a@.@." Noc_deadlock.Verify.pp_certificate cert;
+    Format.printf "%a@." Noc_power.Report.pp_summary
+      (Noc_power.Report.of_network net);
+    maybe_save save net
+  in
+  Cmd.v
+    (Cmd.info "remove" ~doc:"Remove deadlocks from a design, verify, and price")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ heuristic_arg $ directions_arg $ resource_arg $ reroute_first_arg
+          $ balance_arg $ input_arg $ save_arg)
+
+let optimal_cmd =
+  let budget_arg =
+    Arg.(value & opt int 30_000
+         & info [ "budget" ] ~doc:"Branch-and-bound node budget.")
+  in
+  let run () name n_switches degree input budget =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    let heuristic = Noc_deadlock.Removal.run (Network.copy net) in
+    let o = Noc_deadlock.Optimal.search ~node_budget:budget net in
+    Format.printf "heuristic: +%d VC(s)@.%a@."
+      heuristic.Noc_deadlock.Removal.vcs_added Noc_deadlock.Optimal.pp_result o
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Exact minimum-VC removal (branch-and-bound oracle) vs the heuristic")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ budget_arg)
+
+let harden_cmd =
+  let run () name n_switches degree input save =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    let critical = Metrics.critical_links net in
+    Format.printf "single points of failure: %d@." (List.length critical);
+    let r = Noc_synth.Harden.run net in
+    Format.printf "%a@." Noc_synth.Harden.pp_report r;
+    maybe_save save net
+  in
+  Cmd.v
+    (Cmd.info "harden" ~doc:"Add backup links until no single link failure \
+                             can disconnect a flow")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ save_arg)
+
+let strategy_arg =
+  let choice =
+    Arg.enum
+      [
+        ("greedy", Noc_deadlock.Resource_ordering.Greedy_ordered);
+        ("hop-index", Noc_deadlock.Resource_ordering.Hop_index);
+      ]
+  in
+  Arg.(value & opt choice Noc_deadlock.Resource_ordering.Hop_index
+       & info [ "strategy" ]
+           ~doc:"Ordering strategy: $(b,hop-index) (paper baseline) or $(b,greedy).")
+
+let ordering_cmd =
+  let run () name n_switches degree strategy input save =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    let report = Noc_deadlock.Resource_ordering.apply ~strategy net in
+    Format.printf "%a@.@." Noc_deadlock.Resource_ordering.pp_report report;
+    Format.printf "%a@." Noc_power.Report.pp_summary
+      (Noc_power.Report.of_network net);
+    maybe_save save net
+  in
+  Cmd.v
+    (Cmd.info "ordering" ~doc:"Apply the resource-ordering baseline")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ strategy_arg $ input_arg $ save_arg)
+
+let updown_cmd =
+  let run () name n_switches degree input save =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    (match Noc_deadlock.Updown.apply net with
+    | Ok report ->
+        Format.printf "%a@.@." Noc_deadlock.Updown.pp_report report;
+        Format.printf "%a@." Noc_power.Report.pp_summary
+          (Noc_power.Report.of_network net);
+        maybe_save save net
+    | Error e ->
+        Format.printf
+          "up*/down* routing is infeasible on this design: %s@.(this is the \
+           paper's argument for VC-based removal on custom topologies)@."
+          e)
+  in
+  Cmd.v
+    (Cmd.info "updown"
+       ~doc:"Apply up*/down* turn-prohibition routing (literature baseline)")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ save_arg)
+
+let dot_cmd =
+  let kind_arg =
+    let choice = Arg.enum [ ("topology", `Topology); ("cdg", `Cdg) ] in
+    Arg.(value & opt choice `Topology
+         & info [ "kind" ] ~doc:"What to render: $(b,topology) or $(b,cdg).")
+  in
+  let run () name n_switches degree input kind =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    match kind with
+    | `Topology -> print_string (Dot_export.topology net)
+    | `Cdg -> print_string (Dot_export.cdg net)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for the topology or the CDG")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ kind_arg)
+
+let compare_cmd =
+  let run () name n_switches =
+    let spec = or_die (lookup_benchmark name) in
+    let point = Noc_experiments.Sweep.evaluate spec ~n_switches in
+    Format.printf "%a@." Noc_experiments.Sweep.pp_point point
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare removal vs ordering on one design point")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg)
+
+let simulate_cmd =
+  let fix_arg =
+    Arg.(value & flag
+         & info [ "remove-deadlocks" ] ~doc:"Run the removal pass before simulating.")
+  in
+  let packet_length_arg =
+    Arg.(value & opt int 8 & info [ "packet-length" ] ~doc:"Flits per packet.")
+  in
+  let packets_arg =
+    Arg.(value & opt int 2 & info [ "packets" ] ~doc:"Packets per flow.")
+  in
+  let run () name n_switches degree fix packet_length packets_per_flow =
+    let _, net = or_die (synthesize name n_switches degree) in
+    if fix then ignore (Noc_deadlock.Removal.run net);
+    let result =
+      Noc_experiments.Sim_check.check ~packet_length ~packets_per_flow
+        ~label:(Printf.sprintf "%s@%d%s" name n_switches
+                  (if fix then " (after removal)" else " (as synthesized)"))
+        net
+    in
+    Format.printf "%a@." Noc_experiments.Sim_check.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the wormhole simulator on a design")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ fix_arg $ packet_length_arg $ packets_arg)
+
+let analyze_cmd =
+  let capacity_arg =
+    Arg.(value & opt float 4000.
+         & info [ "capacity" ] ~doc:"Link capacity in MB/s for the feasibility check.")
+  in
+  let top_arg =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~doc:"How many of the most power-hungry flows to list.")
+  in
+  let run () name n_switches degree input capacity top =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    Format.printf "%a@.@." Metrics.pp (Metrics.of_network net);
+    Format.printf "%a@.@." Bandwidth.pp (Bandwidth.analyze ~capacity_mbps:capacity net);
+    let fe = Noc_power.Flow_energy.of_network net in
+    Format.printf "top %d flows by dynamic power (of %.3f mW total):@." top
+      fe.Noc_power.Flow_energy.total_dynamic_mw;
+    List.iteri
+      (fun i c ->
+        if i < top then
+          Format.printf "  %a: %d hops, %.2f pJ/bit, %.3f mW@." Ids.Flow.pp
+            c.Noc_power.Flow_energy.flow c.Noc_power.Flow_energy.hops
+            c.Noc_power.Flow_energy.energy_pj_per_bit
+            c.Noc_power.Flow_energy.power_mw)
+      (Noc_power.Flow_energy.ranked fe);
+    let deadlock_free = Noc_deadlock.Removal.is_deadlock_free net in
+    Format.printf "@.deadlock-free as analyzed: %b@." deadlock_free
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Design health report: metrics, bandwidth feasibility, flow energy")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ capacity_arg $ top_arg)
+
+let duato_cmd =
+  let function_arg =
+    let choice = Arg.enum [ ("static", `Static); ("adaptive", `Adaptive) ] in
+    Arg.(value & opt choice `Static
+         & info [ "function" ]
+             ~doc:"Routing function: $(b,static) (from installed routes) or \
+                   $(b,adaptive) (fully adaptive minimal).")
+  in
+  let escape_arg =
+    let choice = Arg.enum [ ("all", `All); ("vc0", `Vc0) ] in
+    Arg.(value & opt choice `All
+         & info [ "escape" ]
+             ~doc:"Escape channel set: $(b,all) channels or $(b,vc0) only.")
+  in
+  let run () name n_switches degree input func escape =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    let rf =
+      match func with
+      | `Static -> Routing_function.of_static_routes net
+      | `Adaptive -> Routing_function.minimal_adaptive net
+    in
+    let escape =
+      match escape with
+      | `All -> Noc_deadlock.Duato.escape_everything
+      | `Vc0 -> fun c -> Channel.vc c = 0
+    in
+    Format.printf "%a@." Noc_deadlock.Duato.pp_verdict
+      (Noc_deadlock.Duato.check net rf ~escape)
+  in
+  Cmd.v
+    (Cmd.info "duato"
+       ~doc:"Check Duato's deadlock-freedom condition for a routing function")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ function_arg $ escape_arg)
+
+let tables_cmd =
+  let switch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "switch" ] ~doc:"Print only this switch's table." ~docv:"N")
+  in
+  let run () name n_switches degree input switch =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    let t = Tables.compile net in
+    (match Tables.check net t with
+    | Ok () -> ()
+    | Error e ->
+        Format.eprintf "internal error: inconsistent tables: %s@." e;
+        exit 1);
+    Format.printf "%d table entries across %d switches@.@."
+      (Tables.total_entries t)
+      (Topology.n_switches (Network.topology net));
+    let print s = Format.printf "%a@.@." (Tables.pp_switch t) (Ids.Switch.of_int s) in
+    match switch with
+    | Some s -> print s
+    | None ->
+        for s = 0 to Topology.n_switches (Network.topology net) - 1 do
+          print s
+        done
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Compile and print per-switch forwarding tables")
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ switch_arg)
+
+let example_cmd =
+  let run () = Format.printf "%t@." Noc_experiments.Ring_example.narrate in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Walk through the paper's ring example (Table 1)")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "noc_tool" ~version:"1.0.0"
+      ~doc:"Deadlock removal for wormhole NoCs (DATE 2010 reproduction)"
+  in
+  let group =
+    Cmd.group info
+      [
+        list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
+        analyze_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd; compare_cmd;
+        simulate_cmd; example_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

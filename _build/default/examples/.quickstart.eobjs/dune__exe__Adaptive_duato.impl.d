@@ -1,0 +1,1 @@
+examples/adaptive_duato.ml: Channel Format Ids List Network Noc_deadlock Noc_experiments Noc_model Noc_sim Noc_synth Routing_function Topology Traffic

@@ -1,0 +1,1 @@
+examples/custom_soc.ml: Array Format List Network Noc_benchmarks Noc_deadlock Noc_model Noc_power Noc_synth String Sys Topology Traffic

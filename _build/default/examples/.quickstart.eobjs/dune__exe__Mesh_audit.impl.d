@@ -1,0 +1,1 @@
+examples/mesh_audit.ml: Array Cdg Format Ids Network Noc_deadlock Noc_graph Noc_model Noc_synth Routing Sys Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cdg Channel Format Ids Network Noc_deadlock Noc_model Topology Traffic

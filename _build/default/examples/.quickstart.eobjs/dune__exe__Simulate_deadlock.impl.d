@@ -1,0 +1,1 @@
+examples/simulate_deadlock.ml: Format List Noc_experiments Noc_sim String

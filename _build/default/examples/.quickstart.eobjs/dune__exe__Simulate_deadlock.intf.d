@@ -1,0 +1,1 @@
+examples/simulate_deadlock.mli:

@@ -1,0 +1,1 @@
+examples/toolflow.ml: Bandwidth Cdg Filename Format Ids Io List Metrics Network Noc_benchmarks Noc_deadlock Noc_model Noc_power Noc_sim Noc_synth Sys Tables Topology Traffic

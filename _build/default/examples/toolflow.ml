@@ -1,0 +1,96 @@
+(* The production tool flow, end to end on one design: synthesize ->
+   save to disk -> reload -> health report -> reroute-first ->
+   deadlock removal -> verify -> forwarding tables -> final report.
+   Everything a team would script around `noc_tool` done through the
+   library API.
+
+   Run with: dune exec examples/toolflow.exe *)
+
+open Noc_model
+
+let step n title = Format.printf "@.[%d] %s@." n title
+
+let () =
+  let spec =
+    match Noc_benchmarks.Registry.find "D36_8" with
+    | Some s -> s
+    | None -> failwith "benchmark missing"
+  in
+  step 1 "synthesize D36_8 at 14 switches";
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let net = Noc_synth.Custom.synthesize_exn traffic ~n_switches:14 in
+  Format.printf "  %d links, %d flows routed@."
+    (Topology.n_links (Network.topology net))
+    (Traffic.n_flows traffic);
+
+  step 2 "save and reload through the design-file format";
+  let path = Filename.temp_file "toolflow" ".noc" in
+  Io.save_file path net;
+  let net =
+    match Io.load_file path with
+    | Ok net -> net
+    | Error e -> failwith ("reload failed: " ^ e)
+  in
+  Sys.remove path;
+  Format.printf "  round-trip OK@.";
+
+  step 3 "design health report";
+  Format.printf "  %a@." Metrics.pp (Metrics.of_network net);
+  let bw = Bandwidth.analyze ~capacity_mbps:4000. net in
+  Format.printf "  %a@." Bandwidth.pp bw;
+  let critical = Metrics.critical_links net in
+  Format.printf "  single-point-of-failure links: %d@." (List.length critical);
+
+  step 4 "deadlock status";
+  (match Cdg.smallest_cycle (Cdg.build net) with
+  | Some cycle ->
+      Format.printf "  CYCLIC: smallest cycle has %d channels@."
+        (List.length cycle)
+  | None -> Format.printf "  already deadlock-free@.");
+
+  step 5 "reroute-first (free fixes), then minimal VC removal";
+  let rr = Noc_deadlock.Reroute.run net in
+  Format.printf "  %a@." Noc_deadlock.Reroute.pp_report rr;
+  let report = Noc_deadlock.Removal.run net in
+  Format.printf "  %a@." Noc_deadlock.Removal.pp_report report;
+
+  step 6 "verification certificate";
+  let cert = Noc_deadlock.Verify.certify net in
+  Format.printf "  acyclic=%b, %d channels, %d dependencies@."
+    cert.Noc_deadlock.Verify.acyclic cert.Noc_deadlock.Verify.n_channels
+    cert.Noc_deadlock.Verify.n_dependencies;
+  (match cert.Noc_deadlock.Verify.numbering with
+  | Some numbering ->
+      Format.printf "  numbering witness re-checks: %b@."
+        (Noc_deadlock.Verify.check_numbering net numbering)
+  | None -> ());
+
+  step 7 "compile the hardware forwarding tables";
+  let tables = Tables.compile net in
+  (match Tables.check net tables with
+  | Ok () ->
+      Format.printf "  %d entries, consistent with all routes@."
+        (Tables.total_entries tables)
+  | Error e -> failwith e);
+
+  step 8 "price the final design";
+  Format.printf "  %a@." Noc_power.Report.pp_summary
+    (Noc_power.Report.of_network net);
+  let fe = Noc_power.Flow_energy.of_network net in
+  (match Noc_power.Flow_energy.ranked fe with
+  | top :: _ ->
+      Format.printf "  hungriest flow: %a at %.3f mW@." Ids.Flow.pp
+        top.Noc_power.Flow_energy.flow top.Noc_power.Flow_energy.power_mw
+  | [] -> ());
+
+  step 9 "stress the result in the wormhole simulator";
+  let packets =
+    Noc_benchmarks.Workloads.bandwidth_proportional net ~packet_length:4
+      ~duration:2000 ~capacity_mbps:4000. ~seed:1
+  in
+  match Noc_sim.Engine.run net packets with
+  | Noc_sim.Engine.Completed s ->
+      Format.printf "  %d packets delivered in %d cycles, avg latency %.1f@."
+        s.Noc_sim.Stats.delivered s.Noc_sim.Stats.cycles
+        (Noc_sim.Stats.avg_latency s)
+  | outcome -> Format.printf "  %a@." Noc_sim.Engine.pp_outcome outcome

@@ -1,0 +1,1 @@
+lib/benchmarks/d26_media.mli: Spec

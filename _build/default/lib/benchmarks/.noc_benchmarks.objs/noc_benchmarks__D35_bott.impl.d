@@ -1,0 +1,1 @@
+lib/benchmarks/d35_bott.ml: Array Ids Noc_model Rng Spec Traffic

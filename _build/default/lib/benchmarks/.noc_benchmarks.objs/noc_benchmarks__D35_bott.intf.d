@@ -1,0 +1,1 @@
+lib/benchmarks/d35_bott.mli: Spec

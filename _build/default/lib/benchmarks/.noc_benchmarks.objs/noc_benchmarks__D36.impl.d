@@ -1,0 +1,1 @@
+lib/benchmarks/d36.ml: Ids List Noc_model Printf Rng Spec Traffic

@@ -1,0 +1,1 @@
+lib/benchmarks/d36.mli: Spec

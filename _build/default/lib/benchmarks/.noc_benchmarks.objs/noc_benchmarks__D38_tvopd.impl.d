@@ -1,0 +1,1 @@
+lib/benchmarks/d38_tvopd.ml: Ids List Noc_model Spec Traffic

@@ -1,0 +1,1 @@
+lib/benchmarks/d38_tvopd.mli: Spec

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: D26_media D35_bott D36 D38_tvopd List Spec String

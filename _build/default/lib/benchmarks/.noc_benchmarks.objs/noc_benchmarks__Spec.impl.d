@@ -1,0 +1,1 @@
+lib/benchmarks/spec.ml: Format Ids List Noc_model Traffic

@@ -1,0 +1,1 @@
+lib/benchmarks/spec.mli: Format Noc_model Traffic

@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.ml: Ids List Noc_model Rng Spec Traffic

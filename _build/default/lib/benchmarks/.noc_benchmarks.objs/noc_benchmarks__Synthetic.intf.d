@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.mli: Noc_model Spec Traffic

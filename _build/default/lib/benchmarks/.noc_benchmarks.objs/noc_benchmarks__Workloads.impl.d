@@ -1,0 +1,1 @@
+lib/benchmarks/workloads.ml: List Network Noc_model Noc_sim Rng Traffic

@@ -1,0 +1,1 @@
+lib/benchmarks/workloads.mli: Network Noc_model Noc_sim

@@ -1,0 +1,125 @@
+(* D26_media: a 26-core multimedia + wireless SoC, mirroring the
+   published description of the benchmark used in the paper (video and
+   audio pipelines, a wireless baseband subsystem, shared SRAM/DRAM and
+   DMA).  The flow table is explicit and deterministic. *)
+
+(* Core roles, for readability of the table below. *)
+let arm = 0
+let dsp0 = 1
+let dsp1 = 2
+let dsp2 = 3
+let video_enc = 4
+let video_dec = 5
+let audio_enc = 6
+let audio_dec = 7
+let imaging = 8
+let baseband = 9
+let rf_frontend = 10
+let crypto = 11
+let sram0 = 12
+let sram1 = 13
+let sram2 = 14
+let sram3 = 15
+let dram0 = 16
+let dram1 = 17
+let dma = 18
+let bridge = 19
+let display = 20
+let camera = 21
+let usb = 22
+let storage = 23
+let gps = 24
+let bluetooth = 25
+
+let n_cores = 26
+
+(* (src, dst, bandwidth MB/s) *)
+let flow_table =
+  [
+    (* Video capture/encode pipeline. *)
+    (camera, imaging, 400.);
+    (imaging, sram0, 400.);
+    (sram0, video_enc, 400.);
+    (video_enc, dram0, 200.);
+    (arm, video_enc, 20.);
+    (* Video decode/display pipeline. *)
+    (dram0, video_dec, 200.);
+    (video_dec, sram1, 400.);
+    (sram1, display, 400.);
+    (dram0, display, 350.);
+    (arm, video_dec, 20.);
+    (* Imaging assistance on a DSP. *)
+    (imaging, dsp2, 100.);
+    (dsp2, sram2, 80.);
+    (* Audio pipelines. *)
+    (storage, audio_dec, 60.);
+    (audio_dec, sram2, 60.);
+    (sram2, audio_enc, 40.);
+    (audio_enc, dram1, 50.);
+    (dram1, audio_dec, 60.);
+    (audio_dec, bridge, 30.);
+    (dsp2, audio_enc, 50.);
+    (* Wireless subsystem. *)
+    (rf_frontend, baseband, 300.);
+    (baseband, rf_frontend, 150.);
+    (baseband, dsp0, 200.);
+    (dsp0, baseband, 120.);
+    (dsp0, sram3, 200.);
+    (sram3, dsp1, 150.);
+    (dsp1, dram1, 100.);
+    (gps, baseband, 30.);
+    (bluetooth, baseband, 20.);
+    (baseband, crypto, 80.);
+    (crypto, dram1, 80.);
+    (baseband, dram1, 120.);
+    (dram1, baseband, 120.);
+    (* CPU to memories and peripherals. *)
+    (arm, dram0, 150.);
+    (dram0, arm, 300.);
+    (arm, dram1, 100.);
+    (dram1, arm, 200.);
+    (arm, sram0, 50.);
+    (arm, sram1, 50.);
+    (arm, sram2, 50.);
+    (arm, sram3, 50.);
+    (arm, bridge, 40.);
+    (arm, crypto, 20.);
+    (crypto, arm, 20.);
+    (arm, baseband, 30.);
+    (arm, camera, 10.);
+    (arm, display, 15.);
+    (arm, gps, 5.);
+    (arm, bluetooth, 5.);
+    (arm, dma, 10.);
+    (* DMA engine. *)
+    (dma, dram0, 250.);
+    (dram0, dma, 250.);
+    (dma, sram1, 120.);
+    (dma, sram2, 120.);
+    (* Inter-DSP traffic. *)
+    (dsp0, dsp1, 80.);
+    (dsp1, dsp0, 80.);
+    (dsp1, dsp2, 60.);
+    (dsp2, dsp1, 60.);
+    (* Peripheral bridge cluster. *)
+    (bridge, usb, 60.);
+    (usb, bridge, 60.);
+    (bridge, storage, 120.);
+    (storage, bridge, 120.);
+    (usb, dram1, 80.);
+    (dram1, usb, 80.);
+    (storage, dram0, 150.);
+    (dram0, storage, 100.);
+    (bluetooth, dram1, 15.);
+    (gps, dram1, 10.);
+  ]
+
+let spec =
+  {
+    Spec.name = "D26_media";
+    description =
+      "26-core multimedia + wireless SoC: video/audio pipelines, baseband, \
+       shared memories, DMA";
+    n_cores;
+    build = (fun () -> Spec.flows_of_table ~n_cores flow_table);
+  }

@@ -1,0 +1,10 @@
+(** D26_media: 26-core multimedia + wireless SoC (video/audio
+    pipelines, baseband subsystem, shared SRAM/DRAM, DMA), the paper's
+    Figure 8 case study.  Deterministic explicit flow table. *)
+
+val spec : Spec.t
+
+val flow_table : (int * int * float) list
+(** The raw [(src, dst, MB/s)] rows, exposed for tests and docs. *)
+
+val n_cores : int

@@ -1,0 +1,46 @@
+(* D35_bott: 35 cores with a shared-memory bottleneck — 32 processing
+   cores all stream to 3 memory controllers and get responses back,
+   plus a nearest-neighbour processing pipeline and a few seeded
+   cross-traffic flows. *)
+
+open Noc_model
+
+let n_cores = 35
+let n_processors = 32
+let memories = [| 32; 33; 34 |]
+
+let build () =
+  let rng = Rng.make 3535 in
+  let traffic = Traffic.create ~n_cores in
+  let add src dst bandwidth =
+    ignore
+      (Traffic.add_flow traffic ~src:(Ids.Core.of_int src)
+         ~dst:(Ids.Core.of_int dst) ~bandwidth)
+  in
+  for p = 0 to n_processors - 1 do
+    let mem = memories.(p mod Array.length memories) in
+    add p mem 150.;
+    (* write path: the bottleneck *)
+    add mem p 75. (* read responses *)
+  done;
+  (* Neighbour pipeline across the processing cores. *)
+  for p = 0 to n_processors - 2 do
+    add p (p + 1) 40.
+  done;
+  (* A handful of long-range control flows. *)
+  for _ = 1 to 12 do
+    let src = Rng.int rng n_processors in
+    let dst = Rng.int rng n_processors in
+    if src <> dst then add src dst (10. +. float_of_int (Rng.int rng 4) *. 10.)
+  done;
+  traffic
+
+let spec =
+  {
+    Spec.name = "D35_bott";
+    description =
+      "35 cores: 32 processors hammering 3 shared memory controllers, with a \
+       neighbour pipeline and sparse cross traffic";
+    n_cores;
+    build;
+  }

@@ -1,0 +1,9 @@
+(** D35_bott: 35 cores with a shared-memory bottleneck — 32 processors
+    stream to 3 memory controllers (with responses), plus a neighbour
+    pipeline and seeded sparse cross traffic. *)
+
+val spec : Spec.t
+val n_cores : int
+
+val memories : int array
+(** The memory-controller core ids (the hotspots). *)

@@ -1,0 +1,41 @@
+(* D36_k: 36 processing cores, each sending data to k other cores
+   (k = 4, 6, 8 in the paper).  Destinations and bandwidths are drawn
+   from a seeded generator, so each variant is fixed forever.  The
+   paper uses these as its "complex traffic pattern" stress cases:
+   the many-to-many structure makes the synthesized topologies' CDGs
+   cyclic, unlike D26_media's pipelines (Figures 8 vs 9). *)
+
+open Noc_model
+
+let n_cores = 36
+
+let build_traffic k () =
+  let rng = Rng.make (4242 + k) in
+  let traffic = Traffic.create ~n_cores in
+  for src = 0 to n_cores - 1 do
+    let dests = Rng.sample_distinct rng n_cores ~exclude:src ~count:k in
+    List.iter
+      (fun dst ->
+        (* Quantized 25..200 MB/s: realistic inter-core streams. *)
+        let bandwidth = 25. *. float_of_int (1 + Rng.int rng 8) in
+        ignore
+          (Traffic.add_flow traffic ~src:(Ids.Core.of_int src)
+             ~dst:(Ids.Core.of_int dst) ~bandwidth))
+      dests
+  done;
+  traffic
+
+let make k =
+  {
+    Spec.name = Printf.sprintf "D36_%d" k;
+    description =
+      Printf.sprintf
+        "36 processing cores, each streaming to %d pseudo-randomly chosen peers"
+        k;
+    n_cores;
+    build = build_traffic k;
+  }
+
+let d36_4 = make 4
+let d36_6 = make 6
+let d36_8 = make 8

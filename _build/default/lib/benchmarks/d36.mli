@@ -1,0 +1,11 @@
+(** D36_k: 36 processing cores, each streaming to [k] pseudo-randomly
+    chosen peers — the paper's dense stress benchmarks (Figure 9 uses
+    [k = 8]).  Seeded, so each variant is fixed forever. *)
+
+val make : int -> Spec.t
+(** [make k] is the D36_k benchmark. *)
+
+val d36_4 : Spec.t
+val d36_6 : Spec.t
+val d36_8 : Spec.t
+val n_cores : int

@@ -1,0 +1,55 @@
+(* D38_tvopd: a 38-core TV object-plane-decoder-style design — two long
+   decode pipelines with cross-coupling, two shared memories, and a
+   control processor, following the published structure of the TVOPD
+   benchmark family. *)
+
+open Noc_model
+
+let n_cores = 38
+let mem0 = 36
+let mem1 = 37
+let control = 0
+
+let build () =
+  let traffic = Traffic.create ~n_cores in
+  let add src dst bandwidth =
+    ignore
+      (Traffic.add_flow traffic ~src:(Ids.Core.of_int src)
+         ~dst:(Ids.Core.of_int dst) ~bandwidth)
+  in
+  (* Pipeline A: stages 1..17; Pipeline B: stages 18..35. *)
+  for s = 1 to 16 do
+    add s (s + 1) (60. +. float_of_int ((s mod 4) * 30))
+  done;
+  for s = 18 to 34 do
+    add s (s + 1) (60. +. float_of_int ((s mod 4) * 30))
+  done;
+  (* Cross-coupling between the two planes. *)
+  add 8 20 90.;
+  add 26 5 90.;
+  add 12 30 45.;
+  add 33 14 45.;
+  (* Memory traffic: every fourth stage spills/fills. *)
+  List.iter
+    (fun s ->
+      let m = if s mod 8 = 0 then mem0 else mem1 in
+      add s m 120.;
+      add m s 120.)
+    [ 4; 8; 12; 16; 20; 24; 28; 32 ];
+  (* Control processor commands all pipeline heads and memory. *)
+  List.iter (fun s -> add control s 10.) [ 1; 18; mem0; mem1 ];
+  add 17 mem0 200.;
+  add 35 mem1 200.;
+  add mem0 1 150.;
+  add mem1 18 150.;
+  traffic
+
+let spec =
+  {
+    Spec.name = "D38_tvopd";
+    description =
+      "38-core TV object plane decoder: two long pipelines, cross-coupling, \
+       two shared memories, one control core";
+    n_cores;
+    build;
+  }

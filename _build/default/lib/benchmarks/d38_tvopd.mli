@@ -1,0 +1,11 @@
+(** D38_tvopd: a 38-core TV object-plane-decoder-style design — two
+    long decode pipelines with cross-coupling, two shared memories and
+    a control processor. *)
+
+val spec : Spec.t
+val n_cores : int
+
+val mem0 : int
+val mem1 : int
+val control : int
+(** Distinguished core ids, exposed for structural tests. *)

@@ -1,0 +1,15 @@
+let all =
+  [
+    D26_media.spec;
+    D36.d36_4;
+    D36.d36_6;
+    D36.d36_8;
+    D35_bott.spec;
+    D38_tvopd.spec;
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii s.Spec.name = target) all
+
+let names = List.map (fun s -> s.Spec.name) all

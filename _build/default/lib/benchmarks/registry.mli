@@ -1,0 +1,9 @@
+(** All benchmarks of the evaluation, in the order of Figure 10. *)
+
+val all : Spec.t list
+(** D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd. *)
+
+val find : string -> Spec.t option
+(** Lookup by name (case-insensitive). *)
+
+val names : string list

@@ -1,0 +1,27 @@
+(** Tiny deterministic pseudo-random generator (SplitMix64), so every
+    benchmark instantiation is bit-identical across runs and platforms.
+    Not for cryptography; for reproducible workload synthesis only. *)
+
+type t
+
+val make : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val sample_distinct : t -> int -> exclude:int -> count:int -> int list
+(** [sample_distinct t bound ~exclude ~count] draws [count] distinct
+    values from [0, bound) \ {exclude}, in draw order.
+    @raise Invalid_argument when fewer than [count] values exist. *)

@@ -1,0 +1,21 @@
+open Noc_model
+
+type t = {
+  name : string;
+  description : string;
+  n_cores : int;
+  build : unit -> Traffic.t;
+}
+
+let flows_of_table ~n_cores rows =
+  let traffic = Traffic.create ~n_cores in
+  List.iter
+    (fun (src, dst, bandwidth) ->
+      ignore
+        (Traffic.add_flow traffic ~src:(Ids.Core.of_int src)
+           ~dst:(Ids.Core.of_int dst) ~bandwidth))
+    rows;
+  traffic
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d cores — %s" t.name t.n_cores t.description

@@ -1,0 +1,23 @@
+(** Benchmark descriptors.  Each benchmark is a named, deterministic
+    generator of a communication graph; the topology for a given switch
+    count is synthesized separately ({!Noc_synth.Custom}).
+
+    These are synthetic stand-ins for the proprietary SoC designs of
+    the paper's ref. [21] — see DESIGN.md for the substitution
+    rationale.  Core counts and traffic structure follow the published
+    descriptions. *)
+
+open Noc_model
+
+type t = {
+  name : string;
+  description : string;
+  n_cores : int;
+  build : unit -> Traffic.t;  (** Fresh, identical traffic each call. *)
+}
+
+val flows_of_table : n_cores:int -> (int * int * float) list -> Traffic.t
+(** Builds a communication graph from explicit
+    [(src, dst, bandwidth MB/s)] rows. *)
+
+val pp : Format.formatter -> t -> unit

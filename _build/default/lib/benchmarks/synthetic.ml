@@ -1,0 +1,67 @@
+open Noc_model
+
+let core = Ids.Core.of_int
+
+let uniform ~n_cores ~flows_per_core ~seed =
+  if flows_per_core >= n_cores then
+    invalid_arg "Synthetic.uniform: flows_per_core >= n_cores";
+  let rng = Rng.make seed in
+  let traffic = Traffic.create ~n_cores in
+  for src = 0 to n_cores - 1 do
+    let dests =
+      Rng.sample_distinct rng n_cores ~exclude:src ~count:flows_per_core
+    in
+    List.iter
+      (fun dst ->
+        let bandwidth = 50. *. float_of_int (1 + Rng.int rng 4) in
+        ignore (Traffic.add_flow traffic ~src:(core src) ~dst:(core dst) ~bandwidth))
+      dests
+  done;
+  traffic
+
+let transpose ~n_cores ~bandwidth =
+  let k = int_of_float (ceil (sqrt (float_of_int n_cores))) in
+  let traffic = Traffic.create ~n_cores in
+  for i = 0 to n_cores - 1 do
+    let j = i * k mod n_cores in
+    if i <> j then
+      ignore (Traffic.add_flow traffic ~src:(core i) ~dst:(core j) ~bandwidth)
+  done;
+  traffic
+
+let bit_complement ~n_cores ~bandwidth =
+  let traffic = Traffic.create ~n_cores in
+  for i = 0 to n_cores - 1 do
+    let j = n_cores - 1 - i in
+    if i <> j then
+      ignore (Traffic.add_flow traffic ~src:(core i) ~dst:(core j) ~bandwidth)
+  done;
+  traffic
+
+let hotspot ~n_cores ~n_hotspots ~background ~hotspot_bw =
+  if n_hotspots < 1 || n_hotspots >= n_cores then
+    invalid_arg "Synthetic.hotspot: n_hotspots out of range";
+  let traffic = Traffic.create ~n_cores in
+  let first_hotspot = n_cores - n_hotspots in
+  for i = 0 to first_hotspot - 1 do
+    let hs = first_hotspot + (i mod n_hotspots) in
+    ignore (Traffic.add_flow traffic ~src:(core i) ~dst:(core hs) ~bandwidth:hotspot_bw);
+    let next = (i + 1) mod first_hotspot in
+    if next <> i && background > 0. then
+      ignore
+        (Traffic.add_flow traffic ~src:(core i) ~dst:(core next)
+           ~bandwidth:background)
+  done;
+  traffic
+
+let neighbour_ring ~n_cores ~bandwidth =
+  let traffic = Traffic.create ~n_cores in
+  for i = 0 to n_cores - 1 do
+    let j = (i + 1) mod n_cores in
+    if i <> j then
+      ignore (Traffic.add_flow traffic ~src:(core i) ~dst:(core j) ~bandwidth)
+  done;
+  traffic
+
+let spec_of ~name ~description ~n_cores build =
+  { Spec.name; description; n_cores; build }

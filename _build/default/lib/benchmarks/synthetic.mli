@@ -1,0 +1,38 @@
+(** Classic synthetic traffic patterns (uniform random, transpose,
+    bit-complement, hotspot, neighbour ring): the standard kernels NoC
+    papers sweep when no application trace is available.  They
+    complement the SoC benchmarks with controllable structure. *)
+
+open Noc_model
+
+val uniform : n_cores:int -> flows_per_core:int -> seed:int -> Traffic.t
+(** Each core sends to [flows_per_core] distinct random peers,
+    bandwidth 50–200 MB/s quantized.
+    @raise Invalid_argument when [flows_per_core >= n_cores]. *)
+
+val transpose : n_cores:int -> bandwidth:float -> Traffic.t
+(** Core [i] sends to core [(i * k) mod n] where [k = ceil(sqrt n)] —
+    the matrix-transpose permutation generalized to any core count;
+    cores mapping to themselves stay silent. *)
+
+val bit_complement : n_cores:int -> bandwidth:float -> Traffic.t
+(** Core [i] sends to core [n - 1 - i]; the middle core (odd [n])
+    stays silent. *)
+
+val hotspot :
+  n_cores:int -> n_hotspots:int -> background:float -> hotspot_bw:float ->
+  Traffic.t
+(** Every core sends [hotspot_bw] to its designated hotspot (the last
+    [n_hotspots] cores, round-robin) plus [background] to its ring
+    successor.
+    @raise Invalid_argument when [n_hotspots] is not in
+    [1 .. n_cores - 1]. *)
+
+val neighbour_ring : n_cores:int -> bandwidth:float -> Traffic.t
+(** Core [i] sends to core [(i + 1) mod n]: the pattern that makes
+    rings deadlock under minimal routing. *)
+
+val spec_of :
+  name:string -> description:string -> n_cores:int -> (unit -> Traffic.t) ->
+  Spec.t
+(** Wrap any generator as a benchmark {!Spec.t}. *)

@@ -1,0 +1,42 @@
+open Noc_model
+
+let bandwidth_proportional net ~packet_length ~duration ~capacity_mbps ~seed =
+  if duration < 1 then invalid_arg "Workloads.bandwidth_proportional: duration < 1";
+  if packet_length < 1 then
+    invalid_arg "Workloads.bandwidth_proportional: packet_length < 1";
+  if capacity_mbps <= 0. then
+    invalid_arg "Workloads.bandwidth_proportional: capacity <= 0";
+  let rng = Rng.make seed in
+  let next_id = ref 0 in
+  let packets_for (f : Traffic.flow) =
+    match Network.route net f.Traffic.id with
+    | [] -> []
+    | route ->
+        let flits =
+          f.Traffic.bandwidth /. capacity_mbps *. float_of_int duration
+        in
+        let n = max 1 (int_of_float (flits /. float_of_int packet_length)) in
+        let interval = max 1 (duration / n) in
+        List.init n (fun j ->
+            let jitter = Rng.int rng (max 1 (interval / 2)) in
+            let id = !next_id in
+            incr next_id;
+            Noc_sim.Packet.make ~id ~flow:f.Traffic.id ~route
+              ~length:packet_length
+              ~inject_at:(min (duration - 1) ((j * interval) + jitter)))
+    in
+  List.concat_map packets_for (Traffic.flows (Network.traffic net))
+
+let offered_load net ~capacity_mbps =
+  let flows =
+    List.filter
+      (fun (f : Traffic.flow) -> Network.route net f.Traffic.id <> [])
+      (Traffic.flows (Network.traffic net))
+  in
+  match flows with
+  | [] -> 0.
+  | _ ->
+      List.fold_left
+        (fun acc (f : Traffic.flow) -> acc +. (f.Traffic.bandwidth /. capacity_mbps))
+        0. flows
+      /. float_of_int (List.length flows)

@@ -1,0 +1,26 @@
+(** Simulator workloads derived from the benchmark bandwidth demands:
+    each flow injects packets at a rate proportional to its demanded
+    bandwidth relative to link capacity, with seeded jitter.  This is
+    the realistic counterpart to {!Noc_sim.Traffic_gen.burst}'s
+    adversarial stress pattern. *)
+
+open Noc_model
+
+val bandwidth_proportional :
+  Network.t ->
+  packet_length:int ->
+  duration:int ->
+  capacity_mbps:float ->
+  seed:int ->
+  Noc_sim.Packet.t list
+(** Over [duration] cycles, flow [f] injects about
+    [f.bandwidth / capacity * duration / packet_length] packets at
+    jittered, roughly even intervals.  Flows with empty routes are
+    skipped; every flow with positive demand gets at least one packet.
+    Deterministic for a fixed seed.
+    @raise Invalid_argument when [duration < 1], [packet_length < 1]
+    or [capacity_mbps <= 0]. *)
+
+val offered_load : Network.t -> capacity_mbps:float -> float
+(** Mean per-flow injection rate in flits/cycle implied by the
+    demands — a quick saturation sanity check before simulating. *)

@@ -1,0 +1,1 @@
+lib/deadlock/break_cycle.ml: Array Channel Cost_table Format Ids List Network Noc_model Topology

@@ -1,0 +1,1 @@
+lib/deadlock/break_cycle.mli: Channel Cost_table Format Ids Network Noc_model

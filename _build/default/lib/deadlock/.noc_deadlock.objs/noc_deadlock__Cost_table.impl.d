@@ -1,0 +1,1 @@
+lib/deadlock/cost_table.ml: Array Channel Format Ids List Network Noc_model Route Traffic

@@ -1,0 +1,1 @@
+lib/deadlock/cost_table.mli: Channel Format Ids Network Noc_model Route

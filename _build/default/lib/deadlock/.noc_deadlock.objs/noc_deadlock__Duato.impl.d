@@ -1,0 +1,1 @@
+lib/deadlock/duato.ml: Array Channel Format Ids List Network Noc_graph Noc_model Option Queue Routing_function Topology Traffic

@@ -1,0 +1,1 @@
+lib/deadlock/duato.mli: Channel Format Network Noc_model Routing_function

@@ -1,0 +1,1 @@
+lib/deadlock/isolation.ml: Cdg Channel Format Ids List Network Noc_model Option Topology

@@ -1,0 +1,1 @@
+lib/deadlock/isolation.mli: Format Ids Network Noc_model

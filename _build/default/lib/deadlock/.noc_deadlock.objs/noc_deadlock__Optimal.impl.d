@@ -1,0 +1,1 @@
+lib/deadlock/optimal.ml: Array Break_cycle Cdg Cost_table Format List Network Noc_model Removal Topology

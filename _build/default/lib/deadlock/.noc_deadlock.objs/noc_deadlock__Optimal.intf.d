@@ -1,0 +1,1 @@
+lib/deadlock/optimal.mli: Format Network Noc_model

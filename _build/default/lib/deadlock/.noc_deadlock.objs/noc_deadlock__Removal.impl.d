@@ -1,0 +1,1 @@
+lib/deadlock/removal.ml: Break_cycle Cdg Cost_table Format List Logs Network Noc_graph Noc_model Option Topology

@@ -1,0 +1,1 @@
+lib/deadlock/removal.mli: Break_cycle Cost_table Format Network Noc_model

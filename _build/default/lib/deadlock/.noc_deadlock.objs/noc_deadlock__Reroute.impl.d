@@ -1,0 +1,1 @@
+lib/deadlock/reroute.ml: Cdg Channel Format Ids List Network Noc_graph Noc_model Route Topology Traffic

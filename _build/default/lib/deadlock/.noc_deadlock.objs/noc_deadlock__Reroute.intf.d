@@ -1,0 +1,1 @@
+lib/deadlock/reroute.mli: Format Ids Network Noc_model Route

@@ -1,0 +1,1 @@
+lib/deadlock/resource_ordering.ml: Channel Format Ids List Network Noc_model Topology

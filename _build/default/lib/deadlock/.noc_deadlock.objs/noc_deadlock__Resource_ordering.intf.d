@@ -1,0 +1,1 @@
+lib/deadlock/resource_ordering.mli: Format Network Noc_model

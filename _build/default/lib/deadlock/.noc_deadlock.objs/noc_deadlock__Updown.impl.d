@@ -1,0 +1,1 @@
+lib/deadlock/updown.ml: Array Channel Format Ids List Network Noc_model Queue Route Topology Traffic

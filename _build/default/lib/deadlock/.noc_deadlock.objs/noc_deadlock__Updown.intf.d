@@ -1,0 +1,1 @@
+lib/deadlock/updown.mli: Format Ids Network Noc_model

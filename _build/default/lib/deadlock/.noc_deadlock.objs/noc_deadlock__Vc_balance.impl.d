@@ -1,0 +1,1 @@
+lib/deadlock/vc_balance.ml: Array Cdg Channel Format List Network Noc_graph Noc_model Option Topology Traffic

@@ -1,0 +1,1 @@
+lib/deadlock/vc_balance.mli: Format Network Noc_model

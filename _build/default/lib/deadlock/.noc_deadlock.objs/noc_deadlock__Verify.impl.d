@@ -1,0 +1,1 @@
+lib/deadlock/verify.ml: Cdg Channel Format List Network Noc_graph Noc_model Option Route Validate

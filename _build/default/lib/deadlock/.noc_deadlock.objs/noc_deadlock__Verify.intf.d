@@ -1,0 +1,1 @@
+lib/deadlock/verify.mli: Channel Format Network Noc_model Validate

@@ -1,0 +1,75 @@
+open Noc_model
+
+type resource_kind = Virtual_channel | Physical_link
+
+type change = {
+  direction : Cost_table.direction;
+  broken : Channel.t * Channel.t;
+  added_channels : Channel.t list;
+  rerouted_flows : Ids.Flow.t list;
+}
+
+let apply_at ?(resource = Virtual_channel) net (table : Cost_table.t) col =
+  let k = Array.length table.Cost_table.cycle in
+  if col < 0 || col >= k then invalid_arg "Break_cycle.apply_at: bad column";
+  let topo = Network.topology net in
+  let broken = Cost_table.dependency table col in
+  (* One shared duplicate per original channel: the first flow that
+     needs channel [c] duplicated allocates the VC, later flows reuse
+     it.  This realizes the "cost = column max" sharing of the paper. *)
+  let duplicates = Channel.Table.create 8 in
+  let added = ref [] in
+  let duplicate_of c =
+    match Channel.Table.find_opt duplicates c with
+    | Some d -> d
+    | None ->
+        let d =
+          match resource with
+          | Virtual_channel ->
+              let vc = Topology.add_vc topo (Channel.link c) in
+              Channel.make (Channel.link c) vc
+          | Physical_link ->
+              let info = Topology.link topo (Channel.link c) in
+              let id =
+                Topology.add_link topo ~src:info.Topology.src
+                  ~dst:info.Topology.dst
+              in
+              Channel.make id 0
+        in
+        Channel.Table.replace duplicates c d;
+        added := d :: !added;
+        d
+  in
+  let rerouted = ref [] in
+  let reroute_row row =
+    let flow = table.Cost_table.flows.(row) in
+    let to_dup = Cost_table.channels_to_duplicate table flow col in
+    if to_dup <> [] then begin
+      let dup_set = Channel.Set.of_list to_dup in
+      let subst c = if Channel.Set.mem c dup_set then duplicate_of c else c in
+      Network.set_route net flow (List.map subst (Network.route net flow));
+      rerouted := flow :: !rerouted
+    end
+  in
+  Array.iteri (fun row _ -> reroute_row row) table.Cost_table.flows;
+  {
+    direction = table.Cost_table.direction;
+    broken;
+    added_channels = List.rev !added;
+    rerouted_flows = List.rev !rerouted;
+  }
+
+let apply ?resource net table =
+  apply_at ?resource net table table.Cost_table.best_pos
+
+let pp_change ppf c =
+  let dir =
+    match c.direction with
+    | Cost_table.Forward -> "forward"
+    | Cost_table.Backward -> "backward"
+  in
+  let src, dst = c.broken in
+  Format.fprintf ppf "@[<h>break %s at %a -> %a: +%d VC, rerouted %d flow(s)@]" dir
+    Channel.pp src Channel.pp dst
+    (List.length c.added_channels)
+    (List.length c.rerouted_flows)

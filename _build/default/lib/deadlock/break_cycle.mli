@@ -1,0 +1,41 @@
+(** Applying a break decision to the network: the [BreakCycleForward] /
+    [BreakCycleBackward] procedures of the paper.
+
+    Breaking column [i] of a cost table duplicates, for every flow that
+    creates the dependency [Di], the cycle channels that flow used
+    before (forward) or after (backward) the dependency, and reroutes
+    those flows onto the duplicates.  A duplicate is one fresh VC on
+    the same physical link and is shared by all rerouted flows, which
+    is why the price is the column {e maximum}, not the sum. *)
+
+open Noc_model
+
+type resource_kind =
+  | Virtual_channel
+      (** Duplicate a channel as a new VC on the same physical link
+          (the paper's default). *)
+  | Physical_link
+      (** Duplicate the physical link itself — the paper's fallback
+          "if the NoC architecture does not support VCs".  Routes stay
+          on the same switch sequence but move to the fresh link. *)
+
+type change = {
+  direction : Cost_table.direction;
+  broken : Channel.t * Channel.t;  (** The removed dependency edge. *)
+  added_channels : Channel.t list;  (** Fresh duplicates. *)
+  rerouted_flows : Ids.Flow.t list;
+}
+
+val apply : ?resource:resource_kind -> Network.t -> Cost_table.t -> change
+(** Breaks the cycle at the table's [best_pos].  Mutates the network's
+    topology (VC or link additions) and routes.  With
+    [Virtual_channel] (default) the physical path of every flow is
+    preserved — only VC indices change; with [Physical_link] the
+    switch sequence is preserved and flows move to parallel links. *)
+
+val apply_at :
+  ?resource:resource_kind -> Network.t -> Cost_table.t -> int -> change
+(** Same, at an explicit column (used by tests and ablations).
+    @raise Invalid_argument on an out-of-range column. *)
+
+val pp_change : Format.formatter -> change -> unit

@@ -1,0 +1,174 @@
+open Noc_model
+
+type verdict = {
+  deadlock_free : bool;
+  connectivity_failure : string option;
+  extended_cdg_cycle : Channel.t list option;
+  n_escape_channels : int;
+  n_extended_dependencies : int;
+}
+
+let escape_everything (_ : Channel.t) = true
+
+(* Switches reachable from [start] by following the function towards
+   [dst] (the places a packet might find itself). *)
+let closure rf topo ~start ~dst =
+  let n = Topology.n_switches topo in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(Ids.Switch.to_int start) <- true;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if not (Ids.Switch.equal u dst) then
+      List.iter
+        (fun c ->
+          let v = (Topology.link topo (Channel.link c)).Topology.dst in
+          if not seen.(Ids.Switch.to_int v) then begin
+            seen.(Ids.Switch.to_int v) <- true;
+            Queue.add v q
+          end)
+        (Routing_function.options rf ~at:u ~dst)
+  done;
+  seen
+
+let reaches rf topo ~start ~dst =
+  let seen = closure rf topo ~start ~dst in
+  seen.(Ids.Switch.to_int dst)
+
+(* Part 1: from anywhere the full function can take a packet, the
+   escape subfunction must still deliver. *)
+let connectivity net rf r1 =
+  let topo = Network.topology net in
+  let check_flow (f : Traffic.flow) =
+    let src, dst = Network.endpoints net f.Traffic.id in
+    if Ids.Switch.equal src dst then Ok ()
+    else begin
+      let reachable = closure rf topo ~start:src ~dst in
+      let n = Topology.n_switches topo in
+      let rec scan u =
+        if u >= n then Ok ()
+        else if
+          reachable.(u)
+          && (not (Ids.Switch.equal (Ids.Switch.of_int u) dst))
+          && not (reaches r1 topo ~start:(Ids.Switch.of_int u) ~dst)
+        then
+          Error
+            (Format.asprintf
+               "escape subfunction cannot deliver flow %a from %a to %a"
+               Ids.Flow.pp f.Traffic.id Ids.Switch.pp (Ids.Switch.of_int u)
+               Ids.Switch.pp dst)
+        else scan (u + 1)
+      in
+      scan 0
+    end
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | f :: rest -> (
+        match check_flow f with Ok () -> all rest | Error _ as e -> e)
+  in
+  all (Traffic.flows (Network.traffic net))
+
+(* Part 2: the extended CDG over escape channels, with direct and
+   indirect (adaptive-detour) dependencies. *)
+let extended_cdg net rf r1 ~escape =
+  let topo = Network.topology net in
+  let channels = Array.of_list (List.filter escape (Topology.channels topo)) in
+  let index = Channel.Table.create 64 in
+  Array.iteri (fun i c -> Channel.Table.replace index c i) channels;
+  let g = Noc_graph.Digraph.create ~initial_capacity:(max 1 (Array.length channels)) () in
+  if Array.length channels > 0 then
+    Noc_graph.Digraph.ensure_vertex g (Array.length channels - 1);
+  let destinations =
+    List.sort_uniq Ids.Switch.compare
+      (List.map
+         (fun (f : Traffic.flow) -> snd (Network.endpoints net f.Traffic.id))
+         (Traffic.flows (Network.traffic net)))
+  in
+  let head c = (Topology.link topo (Channel.link c)).Topology.dst in
+  let add_deps_for dst =
+    (* Switches that may hold a packet heading to [dst]: union of
+       closures from every source of a flow to [dst].  Being generous
+       (all switches with options) is sound and simpler. *)
+    let n = Topology.n_switches topo in
+    for u = 0 to n - 1 do
+      let at = Ids.Switch.of_int u in
+      let escapes_here = Routing_function.options r1 ~at ~dst in
+      let adaptive_closure start =
+        (* Switches reachable from [start] using only adaptive
+           (non-escape) channels of the full function. *)
+        let seen = Array.make n false in
+        let q = Queue.create () in
+        seen.(Ids.Switch.to_int start) <- true;
+        Queue.add start q;
+        while not (Queue.is_empty q) do
+          let w = Queue.pop q in
+          if not (Ids.Switch.equal w dst) then
+            List.iter
+              (fun c ->
+                if not (escape c) then begin
+                  let v = head c in
+                  if not seen.(Ids.Switch.to_int v) then begin
+                    seen.(Ids.Switch.to_int v) <- true;
+                    Queue.add v q
+                  end
+                end)
+              (Routing_function.options rf ~at:w ~dst)
+        done;
+        seen
+      in
+      let dep c1 =
+        let reach = adaptive_closure (head c1) in
+        let u1 = Channel.Table.find index c1 in
+        for w = 0 to n - 1 do
+          if reach.(w) && not (Ids.Switch.equal (Ids.Switch.of_int w) dst) then
+            List.iter
+              (fun c2 ->
+                let u2 = Channel.Table.find index c2 in
+                if u1 <> u2 then Noc_graph.Digraph.add_edge g u1 u2)
+              (Routing_function.options r1 ~at:(Ids.Switch.of_int w) ~dst)
+        done
+      in
+      List.iter dep escapes_here
+    done
+  in
+  List.iter add_deps_for destinations;
+  (g, channels)
+
+let check net rf ~escape =
+  let r1 = Routing_function.restrict rf ~keep:escape in
+  let connectivity_failure =
+    match connectivity net rf r1 with Ok () -> None | Error e -> Some e
+  in
+  let g, channels = extended_cdg net rf r1 ~escape in
+  let extended_cdg_cycle =
+    Option.map
+      (List.map (fun v -> channels.(v)))
+      (Noc_graph.Cycles.shortest g)
+  in
+  {
+    deadlock_free = connectivity_failure = None && extended_cdg_cycle = None;
+    connectivity_failure;
+    extended_cdg_cycle;
+    n_escape_channels = Array.length channels;
+    n_extended_dependencies = Noc_graph.Digraph.n_edges g;
+  }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "@[<v>Duato check: %s (%d escape channels, %d extended dependencies)"
+    (if v.deadlock_free then "DEADLOCK-FREE" else "NOT PROVEN FREE")
+    v.n_escape_channels v.n_extended_dependencies;
+  (match v.connectivity_failure with
+  | Some e -> Format.fprintf ppf "@,connectivity: %s" e
+  | None -> ());
+  (match v.extended_cdg_cycle with
+  | Some cycle ->
+      Format.fprintf ppf "@,extended CDG cycle: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           Channel.pp)
+        cycle
+  | None -> ());
+  Format.fprintf ppf "@]"

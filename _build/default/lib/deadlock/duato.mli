@@ -1,0 +1,40 @@
+(** Duato's necessary-and-sufficient condition for deadlock-free
+    adaptive wormhole routing (the paper's ref. [12]).
+
+    An adaptive routing function [R] is deadlock-free if there is a
+    subset of {e escape channels} [E] such that
+    + the subfunction [R1 = R restricted to E] is connected — a packet
+      can always fall back to escape channels and still reach its
+      destination from anywhere the full function may take it; and
+    + the {e extended} channel dependency graph of [R1] is acyclic,
+      where besides the direct dependencies (escape channel, then
+      escape channel at the next switch) it also contains the
+      {e indirect} dependencies: escape channel, a detour over
+      adaptive channels, then the next escape channel.
+
+    This module checks both parts for a concrete escape predicate, and
+    produces a certificate or a counterexample. *)
+
+open Noc_model
+
+type verdict = {
+  deadlock_free : bool;
+  connectivity_failure : string option;
+      (** Why part 1 failed, when it did. *)
+  extended_cdg_cycle : Channel.t list option;
+      (** A cycle of escape channels in the extended CDG, when part 2
+          failed. *)
+  n_escape_channels : int;
+  n_extended_dependencies : int;
+}
+
+val check :
+  Network.t -> Routing_function.t -> escape:(Channel.t -> bool) -> verdict
+(** Evaluates Duato's condition for the routing function and escape
+    set on the network's flow endpoints. *)
+
+val escape_everything : Channel.t -> bool
+(** The trivial escape set (every channel): Duato's condition then
+    degenerates to plain CDG acyclicity of the full function. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

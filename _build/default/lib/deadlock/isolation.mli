@@ -1,0 +1,33 @@
+(** Guaranteed-throughput (GT) flow isolation — the VC-based service
+    separation of combined GT/best-effort NoCs (the paper's ref. [5]).
+
+    A GT flow gets exclusive channels end to end: every (link, VC) it
+    rides is used by no other flow, so best-effort congestion can never
+    block it behind a busy wormhole.  Isolation is bought with the same
+    currency as deadlock removal — VCs — and composes with it: moving a
+    flow onto fresh private channels never re-closes a CDG cycle (the
+    new vertices carry only that flow's own chain), which
+    {!isolate} re-verifies anyway. *)
+
+open Noc_model
+
+type report = {
+  flows_isolated : int;
+  vcs_added : int;  (** Fresh VCs bought for exclusivity. *)
+  moves : int;  (** Hops moved to an exclusive channel. *)
+}
+
+val isolate : Network.t -> guaranteed:Ids.Flow.t list -> report
+(** Gives each listed flow exclusive channels along its existing
+    physical path (reusing idle VCs before adding new ones).  Mutates
+    routes and the topology's VC counts only.
+    @raise Invalid_argument when a listed flow has no route, is listed
+    twice, or when the input CDG is cyclic (run {!Removal} first). *)
+
+val verify_isolation :
+  Network.t -> guaranteed:Ids.Flow.t list -> (unit, string) result
+(** Checks the exclusivity property: no channel of a guaranteed flow
+    is shared with any other flow.  [Error] names the first
+    violation. *)
+
+val pp_report : Format.formatter -> report -> unit

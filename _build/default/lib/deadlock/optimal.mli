@@ -1,0 +1,35 @@
+(** Exact minimum-cost sequencing of the paper's break operator, by
+    branch-and-bound — the oracle that measures the greedy heuristic's
+    optimality gap.
+
+    The decision space is the algorithm's own: at every cyclic state,
+    break the current smallest cycle at {e any} of its dependencies in
+    {e either} direction (Algorithm 1 greedily picks one; this search
+    tries them all, pruning with the cheapest-so-far bound).  The
+    result is therefore the minimum over all Algorithm-1-style break
+    sequences — a strict improvement bound for the paper's greedy
+    choice, though a hypothetical method with a different repair
+    operator could in principle do better still.  Exponential in the
+    worst case, so it carries a node budget; within the budget it
+    either exhausts the space or reports the best sequence found.
+    Practical for the CDGs this project meets (tens of channels, a
+    handful of cycles). *)
+
+open Noc_model
+
+type result = {
+  vcs_added : int;  (** Cost of the best solution found. *)
+  proven_optimal : bool;
+      (** [true] when the break-sequence space was exhausted within
+          budget. *)
+  nodes_explored : int;
+  solution : Network.t;
+      (** A copy of the input network with the best break sequence
+          applied (deadlock-free when any solution was found). *)
+}
+
+val search : ?node_budget:int -> Network.t -> result
+(** Branch-and-bound over break sequences (default budget: 20_000
+    nodes).  The input network is not mutated. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,81 @@
+open Noc_model
+
+type report = {
+  iterations : int;
+  vcs_added : int;
+  changes : Break_cycle.change list;
+  deadlock_free : bool;
+}
+
+type heuristic = Smallest_cycle_first | Any_cycle_first
+
+let find_cycle heuristic cdg =
+  match heuristic with
+  | Smallest_cycle_first -> Cdg.smallest_cycle cdg
+  | Any_cycle_first ->
+      Option.map
+        (List.map (Cdg.channel_of_vertex cdg))
+        (Noc_graph.Cycles.find_any (Cdg.graph cdg))
+
+let pick_table net directions cycle =
+  let candidates =
+    List.map
+      (fun d ->
+        match d with
+        | Cost_table.Forward -> Cost_table.forward net cycle
+        | Cost_table.Backward -> Cost_table.backward net cycle)
+      directions
+  in
+  match candidates with
+  | [] -> invalid_arg "Removal.run: empty direction list"
+  | first :: rest ->
+      (* Algorithm 1 step 7: forward wins ties, and [directions] lists
+         Forward first by default, so [<] (strict) implements "f_cost
+         <= b_cost chooses forward". *)
+      List.fold_left
+        (fun best t ->
+          if t.Cost_table.best_cost < best.Cost_table.best_cost then t else best)
+        first rest
+
+let run ?(max_iterations = 10_000) ?(heuristic = Smallest_cycle_first)
+    ?(directions = [ Cost_table.Forward; Cost_table.Backward ])
+    ?(resource = Break_cycle.Virtual_channel) net =
+  let before = Topology.total_vcs (Network.topology net) in
+  let rec loop iter changes =
+    let cdg = Cdg.build net in
+    match find_cycle heuristic cdg with
+    | None ->
+        {
+          iterations = iter;
+          vcs_added = Topology.total_vcs (Network.topology net) - before;
+          changes = List.rev changes;
+          deadlock_free = true;
+        }
+    | Some cycle ->
+        if iter >= max_iterations then
+          {
+            iterations = iter;
+            vcs_added = Topology.total_vcs (Network.topology net) - before;
+            changes = List.rev changes;
+            deadlock_free = false;
+          }
+        else begin
+          let table = pick_table net directions cycle in
+          let change = Break_cycle.apply ~resource net table in
+          Logs.debug (fun m ->
+              m "removal: iteration %d, cycle length %d, %a" (iter + 1)
+                (List.length cycle) Break_cycle.pp_change change);
+          loop (iter + 1) (change :: changes)
+        end
+  in
+  loop 0 []
+
+let is_deadlock_free net = Cdg.is_deadlock_free (Cdg.build net)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>deadlock removal: %d cycle(s) broken, %d VC(s) added, %s"
+    r.iterations r.vcs_added
+    (if r.deadlock_free then "deadlock-free" else "ITERATION CAP HIT");
+  List.iter (fun c -> Format.fprintf ppf "@,  %a" Break_cycle.pp_change c) r.changes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,136 @@
+open Noc_model
+
+type change = { flow : Ids.Flow.t; old_route : Route.t; new_route : Route.t }
+
+type report = {
+  cycles_broken : int;
+  changes : change list;
+  fully_acyclic : bool;
+  extra_hops : int;
+}
+
+let cycle_count net =
+  List.length (Cdg.cycles ~max_cycles:2000 (Cdg.build net))
+
+(* Alternative physical routes for a flow: k-shortest over the switch
+   graph (collapsing parallel links to the smallest id), realized on
+   VC 0, excluding its current physical path. *)
+let alternatives net flow ~k ~max_detour =
+  let topo = Network.topology net in
+  let src, dst = Network.endpoints net flow in
+  if Ids.Switch.equal src dst then []
+  else begin
+    let g = Topology.switch_graph topo in
+    let paths =
+      Noc_graph.K_shortest.yen g
+        ~weight:(fun _ _ -> 1.)
+        ~k:(k + 1)
+        (Ids.Switch.to_int src) (Ids.Switch.to_int dst)
+    in
+    let current = Route.links (Network.route net flow) in
+    let current_len = List.length current in
+    let to_route path =
+      let rec channels = function
+        | a :: (b :: _ as rest) -> (
+            match
+              Topology.find_links topo ~src:(Ids.Switch.of_int a)
+                ~dst:(Ids.Switch.of_int b)
+            with
+            | l :: _ -> Channel.make l.Topology.id 0 :: channels rest
+            | [] -> failwith "Reroute: switch-graph edge without a link")
+        | [ _ ] | [] -> []
+      in
+      channels path
+    in
+    paths
+    |> List.map to_route
+    |> List.filter (fun r ->
+           Route.length r <= current_len + max_detour
+           && Route.links r <> current)
+  end
+
+let run ?(max_iterations = 200) ?(k_alternatives = 4) ?(max_detour = 2) net =
+  let changes = ref [] in
+  let cycles_broken = ref 0 in
+  let rec loop iter =
+    let cdg = Cdg.build net in
+    match Cdg.smallest_cycle cdg with
+    | None -> true
+    | Some cycle ->
+        if iter >= max_iterations then false
+        else begin
+          let before_count = cycle_count net in
+          let cycle_set = Channel.Set.of_list cycle in
+          (* Flows participating in the cycle, largest involvement
+             first (they are the likeliest single fix). *)
+          let involved =
+            Traffic.flows (Network.traffic net)
+            |> List.filter_map (fun (f : Traffic.flow) ->
+                   let inside =
+                     List.length
+                       (List.filter
+                          (fun c -> Channel.Set.mem c cycle_set)
+                          (Network.route net f.Traffic.id))
+                   in
+                   if inside > 1 then Some (inside, f.Traffic.id) else None)
+            |> List.sort (fun (a, fa) (b, fb) ->
+                   match compare b a with 0 -> Ids.Flow.compare fa fb | c -> c)
+            |> List.map snd
+          in
+          let try_flow flow =
+            let old_route = Network.route net flow in
+            let rec try_candidates = function
+              | [] ->
+                  Network.set_route net flow old_route;
+                  false
+              | candidate :: rest ->
+                  Network.set_route net flow candidate;
+                  let cdg' = Cdg.build net in
+                  let still_there =
+                    match Cdg.smallest_cycle cdg' with
+                    | None -> false
+                    | Some _ ->
+                        (* The targeted cycle counts as gone when any of
+                           its edges lost all supporting flows. *)
+                        let rec edges = function
+                          | a :: (b :: _ as rest) -> (a, b) :: edges rest
+                          | [ last ] -> [ (last, List.hd cycle) ]
+                          | [] -> []
+                        in
+                        List.for_all
+                          (fun (a, b) ->
+                            Cdg.flows_on_dependency cdg' ~src:a ~dst:b <> [])
+                          (edges cycle)
+                  in
+                  if (not still_there) && cycle_count net < before_count then begin
+                    changes := { flow; old_route; new_route = candidate } :: !changes;
+                    incr cycles_broken;
+                    true
+                  end
+                  else try_candidates rest
+            in
+            try_candidates (alternatives net flow ~k:k_alternatives ~max_detour)
+          in
+          if List.exists try_flow involved then loop (iter + 1) else false
+        end
+  in
+  let fully_acyclic = loop 0 in
+  let extra_hops =
+    List.fold_left
+      (fun acc c -> acc + Route.length c.new_route - Route.length c.old_route)
+      0 !changes
+  in
+  {
+    cycles_broken = !cycles_broken;
+    changes = List.rev !changes;
+    fully_acyclic;
+    extra_hops;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "reroute-first: %d cycle(s) broken by rerouting %d flow(s) (+%d hops), %s"
+    r.cycles_broken
+    (List.length r.changes)
+    r.extra_hops
+    (if r.fully_acyclic then "fully acyclic" else "cycles remain")

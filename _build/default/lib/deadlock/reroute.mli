@@ -1,0 +1,43 @@
+(** Reroute-first deadlock mitigation: before paying for a single VC,
+    try to break CDG cycles by moving one of the offending flows onto
+    an {e alternative physical path} (found with Yen's k-shortest
+    search over the switch graph).
+
+    This is a zero-resource complement to {!Removal}: rerouting costs
+    no VCs (it may cost hops), but it cannot always succeed — the
+    topology may offer no alternative path, or every alternative may
+    close a different cycle.  The intended use is
+    [Reroute.run net; Removal.run net]: take the free wins first, let
+    the paper's algorithm finish the job.  The ablation
+    ({!Figures.ablation} is the entry point) quantifies how much that
+    saves. *)
+
+open Noc_model
+
+type change = {
+  flow : Ids.Flow.t;
+  old_route : Route.t;
+  new_route : Route.t;
+}
+
+type report = {
+  cycles_broken : int;  (** Cycles eliminated by rerouting alone. *)
+  changes : change list;
+  fully_acyclic : bool;  (** [true] when no cycles remain at all. *)
+  extra_hops : int;  (** Total hop increase across all reroutes. *)
+}
+
+val run :
+  ?max_iterations:int ->
+  ?k_alternatives:int ->
+  ?max_detour:int ->
+  Network.t ->
+  report
+(** Greedy loop: smallest cycle -> try alternatives for each involved
+    flow (up to [k_alternatives] per flow, default 4; at most
+    [max_detour] extra hops, default 2) -> accept the first candidate
+    that strictly reduces the number of elementary CDG cycles and
+    removes the targeted one -> repeat.  Stops when acyclic or stuck.
+    Mutates routes only — never the topology. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,69 @@
+open Noc_model
+
+type strategy = Hop_index | Greedy_ordered
+
+type report = { strategy : strategy; vcs_added : int; classes_used : int }
+
+let ensure_vcs topo link wanted =
+  while Topology.vc_count topo link <= wanted do
+    ignore (Topology.add_vc topo link)
+  done
+
+let apply_hop_index net =
+  let topo = Network.topology net in
+  let classes = ref 0 in
+  let rewrite (flow, route) =
+    let hop p c =
+      let link = Channel.link c in
+      ensure_vcs topo link p;
+      if p + 1 > !classes then classes := p + 1;
+      Channel.make link p
+    in
+    Network.set_route net flow (List.mapi hop route)
+  in
+  List.iter rewrite (Network.routes net);
+  !classes
+
+let apply_greedy_ordered net =
+  let topo = Network.topology net in
+  let n = max 1 (Topology.n_links topo) in
+  let classes = ref 0 in
+  (* Resource number of channel (l, v) is [v * n + l]: VC index is the
+     major key, so moving up one VC always clears any link id. *)
+  let rewrite (flow, route) =
+    let last = ref (-1) in
+    let step c =
+      let link = Channel.link c in
+      let idx = Ids.Link.to_int link in
+      let v = if !last < idx then 0 else ((!last - idx) / n) + 1 in
+      ensure_vcs topo link v;
+      if v + 1 > !classes then classes := v + 1;
+      last := (v * n) + idx;
+      Channel.make link v
+    in
+    Network.set_route net flow (List.map step route)
+  in
+  List.iter rewrite (Network.routes net);
+  !classes
+
+let apply ?(strategy = Greedy_ordered) net =
+  let before = Topology.total_vcs (Network.topology net) in
+  let classes_used =
+    match strategy with
+    | Hop_index -> apply_hop_index net
+    | Greedy_ordered -> apply_greedy_ordered net
+  in
+  {
+    strategy;
+    vcs_added = Topology.total_vcs (Network.topology net) - before;
+    classes_used;
+  }
+
+let pp_report ppf r =
+  let name =
+    match r.strategy with
+    | Hop_index -> "hop-index"
+    | Greedy_ordered -> "greedy-ordered"
+  in
+  Format.fprintf ppf "resource ordering (%s): %d VC(s) added, %d class(es)" name
+    r.vcs_added r.classes_used

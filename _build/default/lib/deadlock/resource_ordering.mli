@@ -1,0 +1,33 @@
+(** The resource-ordering baseline (Dally & Towles, ref. [10] of the
+    paper): every channel is assigned a resource number, and each flow
+    must traverse channels in strictly increasing number.  VCs are
+    added until every route can be realized that way.  Deadlock freedom
+    is guaranteed by construction; the cost in extra VCs is what the
+    paper's Figures 8–10 compare against. *)
+
+open Noc_model
+
+type strategy =
+  | Hop_index
+      (** Channel VC index = hop position in the route: flow hop [p]
+          always rides VC [p].  The classic textbook scheme; needs as
+          many VCs on a link as the deepest hop position crossing it. *)
+  | Greedy_ordered
+      (** Channels numbered [vc * n_links + link_id]; each flow greedily
+          takes the lowest-numbered VC that keeps its sequence strictly
+          increasing.  Much cheaper than [Hop_index]; used as the
+          paper-comparison baseline (conservative for us: the weaker we
+          make the baseline, the smaller our reported advantage). *)
+
+type report = {
+  strategy : strategy;
+  vcs_added : int;
+  classes_used : int;  (** Highest VC index used, plus one. *)
+}
+
+val apply : ?strategy:strategy -> Network.t -> report
+(** Mutates the network: adds VCs and rewrites every route's VC
+    indices (physical paths are untouched).  Default strategy is
+    [Greedy_ordered]. *)
+
+val pp_report : Format.formatter -> report -> unit

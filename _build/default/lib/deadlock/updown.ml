@@ -1,0 +1,146 @@
+open Noc_model
+
+type report = {
+  root : Ids.Switch.t;
+  rerouted_flows : int;
+  total_hops_before : int;
+  total_hops_after : int;
+}
+
+(* Levels of the BFS spanning tree over the *undirected* switch
+   adjacency, rooted at the highest-degree switch (smallest id breaks
+   ties).  (level, id) is a total order; a directed link is "up" when
+   it decreases that order. *)
+let levels topo =
+  let n = Topology.n_switches topo in
+  let adjacency = Array.make n [] in
+  List.iter
+    (fun (l : Topology.link) ->
+      let a = Ids.Switch.to_int l.Topology.src
+      and b = Ids.Switch.to_int l.Topology.dst in
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    (Topology.links topo);
+  let root = ref 0 in
+  for s = 1 to n - 1 do
+    let d s = List.length adjacency.(s) in
+    if d s > d !root then root := s
+  done;
+  let level = Array.make n max_int in
+  let q = Queue.create () in
+  level.(!root) <- 0;
+  Queue.add !root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if level.(v) = max_int then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end)
+      (List.sort compare adjacency.(u))
+  done;
+  (Ids.Switch.of_int !root, level)
+
+let order_key level s = (level.(Ids.Switch.to_int s), Ids.Switch.to_int s)
+
+let is_up level (l : Topology.link) =
+  order_key level l.Topology.dst < order_key level l.Topology.src
+
+(* Legal-path search over states (switch, phase): BFS, so paths are
+   minimum-hop among legal ones.  Phase 0 = still climbing, phase 1 =
+   descending; an up-link is legal only in phase 0. *)
+let legal_route topo level ~src ~dst =
+  if Ids.Switch.equal src dst then Some []
+  else begin
+    let n = Topology.n_switches topo in
+    let seen = Array.make (2 * n) false in
+    let parent = Array.make (2 * n) None in
+    (* parent: state -> (previous state, link taken) *)
+    let state s phase = (2 * Ids.Switch.to_int s) + phase in
+    let q = Queue.create () in
+    let start = state src 0 in
+    seen.(start) <- true;
+    Queue.add (src, 0) q;
+    let final = ref None in
+    while !final = None && not (Queue.is_empty q) do
+      let u, phase = Queue.pop q in
+      let step (l : Topology.link) =
+        if !final = None then begin
+          let up = is_up level l in
+          if (not up) || phase = 0 then begin
+            let phase' = if up then 0 else 1 in
+            let st = state l.Topology.dst phase' in
+            if not seen.(st) then begin
+              seen.(st) <- true;
+              parent.(st) <- Some (state u phase, l);
+              if Ids.Switch.equal l.Topology.dst dst then final := Some st
+              else Queue.add (l.Topology.dst, phase') q
+            end
+          end
+        end
+      in
+      List.iter step (Topology.out_links topo u)
+    done;
+    match !final with
+    | None -> None
+    | Some st ->
+        let rec unwind st acc =
+          match parent.(st) with
+          | None -> acc
+          | Some (prev, l) -> unwind prev (Channel.make l.Topology.id 0 :: acc)
+        in
+        Some (unwind st [])
+  end
+
+let route_exists net flow =
+  let topo = Network.topology net in
+  let _, level = levels topo in
+  let src, dst = Network.endpoints net flow in
+  legal_route topo level ~src ~dst <> None
+
+let apply net =
+  let topo = Network.topology net in
+  let root, level = levels topo in
+  let traffic = Network.traffic net in
+  (* Compute every route first; commit only if all exist. *)
+  let rec compute acc = function
+    | [] -> Ok (List.rev acc)
+    | (f : Traffic.flow) :: rest -> (
+        let src, dst = Network.endpoints net f.Traffic.id in
+        match legal_route topo level ~src ~dst with
+        | Some route -> compute ((f.Traffic.id, route) :: acc) rest
+        | None ->
+            Error
+              (Format.asprintf
+                 "flow %a (%a -> %a) has no legal up*/down* path" Ids.Flow.pp
+                 f.Traffic.id Ids.Switch.pp src Ids.Switch.pp dst))
+  in
+  match compute [] (Traffic.flows traffic) with
+  | Error _ as e -> e
+  | Ok routes ->
+      let before = Network.routes net in
+      let total_hops_before =
+        List.fold_left (fun acc (_, r) -> acc + Route.length r) 0 before
+      in
+      let rerouted = ref 0 in
+      List.iter
+        (fun (flow, route) ->
+          let old_links = Route.links (Network.route net flow) in
+          if old_links <> Route.links route then incr rerouted;
+          Network.set_route net flow route)
+        routes;
+      let total_hops_after =
+        List.fold_left (fun acc (_, r) -> acc + Route.length r) 0 routes
+      in
+      Ok { root; rerouted_flows = !rerouted; total_hops_before; total_hops_after }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "up*/down* (root %a): %d flow(s) rerouted, hops %d -> %d (%+.1f%%)"
+    Ids.Switch.pp r.root r.rerouted_flows r.total_hops_before r.total_hops_after
+    (if r.total_hops_before = 0 then 0.
+     else
+       100.
+       *. float_of_int (r.total_hops_after - r.total_hops_before)
+       /. float_of_int r.total_hops_before)

@@ -1,0 +1,33 @@
+(** Up*/down* routing — the classic turn-prohibition alternative the
+    paper discusses (refs [17], [18]): build a BFS spanning tree over
+    the switches, orient every link "up" (towards the root, by
+    (level, id) order) or "down", and restrict every route to an
+    up-phase followed by a down-phase.  No VCs are ever added and the
+    CDG is acyclic by construction, but routes get longer and — the
+    paper's key argument against it — the method {e fails outright} on
+    topologies whose directed links cannot realize an up-then-down path
+    for some flow (custom topologies are not always bidirectional).
+
+    This module exists as a second baseline: deadlock freedom for free
+    in VCs, paid in hops or in infeasibility. *)
+
+open Noc_model
+
+type report = {
+  root : Ids.Switch.t;  (** Spanning-tree root (highest degree). *)
+  rerouted_flows : int;  (** Flows whose physical path changed. *)
+  total_hops_before : int;
+  total_hops_after : int;
+}
+
+val apply : Network.t -> (report, string) result
+(** Recomputes every route under the up*/down* restriction and
+    installs the result (VC 0 everywhere).  [Error] — with the design
+    left untouched — when at least one flow admits no legal path,
+    naming the first such flow. *)
+
+val route_exists : Network.t -> Ids.Flow.t -> bool
+(** Whether a legal up*/down* path exists for the flow (without
+    modifying anything). *)
+
+val pp_report : Format.formatter -> report -> unit

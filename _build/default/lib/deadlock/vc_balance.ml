@@ -1,0 +1,87 @@
+open Noc_model
+
+type report = {
+  moves : int;
+  rejected : int;
+  max_flows_per_channel_before : int;
+  max_flows_per_channel_after : int;
+}
+
+(* Flows per channel over the whole design. *)
+let channel_counts net =
+  let counts = Channel.Table.create 64 in
+  List.iter
+    (fun (_, route) ->
+      List.iter
+        (fun c ->
+          Channel.Table.replace counts c
+            (1 + Option.value ~default:0 (Channel.Table.find_opt counts c)))
+        route)
+    (Network.routes net);
+  counts
+
+let max_count net =
+  Channel.Table.fold (fun _ n acc -> max n acc) (channel_counts net) 0
+
+let run net =
+  if not (Noc_graph.Toposort.is_acyclic (Cdg.graph (Cdg.build net))) then
+    invalid_arg "Vc_balance.run: CDG is cyclic; run Removal first";
+  let topo = Network.topology net in
+  let before = max_count net in
+  let moves = ref 0 and rejected = ref 0 in
+  (* For each flow hop on a multi-VC link, consider moving it to the
+     least-loaded VC of that link; accept if the CDG stays acyclic. *)
+  let try_rebalance_flow (f : Traffic.flow) =
+    let flow = f.Traffic.id in
+    let route = Array.of_list (Network.route net flow) in
+    Array.iteri
+      (fun i c ->
+        let link = Channel.link c in
+        let n_vcs = Topology.vc_count topo link in
+        if n_vcs > 1 then begin
+          let counts = channel_counts net in
+          let load vc =
+            Option.value ~default:0
+              (Channel.Table.find_opt counts (Channel.make link vc))
+          in
+          let current = Channel.vc c in
+          let best = ref current in
+          for vc = 0 to n_vcs - 1 do
+            if load vc < load !best then best := vc
+          done;
+          (* Worth moving only if it strictly reduces the imbalance. *)
+          if !best <> current && load !best + 1 < load current then begin
+            let candidate =
+              Array.to_list
+                (Array.mapi
+                   (fun j cj -> if j = i then Channel.make link !best else cj)
+                   route)
+            in
+            let old_route = Array.to_list route in
+            Network.set_route net flow candidate;
+            if Noc_graph.Toposort.is_acyclic (Cdg.graph (Cdg.build net)) then begin
+              incr moves;
+              route.(i) <- Channel.make link !best
+            end
+            else begin
+              Network.set_route net flow old_route;
+              incr rejected
+            end
+          end
+        end)
+      route
+  in
+  List.iter try_rebalance_flow (Traffic.flows (Network.traffic net));
+  {
+    moves = !moves;
+    rejected = !rejected;
+    max_flows_per_channel_before = before;
+    max_flows_per_channel_after = max_count net;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "vc balancing: %d move(s) (%d rejected to stay acyclic), worst channel %d \
+     -> %d flows"
+    r.moves r.rejected r.max_flows_per_channel_before
+    r.max_flows_per_channel_after

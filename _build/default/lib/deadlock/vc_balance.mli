@@ -1,0 +1,25 @@
+(** Post-removal VC load balancing.
+
+    The removal pass leaves most traffic on VC 0 and uses the added VCs
+    only for the rerouted flows, so one VC of a link can carry many
+    flows (head-of-line blocking) while its twin idles.  This pass
+    redistributes flows across each link's existing VCs — changing VC
+    indices only, never physical paths, never adding resources — while
+    keeping the CDG acyclic (every tentative move is checked and rolled
+    back if it would re-close a cycle). *)
+
+open Noc_model
+
+type report = {
+  moves : int;  (** Accepted per-hop VC changes. *)
+  rejected : int;  (** Moves rolled back to protect acyclicity. *)
+  max_flows_per_channel_before : int;
+  max_flows_per_channel_after : int;
+}
+
+val run : Network.t -> report
+(** Greedy balancing, heaviest channels first.  The network must
+    already be deadlock-free.
+    @raise Invalid_argument when the CDG is cyclic on entry. *)
+
+val pp_report : Format.formatter -> report -> unit

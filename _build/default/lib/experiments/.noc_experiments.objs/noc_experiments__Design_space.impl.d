@@ -1,0 +1,1 @@
+lib/experiments/design_space.ml: List Noc_benchmarks Noc_deadlock Noc_model Noc_power Noc_synth Printf Series

@@ -1,0 +1,1 @@
+lib/experiments/design_space.mli: Format Noc_benchmarks

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Cost_table Format List Network Noc_benchmarks Noc_deadlock Noc_model Noc_synth Optimal Printf Removal Reroute Resource_ordering Series Sweep Topology

@@ -1,0 +1,1 @@
+lib/experiments/load_latency.ml: Format List Noc_deadlock Noc_sim Printf Series

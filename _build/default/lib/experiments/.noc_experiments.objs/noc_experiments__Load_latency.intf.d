@@ -1,0 +1,1 @@
+lib/experiments/load_latency.mli: Format Network Noc_model

@@ -1,0 +1,1 @@
+lib/experiments/qos_check.ml: Format Ids List Network Noc_benchmarks Noc_deadlock Noc_model Noc_sim Noc_synth Route

@@ -1,0 +1,1 @@
+lib/experiments/qos_check.mli: Format Ids Noc_model

@@ -1,0 +1,1 @@
+lib/experiments/resilience.ml: Format Ids List Network Noc_deadlock Noc_model Routing Topology

@@ -1,0 +1,1 @@
+lib/experiments/resilience.mli: Format Ids Network Noc_model

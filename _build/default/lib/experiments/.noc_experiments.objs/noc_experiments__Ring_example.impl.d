@@ -1,0 +1,1 @@
+lib/experiments/ring_example.ml: Array Cdg Channel Format Ids Network Noc_deadlock Noc_model Topology Traffic

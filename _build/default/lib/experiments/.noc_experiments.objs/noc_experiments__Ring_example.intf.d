@@ -1,0 +1,1 @@
+lib/experiments/ring_example.mli: Channel Format Ids Network Noc_model

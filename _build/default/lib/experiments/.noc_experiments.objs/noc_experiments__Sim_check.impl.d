@@ -1,0 +1,1 @@
+lib/experiments/sim_check.ml: Format Noc_benchmarks Noc_deadlock Noc_sim Noc_synth Printf Ring_example

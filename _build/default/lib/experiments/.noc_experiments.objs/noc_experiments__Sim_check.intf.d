@@ -1,0 +1,1 @@
+lib/experiments/sim_check.mli: Format Network Noc_model Noc_sim

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Format Network Noc_benchmarks Noc_deadlock Noc_model Noc_power Noc_synth Printf Topology Traffic

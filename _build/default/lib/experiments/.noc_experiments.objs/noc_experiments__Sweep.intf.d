@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Format Noc_benchmarks

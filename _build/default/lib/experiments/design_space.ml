@@ -1,0 +1,89 @@
+type point = {
+  n_switches : int;
+  max_degree : int;
+  mapper : string;
+  vcs_added : int;
+  power_mw : float;
+  area_mm2 : float;
+  avg_hops : float;
+  pareto : bool;
+}
+
+let dominates a b =
+  a.power_mw <= b.power_mw && a.area_mm2 <= b.area_mm2 && a.avg_hops <= b.avg_hops
+  && (a.power_mw < b.power_mw || a.area_mm2 < b.area_mm2 || a.avg_hops < b.avg_hops)
+
+let mark_pareto points =
+  List.map
+    (fun p -> { p with pareto = not (List.exists (fun q -> dominates q p) points) })
+    points
+
+let pareto_front points = List.filter (fun p -> p.pareto) (mark_pareto points)
+
+let explore ?(switch_counts = [ 8; 11; 14; 17; 20 ]) ?(degrees = [ 3; 4; 5 ])
+    (spec : Noc_benchmarks.Spec.t) =
+  let counts =
+    List.filter (fun n -> n <= spec.Noc_benchmarks.Spec.n_cores) switch_counts
+  in
+  let evaluate n_switches max_degree (mapper_name, mapper) =
+    let traffic = spec.Noc_benchmarks.Spec.build () in
+    let options =
+      {
+        Noc_synth.Custom.default_options with
+        Noc_synth.Custom.max_out_degree = max_degree;
+        max_in_degree = max_degree;
+        mapper;
+      }
+    in
+    let net = Noc_synth.Custom.synthesize_exn ~options traffic ~n_switches in
+    let report = Noc_deadlock.Removal.run net in
+    let power = Noc_power.Report.of_network net in
+    let metrics = Noc_model.Metrics.of_network net in
+    {
+      n_switches;
+      max_degree;
+      mapper = mapper_name;
+      vcs_added = report.Noc_deadlock.Removal.vcs_added;
+      power_mw = power.Noc_power.Report.total_power_mw;
+      area_mm2 = power.Noc_power.Report.total_area_mm2;
+      avg_hops = metrics.Noc_model.Metrics.avg_hops;
+      pareto = false;
+    }
+  in
+  let points =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun d ->
+            List.map (evaluate n d)
+              [
+                ("greedy", Noc_synth.Custom.Greedy_affinity);
+                ("min-cut", Noc_synth.Custom.Min_cut);
+              ])
+          degrees)
+      counts
+  in
+  mark_pareto points
+
+let pp ppf points =
+  let table =
+    Series.create
+      ~header:
+        [ "switches"; "degree"; "mapper"; "VCs"; "power mW"; "area mm2";
+          "avg hops"; "pareto" ]
+  in
+  List.iter
+    (fun p ->
+      Series.add_row table
+        [
+          string_of_int p.n_switches;
+          string_of_int p.max_degree;
+          p.mapper;
+          string_of_int p.vcs_added;
+          Printf.sprintf "%.1f" p.power_mw;
+          Printf.sprintf "%.3f" p.area_mm2;
+          Printf.sprintf "%.2f" p.avg_hops;
+          (if p.pareto then "*" else "");
+        ])
+    points;
+  Series.pp ppf table

@@ -1,0 +1,29 @@
+(** Design-space exploration: sweep switch count, degree budget and
+    mapper for one benchmark, apply deadlock removal to every design,
+    and report the Pareto frontier over (power, area, average hops).
+    The kind of table an SoC architect would actually act on. *)
+
+type point = {
+  n_switches : int;
+  max_degree : int;
+  mapper : string;  (** ["greedy"] or ["min-cut"]. *)
+  vcs_added : int;
+  power_mw : float;
+  area_mm2 : float;
+  avg_hops : float;
+  pareto : bool;  (** Not dominated on (power, area, avg_hops). *)
+}
+
+val explore :
+  ?switch_counts:int list ->
+  ?degrees:int list ->
+  Noc_benchmarks.Spec.t ->
+  point list
+(** Every combination, deadlock-removed and priced.  Defaults:
+    switch counts [[8; 11; 14; 17; 20]] (clipped to the core count),
+    degrees [[3; 4; 5]].  Deterministic. *)
+
+val pareto_front : point list -> point list
+(** The non-dominated subset (minimizing all three objectives). *)
+
+val pp : Format.formatter -> point list -> unit

@@ -1,0 +1,299 @@
+open Noc_model
+
+type vc_row = { n_switches : int; removal_vcs : int; ordering_vcs : int }
+
+let benchmark name =
+  match Noc_benchmarks.Registry.find name with
+  | Some spec -> spec
+  | None -> invalid_arg ("Figures: unknown benchmark " ^ name)
+
+let vc_sweep spec counts =
+  List.map
+    (fun n ->
+      let p = Sweep.evaluate spec ~n_switches:n in
+      {
+        n_switches = n;
+        removal_vcs = p.Sweep.removal.Sweep.vcs_added;
+        ordering_vcs = p.Sweep.ordering_hop.Sweep.vcs_added;
+      })
+    counts
+
+let fig8_counts = [ 5; 8; 11; 14; 17; 20; 23; 25 ]
+let fig9_counts = [ 10; 14; 18; 22; 26; 30; 35 ]
+
+let fig8 () = vc_sweep (benchmark "D26_media") fig8_counts
+let fig9 () = vc_sweep (benchmark "D36_8") fig9_counts
+
+type power_row = {
+  benchmark : string;
+  removal_power_norm : float;
+  ordering_power_norm : float;
+  removal_overhead_vs_none : float;
+  area_saving : float;
+}
+
+let power_row (p : Sweep.point) =
+  {
+    benchmark = p.Sweep.benchmark;
+    removal_power_norm = 1.0;
+    ordering_power_norm = p.Sweep.ordering_hop.Sweep.power_mw /. p.Sweep.removal.Sweep.power_mw;
+    removal_overhead_vs_none =
+      (p.Sweep.removal.Sweep.power_mw -. p.Sweep.baseline.Sweep.power_mw)
+      /. p.Sweep.baseline.Sweep.power_mw;
+    area_saving =
+      1.
+      -. (p.Sweep.removal.Sweep.area_mm2 /. p.Sweep.ordering_hop.Sweep.area_mm2);
+  }
+
+let fig10 ?(n_switches = 14) () =
+  List.map
+    (fun spec -> power_row (Sweep.evaluate spec ~n_switches))
+    Noc_benchmarks.Registry.all
+
+type summary = {
+  avg_vc_reduction : float;
+  avg_area_saving : float;
+  avg_overhead_area_reduction : float;
+  avg_power_saving : float;
+  max_removal_overhead_vs_none : float;
+  points : Sweep.point list;
+}
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let summary () =
+  let sweep_points =
+    List.map (fun n -> Sweep.evaluate (benchmark "D26_media") ~n_switches:n) fig8_counts
+    @ List.map (fun n -> Sweep.evaluate (benchmark "D36_8") ~n_switches:n) fig9_counts
+    @ List.map
+        (fun spec -> Sweep.evaluate spec ~n_switches:14)
+        Noc_benchmarks.Registry.all
+  in
+  (* VC reduction only defined where ordering actually pays something. *)
+  let vc_reductions =
+    List.filter_map
+      (fun p ->
+        let o = p.Sweep.ordering_hop.Sweep.vcs_added in
+        if o = 0 then None
+        else
+          Some (1. -. (float_of_int p.Sweep.removal.Sweep.vcs_added /. float_of_int o)))
+      sweep_points
+  in
+  let area_savings =
+    List.map
+      (fun p ->
+        1. -. (p.Sweep.removal.Sweep.area_mm2 /. p.Sweep.ordering_hop.Sweep.area_mm2))
+      sweep_points
+  in
+  let power_savings =
+    List.map
+      (fun p ->
+        1. -. (p.Sweep.removal.Sweep.power_mw /. p.Sweep.ordering_hop.Sweep.power_mw))
+      sweep_points
+  in
+  let overhead_area_reductions =
+    List.filter_map
+      (fun p ->
+        let added_by_ordering =
+          p.Sweep.ordering_hop.Sweep.area_mm2 -. p.Sweep.baseline.Sweep.area_mm2
+        in
+        let added_by_removal =
+          p.Sweep.removal.Sweep.area_mm2 -. p.Sweep.baseline.Sweep.area_mm2
+        in
+        if added_by_ordering <= 0. then None
+        else Some (1. -. (added_by_removal /. added_by_ordering)))
+      sweep_points
+  in
+  let overheads =
+    List.map
+      (fun p ->
+        (p.Sweep.removal.Sweep.power_mw -. p.Sweep.baseline.Sweep.power_mw)
+        /. p.Sweep.baseline.Sweep.power_mw)
+      sweep_points
+  in
+  {
+    avg_vc_reduction = mean vc_reductions;
+    avg_area_saving = mean area_savings;
+    avg_overhead_area_reduction = mean overhead_area_reductions;
+    avg_power_saving = mean power_savings;
+    max_removal_overhead_vs_none = List.fold_left max 0. overheads;
+    points = sweep_points;
+  }
+
+type ablation_row = {
+  configuration : string;
+  vcs_added : int;
+  cycles_broken : int;
+  note : string;
+}
+
+let ablation ?(benchmark = "D36_8") ?(n_switches = 20) () =
+  let spec =
+    match Noc_benchmarks.Registry.find benchmark with
+    | Some s -> s
+    | None -> invalid_arg ("Figures.ablation: unknown benchmark " ^ benchmark)
+  in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let base = Noc_synth.Custom.synthesize_exn traffic ~n_switches in
+  let removal_config name ~heuristic ~directions =
+    let net = Network.copy base in
+    let r = Noc_deadlock.Removal.run ~heuristic ~directions net in
+    {
+      configuration = name;
+      vcs_added = r.Noc_deadlock.Removal.vcs_added;
+      cycles_broken = r.Noc_deadlock.Removal.iterations;
+      note = "";
+    }
+  in
+  let ordering_config name strategy =
+    let net = Network.copy base in
+    let r = Noc_deadlock.Resource_ordering.apply ~strategy net in
+    {
+      configuration = name;
+      vcs_added = r.Noc_deadlock.Resource_ordering.vcs_added;
+      cycles_broken = 0;
+      note = Printf.sprintf "%d classes" r.Noc_deadlock.Resource_ordering.classes_used;
+    }
+  in
+  let updown_config name net =
+    match Noc_deadlock.Updown.apply net with
+    | Ok r ->
+        {
+          configuration = name;
+          vcs_added = 0;
+          cycles_broken = 0;
+          note =
+            Printf.sprintf "hops %d -> %d"
+              r.Noc_deadlock.Updown.total_hops_before
+              r.Noc_deadlock.Updown.total_hops_after;
+        }
+    | Error _ ->
+        {
+          configuration = name;
+          vcs_added = 0;
+          cycles_broken = 0;
+          note = "INFEASIBLE (unidirectional links)";
+        }
+  in
+  let bidir =
+    let options =
+      { Noc_synth.Custom.default_options with Noc_synth.Custom.force_bidirectional = true }
+    in
+    Noc_synth.Custom.synthesize_exn ~options traffic ~n_switches
+  in
+  let extra_links =
+    Topology.n_links (Network.topology bidir)
+    - Topology.n_links (Network.topology base)
+  in
+  let open Noc_deadlock in
+  [
+    removal_config "removal: smallest cycle, fwd+bwd"
+      ~heuristic:Removal.Smallest_cycle_first
+      ~directions:[ Cost_table.Forward; Cost_table.Backward ];
+    removal_config "removal: smallest cycle, fwd only"
+      ~heuristic:Removal.Smallest_cycle_first ~directions:[ Cost_table.Forward ];
+    removal_config "removal: smallest cycle, bwd only"
+      ~heuristic:Removal.Smallest_cycle_first ~directions:[ Cost_table.Backward ];
+    removal_config "removal: any cycle, fwd+bwd" ~heuristic:Removal.Any_cycle_first
+      ~directions:[ Cost_table.Forward; Cost_table.Backward ];
+    (let o = Optimal.search ~node_budget:30_000 base in
+     {
+       configuration = "exact optimum (branch-and-bound oracle)";
+       vcs_added = o.Optimal.vcs_added;
+       cycles_broken = 0;
+       note =
+         Printf.sprintf "%s, %d nodes"
+           (if o.Optimal.proven_optimal then "proven minimal" else "budget-limited")
+           o.Optimal.nodes_explored;
+     });
+    (let net = Network.copy base in
+     let rr = Reroute.run net in
+     let cr = Removal.run net in
+     {
+       configuration = "reroute-first, then removal";
+       vcs_added = cr.Removal.vcs_added;
+       cycles_broken = rr.Reroute.cycles_broken + cr.Removal.iterations;
+       note =
+         Printf.sprintf "%d cycle(s) rerouted away, +%d hops"
+           rr.Reroute.cycles_broken rr.Reroute.extra_hops;
+     });
+    ordering_config "resource ordering: greedy" Resource_ordering.Greedy_ordered;
+    ordering_config "resource ordering: hop-index (paper baseline)"
+      Resource_ordering.Hop_index;
+    updown_config "up*/down* routing (as synthesized)" (Network.copy base);
+    (let row = updown_config "up*/down* routing (bidirectionalized)" bidir in
+     {
+       row with
+       note =
+         (if row.note = "INFEASIBLE (unidirectional links)" then row.note
+          else Printf.sprintf "+%d links, %s" extra_links row.note);
+     });
+  ]
+
+(* Rendering -------------------------------------------------------- *)
+
+let pp_vc_rows ~title ppf rows =
+  let table =
+    Series.create ~header:[ "switch count"; "deadlock removal alg."; "resource ordering" ]
+  in
+  List.iter
+    (fun r ->
+      Series.add_row table
+        [ string_of_int r.n_switches; string_of_int r.removal_vcs;
+          string_of_int r.ordering_vcs ])
+    rows;
+  Format.fprintf ppf "@[<v>%s (number of extra VCs)@,%a@]" title Series.pp table
+
+let pp_power_rows ppf rows =
+  let table =
+    Series.create
+      ~header:
+        [ "benchmark"; "removal (norm)"; "ordering (norm)"; "removal vs none";
+          "area saving" ]
+  in
+  List.iter
+    (fun r ->
+      Series.add_row table
+        [
+          r.benchmark;
+          Printf.sprintf "%.2f" r.removal_power_norm;
+          Printf.sprintf "%.2f" r.ordering_power_norm;
+          Printf.sprintf "%+.1f%%" (100. *. r.removal_overhead_vs_none);
+          Printf.sprintf "%.1f%%" (100. *. r.area_saving);
+        ])
+    rows;
+  Format.fprintf ppf
+    "@[<v>Figure 10: normalised NoC power, resource ordering vs deadlock \
+     removal@,%a@]"
+    Series.pp table
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>Aggregate claims (paper values in brackets):@,\
+     average VC reduction:            %5.1f%%  [88%%]@,\
+     average area saving (total NoC): %5.1f%%  [66%%, see EXPERIMENTS.md]@,\
+     average overhead-area reduction: %5.1f%%  [66%%]@,\
+     average power saving:            %5.1f%%  [8.6%%]@,\
+     worst removal power overhead:    %5.1f%%  [< 5%%]@,\
+     over %d evaluation points@]"
+    (100. *. s.avg_vc_reduction) (100. *. s.avg_area_saving)
+    (100. *. s.avg_overhead_area_reduction)
+    (100. *. s.avg_power_saving)
+    (100. *. s.max_removal_overhead_vs_none)
+    (List.length s.points)
+
+let pp_ablation ppf rows =
+  let table =
+    Series.create ~header:[ "configuration"; "VCs added"; "cycles broken"; "notes" ]
+  in
+  List.iter
+    (fun r ->
+      Series.add_row table
+        [
+          r.configuration; string_of_int r.vcs_added;
+          string_of_int r.cycles_broken; r.note;
+        ])
+    rows;
+  Format.fprintf ppf "@[<v>Ablation (D36_8-class design):@,%a@]" Series.pp table

@@ -1,0 +1,70 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (Section 5), plus the aggregate claims.  Each function returns the
+    raw data and can render itself; `bench/main.exe` is the CLI front
+    end.
+
+    Baseline note: the figures' "Resource ordering" series uses the
+    {!Noc_deadlock.Resource_ordering.Hop_index} strategy, which matches
+    the paper's description ("the number of classes needed for a flow
+    depends on the length of the route"); the cheaper greedy variant
+    appears in the ablation. *)
+
+type vc_row = { n_switches : int; removal_vcs : int; ordering_vcs : int }
+
+val fig8 : unit -> vc_row list
+(** Figure 8: extra VCs vs switch count on D26_media (5..25). *)
+
+val fig9 : unit -> vc_row list
+(** Figure 9: extra VCs vs switch count on D36_8 (10..35). *)
+
+type power_row = {
+  benchmark : string;
+  removal_power_norm : float;  (** Always 1.0 — the reference. *)
+  ordering_power_norm : float;  (** Resource ordering / removal. *)
+  removal_overhead_vs_none : float;
+      (** (removal - baseline) / baseline; the paper's "< 5 %". *)
+  area_saving : float;  (** 1 - removal area / ordering area. *)
+}
+
+val fig10 : ?n_switches:int -> unit -> power_row list
+(** Figure 10: normalized power at 14 switches across all six
+    benchmarks. *)
+
+type summary = {
+  avg_vc_reduction : float;  (** Paper: ~88 %. *)
+  avg_area_saving : float;
+      (** Total-NoC-area reading of the paper's ~66 % claim. *)
+  avg_overhead_area_reduction : float;
+      (** Overhead-area reading: reduction of the area {e added to
+          remove deadlocks} relative to resource ordering — the
+          interpretation consistent with the paper's "< 5 % overhead"
+          framing. *)
+  avg_power_saving : float;  (** Paper: ~8.6 %. *)
+  max_removal_overhead_vs_none : float;  (** Paper: < 5 %. *)
+  points : Sweep.point list;
+}
+
+val summary : unit -> summary
+(** Aggregates over the union of the Fig. 8/9 sweeps and the Fig. 10
+    benchmark set. *)
+
+type ablation_row = {
+  configuration : string;
+  vcs_added : int;
+  cycles_broken : int;
+  note : string;  (** Extra observations (hop overhead, infeasibility). *)
+}
+
+val ablation : ?benchmark:string -> ?n_switches:int -> unit -> ablation_row list
+(** Design-choice ablation on a cyclic design (default D36_8 at 20
+    switches): cycle-selection heuristic, break-direction set, the two
+    resource-ordering strategies, and up*/down* turn-prohibition
+    routing — both on the design as synthesized (where it is typically
+    infeasible, the paper's argument against refs [17]/[18]) and on a
+    bidirectionalized variant (where it works but pays links and
+    hops). *)
+
+val pp_vc_rows : title:string -> Format.formatter -> vc_row list -> unit
+val pp_power_rows : Format.formatter -> power_row list -> unit
+val pp_summary : Format.formatter -> summary -> unit
+val pp_ablation : Format.formatter -> ablation_row list -> unit

@@ -1,0 +1,64 @@
+type row = {
+  interval : int;
+  offered_load : float;
+  avg_latency : float;
+  max_latency : int;
+  delivered : int;
+  completed : bool;
+}
+
+let sweep ?(packet_length = 4) ?(packets_per_flow = 8)
+    ?(intervals = [ 128; 64; 32; 16; 8 ]) net =
+  if not (Noc_deadlock.Removal.is_deadlock_free net) then
+    invalid_arg "Load_latency.sweep: design still has CDG cycles";
+  let measure interval =
+    let packets =
+      Noc_sim.Traffic_gen.periodic net ~packet_length ~packets_per_flow ~interval
+    in
+    let offered_load = float_of_int packet_length /. float_of_int interval in
+    match Noc_sim.Engine.run net packets with
+    | Noc_sim.Engine.Completed s ->
+        {
+          interval;
+          offered_load;
+          avg_latency = Noc_sim.Stats.avg_latency s;
+          max_latency = Noc_sim.Stats.max_latency s;
+          delivered = s.Noc_sim.Stats.delivered;
+          completed = true;
+        }
+    | Noc_sim.Engine.Timed_out s ->
+        {
+          interval;
+          offered_load;
+          avg_latency = Noc_sim.Stats.avg_latency s;
+          max_latency = Noc_sim.Stats.max_latency s;
+          delivered = s.Noc_sim.Stats.delivered;
+          completed = false;
+        }
+    | Noc_sim.Engine.Deadlocked d ->
+        (* Unreachable for acyclic designs; fail loudly if the
+           simulator ever disagrees with the static analysis. *)
+        failwith
+          (Printf.sprintf
+             "Load_latency.sweep: deadlock at cycle %d on an acyclic design"
+             d.Noc_sim.Engine.cycle)
+  in
+  List.map measure (List.sort (fun a b -> compare b a) intervals)
+
+let pp_rows ~title ppf rows =
+  let table =
+    Series.create
+      ~header:[ "interval"; "load (flit/cyc/flow)"; "avg latency"; "max"; "done" ]
+  in
+  List.iter
+    (fun r ->
+      Series.add_row table
+        [
+          string_of_int r.interval;
+          Printf.sprintf "%.3f" r.offered_load;
+          Printf.sprintf "%.1f" r.avg_latency;
+          string_of_int r.max_latency;
+          (if r.completed then "yes" else "TIMEOUT");
+        ])
+    rows;
+  Format.fprintf ppf "@[<v>%s@,%a@]" title Series.pp table

@@ -1,0 +1,31 @@
+(** Load–latency curves on the wormhole simulator (extension X4).
+
+    For a deadlock-free design, sweep the injection interval of a
+    periodic workload and record the average packet latency: the
+    classic NoC saturation curve.  Used to compare a removal-repaired
+    design against an ordering-repaired one under identical offered
+    load — both are safe, but they carry different buffer structures. *)
+
+open Noc_model
+
+type row = {
+  interval : int;  (** Cycles between successive packets per flow. *)
+  offered_load : float;  (** Flits per cycle per flow. *)
+  avg_latency : float;
+  max_latency : int;
+  delivered : int;
+  completed : bool;  (** [false] on timeout (past saturation). *)
+}
+
+val sweep :
+  ?packet_length:int ->
+  ?packets_per_flow:int ->
+  ?intervals:int list ->
+  Network.t ->
+  row list
+(** Defaults: 4-flit packets, 8 packets per flow, intervals
+    [[128; 64; 32; 16; 8]].  The network is not mutated.
+    @raise Invalid_argument when the design's CDG is cyclic (the curve
+    is meaningless on a design that can deadlock). *)
+
+val pp_rows : title:string -> Format.formatter -> row list -> unit

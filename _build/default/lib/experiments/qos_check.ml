@@ -1,0 +1,78 @@
+open Noc_model
+
+type result = {
+  gt_flow : Ids.Flow.t;
+  latency_alone : float;
+  latency_shared : float;
+  latency_isolated : float;
+  isolation_vcs : int;
+}
+
+(* Average latency of [flow]'s packets in a burst where every flow
+   sends [packets_per_flow] packets. *)
+let gt_latency net flow ~packet_length ~gt_only =
+  let packets =
+    Noc_sim.Traffic_gen.burst net ~packet_length ~packets_per_flow:2
+  in
+  let packets =
+    if gt_only then
+      List.filter
+        (fun (p : Noc_sim.Packet.t) -> Ids.Flow.equal p.Noc_sim.Packet.flow flow)
+        packets
+    else packets
+  in
+  match Noc_sim.Engine.run net packets with
+  | Noc_sim.Engine.Completed s -> (
+      match Noc_sim.Stats.flow s flow with
+      | Some fs when fs.Noc_sim.Stats.delivered > 0 ->
+          float_of_int fs.Noc_sim.Stats.total_latency
+          /. float_of_int fs.Noc_sim.Stats.delivered
+      | Some _ | None -> nan)
+  | Noc_sim.Engine.Deadlocked _ | Noc_sim.Engine.Timed_out _ -> nan
+
+let run ?(name = "D36_8") ?(n_switches = 14) ?(packet_length = 8) () =
+  let spec =
+    match Noc_benchmarks.Registry.find name with
+    | Some s -> s
+    | None -> invalid_arg ("Qos_check: unknown benchmark " ^ name)
+  in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let net = Noc_synth.Custom.synthesize_exn traffic ~n_switches in
+  ignore (Noc_deadlock.Removal.run net);
+  (* The GT candidate: the longest-routed flow (most exposed to
+     blocking). *)
+  let gt_flow =
+    let best = ref None in
+    List.iter
+      (fun (f, r) ->
+        match !best with
+        | Some (_, len) when len >= Route.length r -> ()
+        | Some _ | None ->
+            if r <> [] then best := Some (f, Route.length r))
+      (Network.routes net);
+    match !best with Some (f, _) -> f | None -> invalid_arg "Qos_check: no routes"
+  in
+  let latency_alone = gt_latency net gt_flow ~packet_length ~gt_only:true in
+  let latency_shared = gt_latency net gt_flow ~packet_length ~gt_only:false in
+  let isolated = Network.copy net in
+  let ir = Noc_deadlock.Isolation.isolate isolated ~guaranteed:[ gt_flow ] in
+  (match Noc_deadlock.Isolation.verify_isolation isolated ~guaranteed:[ gt_flow ] with
+  | Ok () -> ()
+  | Error e -> failwith ("Qos_check: isolation failed: " ^ e));
+  let latency_isolated = gt_latency isolated gt_flow ~packet_length ~gt_only:false in
+  {
+    gt_flow;
+    latency_alone;
+    latency_shared;
+    latency_isolated;
+    isolation_vcs = ir.Noc_deadlock.Isolation.vcs_added;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>GT flow %a under best-effort burst:@,\
+     alone:             %.1f cycles@,\
+     shared channels:   %.1f cycles@,\
+     isolated (+%d VC): %.1f cycles@]"
+    Ids.Flow.pp r.gt_flow r.latency_alone r.latency_shared r.isolation_vcs
+    r.latency_isolated

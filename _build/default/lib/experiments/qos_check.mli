@@ -1,0 +1,22 @@
+(** Behavioural check of GT isolation: simulate a guaranteed flow
+    under heavy best-effort burst traffic, with and without exclusive
+    channels, and compare its latency.  Isolation should make the GT
+    flow (nearly) immune to the background load. *)
+
+open Noc_model
+
+type result = {
+  gt_flow : Ids.Flow.t;
+  latency_alone : float;  (** GT packets only, empty network. *)
+  latency_shared : float;  (** GT + best-effort burst, no isolation. *)
+  latency_isolated : float;  (** GT + burst, after {!Noc_deadlock.Isolation}. *)
+  isolation_vcs : int;
+}
+
+val run :
+  ?name:string -> ?n_switches:int -> ?packet_length:int -> unit -> result
+(** Synthesizes the benchmark (default D36_8 at 14 switches), removes
+    deadlocks, picks the longest-routed flow as the GT flow, and runs
+    the three scenarios.  Deterministic. *)
+
+val pp_result : Format.formatter -> result -> unit

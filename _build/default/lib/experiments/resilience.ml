@@ -1,0 +1,64 @@
+open Noc_model
+
+type failure_outcome = {
+  failed_link : Ids.Link.t;
+  routable : bool;
+  deadlock_free : bool;
+  vcs_added : int;
+}
+
+type t = {
+  outcomes : failure_outcome list;
+  survivable_failures : int;
+  total_links : int;
+}
+
+let drop_link net victim =
+  let topo = Network.topology net in
+  ignore (Topology.link topo victim);
+  let topo' = Topology.create ~n_switches:(Topology.n_switches topo) in
+  List.iter
+    (fun (l : Topology.link) ->
+      if not (Ids.Link.equal l.Topology.id victim) then begin
+        let id = Topology.add_link topo' ~src:l.Topology.src ~dst:l.Topology.dst in
+        for _ = 2 to Topology.vc_count topo l.Topology.id do
+          ignore (Topology.add_vc topo' id)
+        done
+      end)
+    (Topology.links topo);
+  Network.make ~topology:topo' ~traffic:(Network.traffic net)
+    ~mapping:(Network.switch_of_core net)
+
+let fail_one net victim =
+  let degraded = drop_link net victim in
+  match Routing.route_all_load_aware degraded with
+  | Error _ ->
+      { failed_link = victim; routable = false; deadlock_free = false; vcs_added = 0 }
+  | Ok () ->
+      let report = Noc_deadlock.Removal.run degraded in
+      {
+        failed_link = victim;
+        routable = true;
+        deadlock_free = report.Noc_deadlock.Removal.deadlock_free;
+        vcs_added = report.Noc_deadlock.Removal.vcs_added;
+      }
+
+let sweep net =
+  let links = Topology.links (Network.topology net) in
+  let outcomes = List.map (fun (l : Topology.link) -> fail_one net l.Topology.id) links in
+  {
+    outcomes;
+    survivable_failures =
+      List.length (List.filter (fun o -> o.routable && o.deadlock_free) outcomes);
+    total_links = List.length links;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "single-link failures: %d/%d survivable"
+    t.survivable_failures t.total_links;
+  List.iter
+    (fun o ->
+      if not (o.routable && o.deadlock_free) then
+        Format.fprintf ppf "@.  %a: %s" Ids.Link.pp o.failed_link
+          (if not o.routable then "UNROUTABLE" else "NOT DEADLOCK-FREE"))
+    t.outcomes

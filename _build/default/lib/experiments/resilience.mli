@@ -1,0 +1,32 @@
+(** Single-link-failure resilience: for every link of a design, fail
+    it, re-route all traffic on the survivors, re-run deadlock
+    removal, and check the result.  Quantifies what
+    {!Noc_synth.Harden} buys: a hardened design should survive every
+    single failure with routes intact and a deadlock-free CDG. *)
+
+open Noc_model
+
+type failure_outcome = {
+  failed_link : Ids.Link.t;
+  routable : bool;  (** All flows re-routed on the survivors. *)
+  deadlock_free : bool;  (** After re-running removal. *)
+  vcs_added : int;  (** Removal cost on the degraded topology. *)
+}
+
+type t = {
+  outcomes : failure_outcome list;  (** One per link, id order. *)
+  survivable_failures : int;  (** Routable and deadlock-free. *)
+  total_links : int;
+}
+
+val sweep : Network.t -> t
+(** Fails each link in turn (on an independent copy each time; the
+    input is never mutated). *)
+
+val drop_link : Network.t -> Ids.Link.t -> Network.t
+(** A fresh design without the given link (and with no routes
+    installed): the degraded network a failure leaves behind.  VC
+    counts of surviving links are preserved.
+    @raise Invalid_argument on an unknown link. *)
+
+val pp : Format.formatter -> t -> unit

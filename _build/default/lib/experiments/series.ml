@@ -1,0 +1,28 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Series.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let pp ppf t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let n = List.length t.header in
+  let width col =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row col))) 0 all
+  in
+  let widths = List.init n width in
+  let pp_row ppf row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i = 0 then Format.fprintf ppf "%-*s" w cell
+        else Format.fprintf ppf "  %*s" w cell)
+      row
+  in
+  Format.fprintf ppf "@[<v>%a" pp_row t.header;
+  List.iter (fun row -> Format.fprintf ppf "@,%a" pp_row row) rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,15 @@
+(** Tiny fixed-width table rendering for the experiment harness: every
+    figure is regenerated as aligned text rows, one series per column,
+    so outputs stay diff-stable across runs. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column titles. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.
+    @raise Invalid_argument when the arity differs from the header. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders with every column padded to its widest cell. *)

@@ -1,0 +1,44 @@
+type result = {
+  label : string;
+  cdg_cyclic : bool;
+  outcome : Noc_sim.Engine.outcome;
+}
+
+let check ?(packet_length = 8) ?(packets_per_flow = 2) ~label net =
+  let packets =
+    Noc_sim.Traffic_gen.burst net ~packet_length ~packets_per_flow
+  in
+  {
+    label;
+    cdg_cyclic = not (Noc_deadlock.Removal.is_deadlock_free net);
+    outcome = Noc_sim.Engine.run net packets;
+  }
+
+let ring_demo () =
+  let t = Ring_example.build () in
+  let before = check ~label:"ring, as designed" t.Ring_example.net in
+  ignore (Noc_deadlock.Removal.run t.Ring_example.net);
+  let after = check ~label:"ring, after deadlock removal" t.Ring_example.net in
+  (before, after)
+
+let benchmark_demo ?(name = "D36_8") ?(n_switches = 14) () =
+  let spec =
+    match Noc_benchmarks.Registry.find name with
+    | Some s -> s
+    | None -> invalid_arg ("Sim_check: unknown benchmark " ^ name)
+  in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let net = Noc_synth.Custom.synthesize_exn traffic ~n_switches in
+  let before =
+    check ~label:(Printf.sprintf "%s@%d, as synthesized" name n_switches) net
+  in
+  ignore (Noc_deadlock.Removal.run net);
+  let after =
+    check ~label:(Printf.sprintf "%s@%d, after deadlock removal" name n_switches) net
+  in
+  (before, after)
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%s (CDG %s):@,  %a@]" r.label
+    (if r.cdg_cyclic then "cyclic" else "acyclic")
+    Noc_sim.Engine.pp_outcome r.outcome

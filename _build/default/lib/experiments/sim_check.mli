@@ -1,0 +1,34 @@
+(** Behavioural cross-check (extension X1 of DESIGN.md): drive the
+    wormhole simulator on a design before and after deadlock removal.
+    The static claim — "a cyclic CDG can deadlock; an acyclic one
+    cannot" — becomes observable: the ring example reproducibly
+    deadlocks under burst traffic, and completes after the algorithm
+    has added its one VC. *)
+
+open Noc_model
+
+type result = {
+  label : string;
+  cdg_cyclic : bool;
+  outcome : Noc_sim.Engine.outcome;
+}
+
+val check :
+  ?packet_length:int ->
+  ?packets_per_flow:int ->
+  label:string ->
+  Network.t ->
+  result
+(** Burst workload on the network as-is (default 8-flit packets, 2 per
+    flow). *)
+
+val ring_demo : unit -> result * result
+(** The paper's ring, before (deadlocks) and after (completes)
+    removal. *)
+
+val benchmark_demo :
+  ?name:string -> ?n_switches:int -> unit -> result * result
+(** Same experiment on a synthesized benchmark design (default D36_8
+    at 14 switches). *)
+
+val pp_result : Format.formatter -> result -> unit

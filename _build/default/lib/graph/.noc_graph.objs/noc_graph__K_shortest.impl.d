@@ -1,0 +1,1 @@
+lib/graph/k_shortest.ml: Array Digraph Hashtbl List Paths Set

@@ -1,0 +1,1 @@
+lib/graph/k_shortest.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/max_flow.ml: Array Digraph List Queue

@@ -1,0 +1,1 @@
+lib/graph/max_flow.mli: Digraph

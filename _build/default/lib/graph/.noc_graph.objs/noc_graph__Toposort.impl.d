@@ -1,0 +1,1 @@
+lib/graph/toposort.ml: Array Digraph Int List Set

@@ -1,0 +1,151 @@
+let has_cycle g =
+  let non_trivial = Scc.non_trivial g in
+  non_trivial <> []
+
+(* DFS with colors; on meeting a grey vertex we unwind the explicit
+   path stack to extract the cycle. *)
+let find_any g =
+  let n = Digraph.n_vertices g in
+  let color = Array.make n 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let cycle = ref None in
+  let rec walk path u =
+    color.(u) <- 1;
+    let path = u :: path in
+    let check v =
+      if !cycle = None then
+        if color.(v) = 1 then begin
+          (* [path] is [u; ...; v; ...]; the cycle is v ... u. *)
+          let rec take acc = function
+            | [] -> acc
+            | w :: ws -> if w = v then w :: acc else take (w :: acc) ws
+          in
+          cycle := Some (take [] path)
+        end
+        else if color.(v) = 0 then walk path v
+    in
+    Digraph.iter_succ check g u;
+    color.(u) <- 2
+  in
+  let try_root v = if color.(v) = 0 && !cycle = None then walk [] v in
+  Digraph.iter_vertices try_root g;
+  !cycle
+
+let shortest_through g v =
+  (* Shortest cycle through v = 1 + shortest path from some successor
+     of v back to v.  A single BFS from v over the whole graph would
+     not find the path *ending* at v, so we search from v and read the
+     parent chain when v is re-entered. *)
+  if Digraph.mem_edge g v v then Some [ v ]
+  else begin
+    let best = ref None in
+    let consider s =
+      match Traversal.shortest_path g s v with
+      | None -> ()
+      | Some path ->
+          let len = List.length path in
+          let better =
+            match !best with None -> true | Some b -> len < List.length b
+          in
+          if better then best := Some path
+    in
+    List.iter consider (List.sort compare (Digraph.succ g v));
+    match !best with
+    | None -> None
+    | Some path -> Some (v :: List.filter (fun w -> w <> v) path)
+  end
+
+let cycle_length = List.length
+
+let shortest g =
+  (* Restrict the search to vertices inside non-trivial SCCs: every
+     cycle lives entirely within one SCC, so other vertices cannot
+     start one. *)
+  let candidates = List.sort compare (List.concat (Scc.non_trivial g)) in
+  let pick best v =
+    match shortest_through g v with
+    | None -> best
+    | Some c -> (
+        match best with
+        | None -> Some c
+        | Some b ->
+            if cycle_length c < cycle_length b then Some c else best)
+  in
+  List.fold_left pick None candidates
+
+let girth g = Option.map cycle_length (shortest g)
+
+(* Johnson's elementary-cycle enumeration, bounded. *)
+let enumerate ?(max_cycles = 10_000) g =
+  let n = Digraph.n_vertices g in
+  let results = ref [] in
+  let count = ref 0 in
+  let blocked = Array.make n false in
+  let b_sets = Array.make n [] in
+  let stack = ref [] in
+  let exception Done in
+  let rec unblock v =
+    if blocked.(v) then begin
+      blocked.(v) <- false;
+      let deps = b_sets.(v) in
+      b_sets.(v) <- [];
+      List.iter unblock deps
+    end
+  in
+  let normalize cycle =
+    (* Rotate so the smallest vertex leads: canonical form for
+       deduplication and stable test expectations. *)
+    let arr = Array.of_list cycle in
+    let k = Array.length arr in
+    let min_pos = ref 0 in
+    for i = 1 to k - 1 do
+      if arr.(i) < arr.(!min_pos) then min_pos := i
+    done;
+    List.init k (fun i -> arr.((i + !min_pos) mod k))
+  in
+  let emit cycle =
+    results := normalize cycle :: !results;
+    incr count;
+    if !count >= max_cycles then raise Done
+  in
+  let rec circuit s allowed v =
+    let found = ref false in
+    blocked.(v) <- true;
+    stack := v :: !stack;
+    let explore w =
+      if w >= s && allowed w then
+        if w = s then begin
+          emit (List.rev !stack);
+          found := true
+        end
+        else if not blocked.(w) then
+          if circuit s allowed w then found := true
+    in
+    Digraph.iter_succ explore g v;
+    if !found then unblock v
+    else
+      Digraph.iter_succ
+        (fun w ->
+          if w >= s && allowed w && not (List.mem v b_sets.(w)) then
+            b_sets.(w) <- v :: b_sets.(w))
+        g v;
+    (match !stack with
+    | w :: rest when w = v -> stack := rest
+    | _ -> assert false);
+    !found
+  in
+  (try
+     for s = 0 to n - 1 do
+       (* Only consider the SCC of s in the subgraph induced by
+          vertices >= s; the [w >= s] guards in [circuit] realize the
+          induced-subgraph restriction, and the SCC pre-check below
+          keeps the allowed set tight. *)
+       Array.fill blocked 0 n false;
+       Array.fill b_sets 0 n [];
+       stack := [];
+       let allowed w = w >= s in
+       if List.exists (fun w -> w >= s) (Digraph.succ g s) || Digraph.mem_edge g s s
+       then ignore (circuit s allowed s)
+     done
+   with Done -> ());
+  List.rev !results

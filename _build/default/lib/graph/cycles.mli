@@ -1,0 +1,33 @@
+(** Cycle detection and search.
+
+    A cycle is represented as the list of its vertices in traversal
+    order, [[c1; c2; ...; ck]], meaning the edges
+    [c1->c2, ..., c(k-1)->ck, ck->c1] are all present.  A self-loop is
+    the singleton [[v]]. *)
+
+val has_cycle : Digraph.t -> bool
+(** [true] iff the graph contains a directed cycle (including
+    self-loops). *)
+
+val find_any : Digraph.t -> int list option
+(** Some cycle if one exists; not necessarily the smallest.  Found by
+    DFS back-edge detection, so it costs one traversal. *)
+
+val shortest_through : Digraph.t -> int -> int list option
+(** [shortest_through g v] is a minimum-length cycle containing [v]
+    (BFS from each successor of [v] back to [v]), or [None]. *)
+
+val shortest : Digraph.t -> int list option
+(** A globally minimum-length cycle, or [None] when the graph is
+    acyclic.  This is the paper's [GetSmallestCycle]: BFS is run from
+    every vertex that lies in a non-trivial SCC and the shortest
+    returning path wins; ties break towards the smallest starting
+    vertex id, making the result deterministic. *)
+
+val enumerate : ?max_cycles:int -> Digraph.t -> int list list
+(** All elementary cycles, by Johnson's algorithm, each rotated so its
+    smallest vertex comes first; enumeration stops after [max_cycles]
+    (default [10_000]) as a safety valve on pathological graphs. *)
+
+val girth : Digraph.t -> int option
+(** Length of a shortest cycle, if any. *)

@@ -1,0 +1,140 @@
+(* Adjacency is stored twice (successors and predecessors) so that the
+   cycle-breaking passes, which walk the CDG in both directions, pay the
+   same cost either way.  Lists are kept sorted-by-insertion; membership
+   is answered by a hash set of packed edge keys to keep [mem_edge] and
+   duplicate-insertion O(1). *)
+
+type t = {
+  mutable n : int;
+  mutable succ : int list array;
+  mutable pred : int list array;
+  edge_set : (int * int, unit) Hashtbl.t;
+  mutable m : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  let cap = max 1 initial_capacity in
+  {
+    n = 0;
+    succ = Array.make cap [];
+    pred = Array.make cap [];
+    edge_set = Hashtbl.create (4 * cap);
+    m = 0;
+  }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let grow g needed =
+  let cap = Array.length g.succ in
+  if needed > cap then begin
+    let cap' =
+      let rec next c = if c >= needed then c else next (2 * c) in
+      next (max 1 cap)
+    in
+    let succ' = Array.make cap' [] and pred' = Array.make cap' [] in
+    Array.blit g.succ 0 succ' 0 g.n;
+    Array.blit g.pred 0 pred' 0 g.n;
+    g.succ <- succ';
+    g.pred <- pred'
+  end
+
+let add_vertex g =
+  let v = g.n in
+  grow g (v + 1);
+  g.n <- v + 1;
+  v
+
+let ensure_vertex g v =
+  if v < 0 then invalid_arg "Digraph.ensure_vertex: negative vertex";
+  if v >= g.n then begin
+    grow g (v + 1);
+    g.n <- v + 1
+  end
+
+let mem_edge g u v = Hashtbl.mem g.edge_set (u, v)
+
+let add_edge g u v =
+  ensure_vertex g u;
+  ensure_vertex g v;
+  if not (mem_edge g u v) then begin
+    Hashtbl.replace g.edge_set (u, v) ();
+    g.succ.(u) <- v :: g.succ.(u);
+    g.pred.(v) <- u :: g.pred.(v);
+    g.m <- g.m + 1
+  end
+
+let remove_edge g u v =
+  if u < g.n && v < g.n && mem_edge g u v then begin
+    Hashtbl.remove g.edge_set (u, v);
+    g.succ.(u) <- List.filter (fun w -> w <> v) g.succ.(u);
+    g.pred.(v) <- List.filter (fun w -> w <> u) g.pred.(v);
+    g.m <- g.m - 1
+  end
+
+let check_vertex g v name =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph.%s: vertex %d out of range" name v)
+
+let succ g v =
+  check_vertex g v "succ";
+  g.succ.(v)
+
+let pred g v =
+  check_vertex g v "pred";
+  g.pred.(v)
+
+let out_degree g v = List.length (succ g v)
+let in_degree g v = List.length (pred g v)
+let iter_succ f g v = List.iter f (succ g v)
+let iter_pred f g v = List.iter f (pred g v)
+
+let iter_vertices f g =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let fold_vertices f init g =
+  let acc = ref init in
+  for v = 0 to g.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> f u v) (List.rev g.succ.(u))
+  done
+
+let fold_edges f init g =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f !acc u v) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun acc u v -> (u, v) :: acc) [] g)
+
+let of_edges ?(n = 0) es =
+  let g = create ~initial_capacity:(max n 16) () in
+  if n > 0 then ensure_vertex g (n - 1);
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let copy g =
+  let g' = create ~initial_capacity:(Array.length g.succ) () in
+  g'.n <- g.n;
+  Array.blit g.succ 0 g'.succ 0 g.n;
+  Array.blit g.pred 0 g'.pred 0 g.n;
+  Hashtbl.iter (fun k () -> Hashtbl.replace g'.edge_set k ()) g.edge_set;
+  g'.m <- g.m;
+  g'
+
+let transpose g =
+  let g' = create ~initial_capacity:(max 1 g.n) () in
+  if g.n > 0 then ensure_vertex g' (g.n - 1);
+  iter_edges (fun u v -> add_edge g' v u) g;
+  g'
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d vertices, %d edges" g.n g.m;
+  iter_edges (fun u v -> Format.fprintf ppf "@,%d -> %d" u v) g;
+  Format.fprintf ppf "@]"

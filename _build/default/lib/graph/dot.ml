@@ -1,0 +1,49 @@
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+      let body =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs)
+      in
+      " [" ^ body ^ "]"
+
+let render ?(name = "g") ?(vertex_label = string_of_int)
+    ?(vertex_attrs = fun _ -> []) ?(edge_attrs = fun _ _ -> []) g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Digraph.iter_vertices
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v
+           (escape (vertex_label v))
+           (match vertex_attrs v with
+           | [] -> ""
+           | attrs ->
+               ", "
+               ^ String.concat ", "
+                   (List.map
+                      (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v))
+                      attrs))))
+    g;
+  Digraph.iter_edges
+    (fun u v ->
+      Buffer.add_string b
+        (Printf.sprintf "  n%d -> n%d%s;\n" u v (attrs_to_string (edge_attrs u v))))
+    g;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let output ?name ?vertex_label ?vertex_attrs ?edge_attrs oc g =
+  output_string oc (render ?name ?vertex_label ?vertex_attrs ?edge_attrs g)

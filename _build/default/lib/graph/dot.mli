@@ -1,0 +1,24 @@
+(** Graphviz (DOT) rendering of directed graphs, for inspecting
+    topologies and channel dependency graphs visually. *)
+
+val render :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(int -> int -> (string * string) list) ->
+  Digraph.t ->
+  string
+(** [render g] is a complete [digraph { ... }] document.  Labels
+    default to vertex numbers; attribute callbacks may add styling
+    (e.g. [("color", "red")]).  Output is deterministic: vertices in
+    id order, edges in [iter_edges] order. *)
+
+val output :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(int -> int -> (string * string) list) ->
+  out_channel ->
+  Digraph.t ->
+  unit
+(** Same, writing to a channel. *)

@@ -1,0 +1,112 @@
+(* Yen's algorithm.  Candidate paths are kept in a sorted set keyed by
+   (weight, path) so extraction order is deterministic. *)
+
+module Candidates = Set.Make (struct
+  type t = float * int list
+
+  let compare = compare
+end)
+
+let yen g ~weight ~k src dst =
+  if k < 1 then invalid_arg "K_shortest.yen: k < 1";
+  (* Shortest path avoiding a set of edges and a set of vertices. *)
+  let restricted_shortest ~banned_edges ~banned_vertices s =
+    let n = Digraph.n_vertices g in
+    let dist = Array.make n infinity in
+    let parent = Array.make n (-1) in
+    let module Pq = Set.Make (struct
+      type t = float * int
+
+      let compare = compare
+    end) in
+    dist.(s) <- 0.;
+    let pq = ref (Pq.singleton (0., s)) in
+    while not (Pq.is_empty !pq) do
+      let ((d, u) as top) = Pq.min_elt !pq in
+      pq := Pq.remove top !pq;
+      if d <= dist.(u) then
+        Digraph.iter_succ
+          (fun v ->
+            if
+              (not (Hashtbl.mem banned_edges (u, v)))
+              && not (Hashtbl.mem banned_vertices v)
+            then begin
+              let w = weight u v in
+              if w < 0. then raise Paths.Negative_weight;
+              let d' = d +. w in
+              if d' < dist.(v) then begin
+                dist.(v) <- d';
+                parent.(v) <- u;
+                pq := Pq.add (d', v) !pq
+              end
+            end)
+          g u
+    done;
+    if dist.(dst) = infinity then None
+    else begin
+      let rec build v acc = if v = s then v :: acc else build parent.(v) (v :: acc) in
+      Some (dist.(dst), build dst [])
+    end
+  in
+  let path_weight path = Paths.path_weight ~weight path in
+  let no_bans () = (Hashtbl.create 1, Hashtbl.create 1) in
+  match
+    let be, bv = no_bans () in
+    restricted_shortest ~banned_edges:be ~banned_vertices:bv src
+  with
+  | None -> []
+  | Some (w0, p0) ->
+      let accepted = ref [ (w0, p0) ] in
+      let candidates = ref Candidates.empty in
+      let rec grow () =
+        if List.length !accepted >= k then ()
+        else begin
+          let _, last_path = List.hd !accepted in
+          let last = Array.of_list last_path in
+          (* Spur from every prefix of the last accepted path. *)
+          for i = 0 to Array.length last - 2 do
+            let spur = last.(i) in
+            let root = Array.to_list (Array.sub last 0 (i + 1)) in
+            let banned_edges = Hashtbl.create 8 in
+            let banned_vertices = Hashtbl.create 8 in
+            (* Ban edges leaving the spur node along any accepted or
+               candidate path sharing this root. *)
+            let ban_for (_, path) =
+              let arr = Array.of_list path in
+              if Array.length arr > i + 1 then begin
+                let same_root = ref true in
+                for j = 0 to i do
+                  if arr.(j) <> last.(j) then same_root := false
+                done;
+                if !same_root then
+                  Hashtbl.replace banned_edges (arr.(i), arr.(i + 1)) ()
+              end
+            in
+            List.iter ban_for !accepted;
+            Candidates.iter (fun (w, p) -> ban_for (w, p)) !candidates;
+            (* Ban root vertices except the spur itself (looplessness). *)
+            List.iteri
+              (fun j v -> if j < i then Hashtbl.replace banned_vertices v ())
+              root;
+            (match restricted_shortest ~banned_edges ~banned_vertices spur with
+            | None -> ()
+            | Some (_, spur_path) ->
+                let full =
+                  root @ (match spur_path with _ :: rest -> rest | [] -> [])
+                in
+                let cand = (path_weight full, full) in
+                if
+                  (not (List.exists (fun (_, p) -> p = full) !accepted))
+                  && not (Candidates.mem cand !candidates)
+                then candidates := Candidates.add cand !candidates)
+          done;
+          match Candidates.min_elt_opt !candidates with
+          | None -> ()
+          | Some best ->
+              candidates := Candidates.remove best !candidates;
+              accepted := best :: !accepted;
+              grow ()
+        end
+      in
+      grow ();
+      List.map snd (List.sort compare (List.rev !accepted))

@@ -1,0 +1,19 @@
+(** K-shortest loopless paths (Yen's algorithm) over {!Digraph.t}.
+
+    Used by the synthesizer to propose alternative routes and by the
+    deadlock tooling to look for cycle-avoiding detours before paying
+    for a VC. *)
+
+val yen :
+  Digraph.t ->
+  weight:(int -> int -> float) ->
+  k:int ->
+  int ->
+  int ->
+  int list list
+(** [yen g ~weight ~k src dst] is up to [k] distinct loopless paths
+    from [src] to [dst], ordered by non-decreasing total weight (ties
+    broken lexicographically by vertex sequence).  Empty when [dst] is
+    unreachable.
+    @raise Invalid_argument when [k < 1].
+    @raise Paths.Negative_weight on a negative edge weight. *)

@@ -1,0 +1,91 @@
+(* Edmonds-Karp on an explicit residual matrix, fine for the few dozen
+   switches of a NoC. *)
+
+let residual_setup g ~capacity ~source ~sink =
+  let n = Digraph.n_vertices g in
+  if source < 0 || source >= n || sink < 0 || sink >= n then
+    invalid_arg "Max_flow: vertex out of range";
+  if source = sink then invalid_arg "Max_flow: source = sink";
+  let residual = Array.make_matrix n n 0. in
+  Digraph.iter_edges
+    (fun u v ->
+      let c = capacity u v in
+      if c < 0. then invalid_arg "Max_flow: negative capacity";
+      residual.(u).(v) <- residual.(u).(v) +. c)
+    g;
+  residual
+
+let augment residual n ~source ~sink =
+  (* BFS for a shortest augmenting path; returns its bottleneck. *)
+  let parent = Array.make n (-1) in
+  parent.(source) <- source;
+  let q = Queue.create () in
+  Queue.add source q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for v = 0 to n - 1 do
+      if parent.(v) < 0 && residual.(u).(v) > 0. then begin
+        parent.(v) <- u;
+        if v = sink then found := true else Queue.add v q
+      end
+    done
+  done;
+  if not !found then None
+  else begin
+    let rec bottleneck v acc =
+      if v = source then acc
+      else
+        let u = parent.(v) in
+        bottleneck u (min acc residual.(u).(v))
+    in
+    let delta = bottleneck sink infinity in
+    let rec apply v =
+      if v <> source then begin
+        let u = parent.(v) in
+        residual.(u).(v) <- residual.(u).(v) -. delta;
+        residual.(v).(u) <- residual.(v).(u) +. delta;
+        apply u
+      end
+    in
+    apply sink;
+    Some delta
+  end
+
+let max_flow g ~capacity ~source ~sink =
+  let n = Digraph.n_vertices g in
+  let residual = residual_setup g ~capacity ~source ~sink in
+  let rec pump total =
+    match augment residual n ~source ~sink with
+    | Some delta -> pump (total +. delta)
+    | None -> total
+  in
+  pump 0.
+
+let min_cut g ~capacity ~source ~sink =
+  let n = Digraph.n_vertices g in
+  let residual = residual_setup g ~capacity ~source ~sink in
+  let rec pump total =
+    match augment residual n ~source ~sink with
+    | Some delta -> pump (total +. delta)
+    | None -> total
+  in
+  let value = pump 0. in
+  (* Source side = residual-reachable vertices. *)
+  let side = Array.make n false in
+  let q = Queue.create () in
+  side.(source) <- true;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for v = 0 to n - 1 do
+      if (not side.(v)) && residual.(u).(v) > 0. then begin
+        side.(v) <- true;
+        Queue.add v q
+      end
+    done
+  done;
+  let cut =
+    List.filter (fun (u, v) -> side.(u) && not side.(v)) (Digraph.edges g)
+  in
+  (value, cut)

@@ -1,0 +1,19 @@
+(** Maximum flow / minimum cut (Edmonds–Karp).  Used for bisection
+    bandwidth and cut-based quality metrics of synthesized
+    topologies. *)
+
+val max_flow :
+  Digraph.t -> capacity:(int -> int -> float) -> source:int -> sink:int -> float
+(** Maximum [source]→[sink] flow under per-edge capacities (queried
+    once per edge at the start).  [0.] when no path exists.
+    @raise Invalid_argument when [source = sink] or either vertex is
+    out of range, or when a capacity is negative. *)
+
+val min_cut :
+  Digraph.t ->
+  capacity:(int -> int -> float) ->
+  source:int ->
+  sink:int ->
+  float * (int * int) list
+(** The min-cut value together with the saturated cut edges
+    (source-side to sink-side), in deterministic order. *)

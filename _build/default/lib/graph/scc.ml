@@ -1,0 +1,88 @@
+type result = { component : int array; count : int }
+
+(* Iterative Tarjan.  Each stack frame carries the vertex and the list
+   of successors still to examine; [low] is folded back into the parent
+   frame when a child finishes. *)
+let compute g =
+  let n = Digraph.n_vertices g in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    if index.(root) < 0 then begin
+      let frames = ref [ (root, Digraph.succ g root) ] in
+      index.(root) <- !next_index;
+      low.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (u, next) :: rest -> (
+            match next with
+            | v :: vs ->
+                frames := (u, vs) :: rest;
+                if index.(v) < 0 then begin
+                  index.(v) <- !next_index;
+                  low.(v) <- !next_index;
+                  incr next_index;
+                  stack := v :: !stack;
+                  on_stack.(v) <- true;
+                  frames := (v, Digraph.succ g v) :: !frames
+                end
+                else if on_stack.(v) then low.(u) <- min low.(u) index.(v)
+            | [] ->
+                if low.(u) = index.(u) then begin
+                  let rec pop () =
+                    match !stack with
+                    | [] -> assert false
+                    | w :: ws ->
+                        stack := ws;
+                        on_stack.(w) <- false;
+                        comp.(w) <- !next_comp;
+                        if w <> u then pop ()
+                  in
+                  pop ();
+                  incr next_comp
+                end;
+                frames := rest;
+                (match rest with
+                | (p, _) :: _ -> low.(p) <- min low.(p) low.(u)
+                | [] -> ()))
+      done
+    end
+  in
+  Digraph.iter_vertices visit g;
+  { component = comp; count = !next_comp }
+
+let components g =
+  let { component; count } = compute g in
+  let buckets = Array.make count [] in
+  for v = Digraph.n_vertices g - 1 downto 0 do
+    buckets.(component.(v)) <- v :: buckets.(component.(v))
+  done;
+  Array.to_list buckets
+
+let condensation g =
+  let ({ component; count } as r) = compute g in
+  let cg = Digraph.create ~initial_capacity:(max 1 count) () in
+  if count > 0 then Digraph.ensure_vertex cg (count - 1);
+  let add u v =
+    let cu = component.(u) and cv = component.(v) in
+    if cu <> cv then Digraph.add_edge cg cu cv
+  in
+  Digraph.iter_edges add g;
+  (r, cg)
+
+let non_trivial g =
+  let cyclic = function
+    | [ v ] -> Digraph.mem_edge g v v
+    | _ :: _ :: _ -> true
+    | [] -> false
+  in
+  List.filter cyclic (components g)

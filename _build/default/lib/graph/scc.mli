@@ -1,0 +1,23 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+type result = {
+  component : int array;  (** [component.(v)] is the SCC id of [v]. *)
+  count : int;  (** Number of SCCs; ids are [0 .. count - 1]. *)
+}
+
+val compute : Digraph.t -> result
+(** SCC decomposition.  Component ids are assigned in reverse
+    topological order of the condensation: if there is an edge from
+    SCC [a] to SCC [b] (with [a <> b]) then [a > b]. *)
+
+val components : Digraph.t -> int list list
+(** The SCCs as explicit vertex lists, indexed by component id. *)
+
+val condensation : Digraph.t -> result * Digraph.t
+(** The SCC result together with the condensation graph: one vertex
+    per SCC, an edge [a -> b] whenever some original edge crosses from
+    component [a] into component [b]. The condensation is acyclic. *)
+
+val non_trivial : Digraph.t -> int list list
+(** Only the SCCs that can contain a cycle: size [>= 2], or a single
+    vertex carrying a self-loop. *)

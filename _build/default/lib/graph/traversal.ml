@@ -1,0 +1,104 @@
+let bfs_distances g src =
+  let n = Digraph.n_vertices g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let relax v =
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    in
+    Digraph.iter_succ relax g u
+  done;
+  dist
+
+let bfs_order g src =
+  let n = Digraph.n_vertices g in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  let order = ref [] in
+  seen.(src) <- true;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    let visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v q
+      end
+    in
+    Digraph.iter_succ visit g u
+  done;
+  List.rev !order
+
+let shortest_path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let n = Digraph.n_vertices g in
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    seen.(src) <- true;
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let visit v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          if v = dst then found := true else Queue.add v q
+        end
+      in
+      Digraph.iter_succ visit g u
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc = if v = src then v :: acc else build parent.(v) (v :: acc) in
+      Some (build dst [])
+    end
+  end
+
+(* Iterative DFS with an explicit stack of (vertex, remaining successors)
+   frames, so deep graphs (long dependency chains) cannot blow the OCaml
+   stack. *)
+let dfs_postorder g =
+  let n = Digraph.n_vertices g in
+  let seen = Array.make n false in
+  let post = ref [] in
+  let visit_root r =
+    if not seen.(r) then begin
+      seen.(r) <- true;
+      let stack = ref [ (r, Digraph.succ g r) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, next) :: rest -> (
+            match next with
+            | [] ->
+                post := u :: !post;
+                stack := rest
+            | v :: vs ->
+                stack := (u, vs) :: rest;
+                if not seen.(v) then begin
+                  seen.(v) <- true;
+                  stack := (v, Digraph.succ g v) :: !stack
+                end)
+      done
+    end
+  in
+  Digraph.iter_vertices visit_root g;
+  !post
+
+let reachable g src =
+  let n = Digraph.n_vertices g in
+  let seen = Array.make n false in
+  List.iter (fun v -> seen.(v) <- true) (bfs_order g src);
+  seen
+
+let is_reachable g u v = u = v || (reachable g u).(v)

@@ -1,0 +1,27 @@
+(** Breadth-first and depth-first traversals over {!Digraph.t}. *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** [bfs_distances g src] is an array [d] with [d.(v)] the number of
+    edges on a shortest path from [src] to [v], or [-1] when [v] is
+    unreachable. *)
+
+val bfs_order : Digraph.t -> int -> int list
+(** Vertices reachable from [src] in BFS discovery order (includes
+    [src] itself, first). *)
+
+val shortest_path : Digraph.t -> int -> int -> int list option
+(** [shortest_path g src dst] is a minimum-edge-count path
+    [[src; ...; dst]], or [None] if [dst] is unreachable.  When
+    [src = dst] the path is [[src]] (zero edges). *)
+
+val dfs_postorder : Digraph.t -> int list
+(** Postorder of a DFS forest covering every vertex (roots scanned in
+    increasing id order).  The head of the list finished first. *)
+
+val reachable : Digraph.t -> int -> bool array
+(** [reachable g src] marks every vertex reachable from [src]
+    (including [src]). *)
+
+val is_reachable : Digraph.t -> int -> int -> bool
+(** [is_reachable g u v] is [true] iff a directed path [u ->* v]
+    exists (trivially true for [u = v]). *)

@@ -1,0 +1,19 @@
+(** Disjoint sets with union by rank and path compression.  Used by the
+    topology synthesizer to guarantee switch-level connectivity. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] singleton sets [{0} ... {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; [true] iff they were distinct before the call. *)
+
+val same : t -> int -> int -> bool
+(** [true] iff the two elements are currently in the same set. *)
+
+val n_sets : t -> int
+(** Number of distinct sets remaining. *)

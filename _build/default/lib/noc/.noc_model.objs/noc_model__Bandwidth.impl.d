@@ -1,0 +1,1 @@
+lib/noc/bandwidth.ml: Channel Format Ids List Network Topology Traffic

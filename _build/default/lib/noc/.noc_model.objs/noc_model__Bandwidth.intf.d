@@ -1,0 +1,1 @@
+lib/noc/bandwidth.mli: Format Ids Network

@@ -1,0 +1,1 @@
+lib/noc/cdg.ml: Array Channel Format Hashtbl Ids List Network Noc_graph Option Printf Route Topology

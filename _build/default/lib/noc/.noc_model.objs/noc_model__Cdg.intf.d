@@ -1,0 +1,1 @@
+lib/noc/cdg.mli: Channel Format Ids Network Noc_graph

@@ -1,0 +1,1 @@
+lib/noc/channel.ml: Format Hashtbl Ids Int Map Set

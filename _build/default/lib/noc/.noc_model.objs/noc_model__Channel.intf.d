@@ -1,0 +1,1 @@
+lib/noc/channel.mli: Format Hashtbl Ids Map Set

@@ -1,0 +1,1 @@
+lib/noc/dot_export.ml: Buffer Cdg Channel Format Ids List Network Noc_graph Printf Topology

@@ -1,0 +1,1 @@
+lib/noc/dot_export.mli: Ids Network

@@ -1,0 +1,1 @@
+lib/noc/ids.ml: Format Int

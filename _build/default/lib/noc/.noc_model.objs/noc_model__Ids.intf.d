@@ -1,0 +1,1 @@
+lib/noc/ids.mli: Format

@@ -1,0 +1,1 @@
+lib/noc/io.ml: Array Buffer Channel Format Fun Ids In_channel List Network Printf Result String Topology Traffic Validate

@@ -1,0 +1,1 @@
+lib/noc/io.mli: Network

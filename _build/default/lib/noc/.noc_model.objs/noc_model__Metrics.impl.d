@@ -1,0 +1,1 @@
+lib/noc/metrics.ml: Array Format Hashtbl Ids List Network Noc_graph Option Route Topology Traffic

@@ -1,0 +1,1 @@
+lib/noc/metrics.mli: Format Ids Network

@@ -1,0 +1,1 @@
+lib/noc/network.ml: Array Channel Format Ids List Printf Route Topology Traffic

@@ -1,0 +1,1 @@
+lib/noc/network.mli: Channel Format Ids Route Topology Traffic

@@ -1,0 +1,1 @@
+lib/noc/route.ml: Channel Format Ids List Topology

@@ -1,0 +1,1 @@
+lib/noc/route.mli: Channel Format Ids Topology

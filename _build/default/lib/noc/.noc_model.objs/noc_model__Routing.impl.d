@@ -1,0 +1,1 @@
+lib/noc/routing.ml: Channel Format Hashtbl Ids List Network Noc_graph Option Topology Traffic

@@ -1,0 +1,1 @@
+lib/noc/routing.mli: Ids Network Route Topology

@@ -1,0 +1,1 @@
+lib/noc/routing_function.ml: Array Channel Format Hashtbl Ids List Network Noc_graph Option Queue Topology Traffic

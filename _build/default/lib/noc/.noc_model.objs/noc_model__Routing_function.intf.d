@@ -1,0 +1,1 @@
+lib/noc/routing_function.mli: Channel Ids Network Topology

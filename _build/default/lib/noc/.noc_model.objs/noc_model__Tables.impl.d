@@ -1,0 +1,1 @@
+lib/noc/tables.ml: Channel Format Hashtbl Ids List Network Option Topology

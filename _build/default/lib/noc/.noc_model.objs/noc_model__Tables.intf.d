@@ -1,0 +1,1 @@
+lib/noc/tables.mli: Channel Format Ids Network

@@ -1,0 +1,1 @@
+lib/noc/topology.ml: Channel Format Hashtbl Ids List Noc_graph Option Printf

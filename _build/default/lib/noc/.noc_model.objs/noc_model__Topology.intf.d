@@ -1,0 +1,1 @@
+lib/noc/topology.mli: Channel Format Ids Noc_graph

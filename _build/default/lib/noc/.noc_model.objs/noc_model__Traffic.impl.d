@@ -1,0 +1,1 @@
+lib/noc/traffic.ml: Format Hashtbl Ids List Printf

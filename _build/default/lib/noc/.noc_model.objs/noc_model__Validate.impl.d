@@ -1,0 +1,1 @@
+lib/noc/validate.ml: Channel Format Ids List Network Route Topology Traffic

@@ -1,0 +1,1 @@
+lib/noc/validate.mli: Format Ids Network

@@ -1,0 +1,28 @@
+(** Link bandwidth feasibility: are the routed flow demands actually
+    servable by the links?  Deadlock freedom is necessary but not
+    sufficient for a working design; an oversubscribed link starves
+    flows no matter how the VCs are arranged.  The synthesizer and the
+    CLI use this as a design sanity gate. *)
+
+type link_usage = {
+  link : Ids.Link.t;
+  load_mbps : float;
+  utilization : float;  (** [load / capacity]. *)
+  flows : Ids.Flow.t list;  (** Flows crossing the link, id order. *)
+}
+
+type t = {
+  capacity_mbps : float;
+  usages : link_usage list;  (** Every link, id order. *)
+  feasible : bool;  (** No link above 100 % utilization. *)
+  worst : link_usage option;  (** Highest-utilization loaded link. *)
+}
+
+val analyze : capacity_mbps:float -> Network.t -> t
+(** @raise Invalid_argument when [capacity_mbps <= 0]. *)
+
+val oversubscribed : t -> link_usage list
+(** Links above 100 % utilization, worst first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary plus the oversubscribed links, if any. *)

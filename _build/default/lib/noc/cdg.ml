@@ -1,0 +1,72 @@
+module Digraph = Noc_graph.Digraph
+
+type t = {
+  graph : Digraph.t;
+  channel_of_vertex : Channel.t array;
+  vertex_of_channel : int Channel.Table.t;
+  dep_flows : (int * int, Ids.Flow.t list) Hashtbl.t;
+}
+
+let build net =
+  let topo = Network.topology net in
+  let channels = Array.of_list (Topology.channels topo) in
+  let n = Array.length channels in
+  let vertex_of_channel = Channel.Table.create (2 * n) in
+  Array.iteri (fun i c -> Channel.Table.replace vertex_of_channel c i) channels;
+  let graph = Digraph.create ~initial_capacity:(max 1 n) () in
+  if n > 0 then Digraph.ensure_vertex graph (n - 1);
+  let dep_flows = Hashtbl.create (4 * n) in
+  let add_route (flow_id, route) =
+    let dep (a, b) =
+      let u = Channel.Table.find vertex_of_channel a in
+      let v = Channel.Table.find vertex_of_channel b in
+      Digraph.add_edge graph u v;
+      let old = Option.value ~default:[] (Hashtbl.find_opt dep_flows (u, v)) in
+      Hashtbl.replace dep_flows (u, v) (flow_id :: old)
+    in
+    List.iter dep (Route.consecutive_pairs route)
+  in
+  List.iter add_route (Network.routes net);
+  { graph; channel_of_vertex = channels; vertex_of_channel; dep_flows }
+
+let graph t = t.graph
+let n_channels t = Array.length t.channel_of_vertex
+
+let channel_of_vertex t v =
+  if v < 0 || v >= Array.length t.channel_of_vertex then
+    invalid_arg (Printf.sprintf "Cdg.channel_of_vertex: vertex %d out of range" v);
+  t.channel_of_vertex.(v)
+
+let vertex_of_channel t c = Channel.Table.find t.vertex_of_channel c
+
+let flows_on_dependency t ~src ~dst =
+  match
+    ( Channel.Table.find_opt t.vertex_of_channel src,
+      Channel.Table.find_opt t.vertex_of_channel dst )
+  with
+  | Some u, Some v ->
+      List.sort_uniq Ids.Flow.compare
+        (Option.value ~default:[] (Hashtbl.find_opt t.dep_flows (u, v)))
+  | None, _ | _, None -> []
+
+let is_deadlock_free t = not (Noc_graph.Cycles.has_cycle t.graph)
+
+let smallest_cycle t =
+  Option.map
+    (List.map (channel_of_vertex t))
+    (Noc_graph.Cycles.shortest t.graph)
+
+let cycles ?max_cycles t =
+  List.map
+    (List.map (channel_of_vertex t))
+    (Noc_graph.Cycles.enumerate ?max_cycles t.graph)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>CDG: %d channels, %d dependencies"
+    (n_channels t) (Digraph.n_edges t.graph);
+  Digraph.iter_edges
+    (fun u v ->
+      Format.fprintf ppf "@,%a -> %a" Channel.pp (channel_of_vertex t u) Channel.pp
+        (channel_of_vertex t v))
+    t.graph;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** The Channel Dependency Graph (Definition 4): one vertex per channel
+    of the topology, one edge [ci -> cj] when at least one flow's route
+    uses [ci] and then immediately [cj].  A cycle in this graph is the
+    necessary condition for a wormhole routing deadlock (Dally &
+    Towles), and its absence is sufficient for deadlock freedom under
+    static routing. *)
+
+type t
+
+val build : Network.t -> t
+(** Builds the CDG of the network's current topology and routes. *)
+
+val graph : t -> Noc_graph.Digraph.t
+(** The underlying digraph; vertex ids are dense channel indices. *)
+
+val n_channels : t -> int
+
+val channel_of_vertex : t -> int -> Channel.t
+(** @raise Invalid_argument on an out-of-range vertex. *)
+
+val vertex_of_channel : t -> Channel.t -> int
+(** @raise Not_found when the channel does not exist in the topology
+    snapshot this CDG was built from. *)
+
+val flows_on_dependency : t -> src:Channel.t -> dst:Channel.t -> Ids.Flow.t list
+(** The flows whose routes create the dependency edge, in flow-id
+    order; empty when the edge is absent. *)
+
+val is_deadlock_free : t -> bool
+(** [true] iff the CDG is acyclic. *)
+
+val smallest_cycle : t -> Channel.t list option
+(** The paper's [GetSmallestCycle]: a minimum-length cycle as a channel
+    list in dependency order, or [None] when acyclic. *)
+
+val cycles : ?max_cycles:int -> t -> Channel.t list list
+(** All elementary cycles (bounded enumeration), for diagnostics. *)
+
+val pp : Format.formatter -> t -> unit

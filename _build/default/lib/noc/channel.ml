@@ -1,0 +1,36 @@
+type t = { link : Ids.Link.t; vc : int }
+
+let make link vc =
+  if vc < 0 then invalid_arg "Channel.make: negative VC index";
+  { link; vc }
+
+let link c = c.link
+let vc c = c.vc
+let equal a b = Ids.Link.equal a.link b.link && Int.equal a.vc b.vc
+
+let compare a b =
+  let c = Ids.Link.compare a.link b.link in
+  if c <> 0 then c else Int.compare a.vc b.vc
+
+let hash c = (Ids.Link.hash c.link * 31) + c.vc
+
+let pp ppf c =
+  if c.vc = 0 then Ids.Link.pp ppf c.link
+  else if c.vc = 1 then Format.fprintf ppf "%a'" Ids.Link.pp c.link
+  else Format.fprintf ppf "%a'%d" Ids.Link.pp c.link c.vc
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,22 @@
+(** A communication channel: a physical link together with a virtual
+    channel (VC) index on that link (Definition 3 of the paper).
+    Channels are the vertices of the channel dependency graph. *)
+
+type t = { link : Ids.Link.t; vc : int }
+
+val make : Ids.Link.t -> int -> t
+(** @raise Invalid_argument on a negative VC index. *)
+
+val link : t -> Ids.Link.t
+val vc : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [L3] for VC 0 and [L3'2] for VC 2, mirroring the paper's
+    "primed" notation for duplicated channels. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,17 @@
+(** Graphviz views of a design: the switch-level topology (links
+    annotated with VC counts and loads) and the channel dependency
+    graph (cycle channels highlighted). *)
+
+val topology : ?name:string -> Network.t -> string
+(** Switches as nodes, one edge per physical link, labelled
+    ["Lk (n VC)"] and coloured red when it carries more than one VC. *)
+
+val cdg : ?name:string -> Network.t -> string
+(** The network's CDG; channels on a smallest cycle (if any) are
+    coloured red, so the deadlock risk is visible at a glance. *)
+
+val topology_heatmap :
+  ?name:string -> utilization:(Ids.Link.t -> float) -> Network.t -> string
+(** Topology with links coloured by a utilization in [0, 1] (e.g. from
+    simulation statistics): grey when idle, through orange, to red at
+    saturation; labels carry the percentage. *)

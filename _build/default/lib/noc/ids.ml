@@ -1,0 +1,45 @@
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(* All id kinds share one implementation; the functor application gives
+   each a distinct abstract type, and [prefix] a distinct printed
+   form. *)
+module Make (P : sig
+  val prefix : string
+end) : S = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg (P.prefix ^ " id must be non-negative");
+    i
+
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash i = i
+  let pp ppf i = Format.fprintf ppf "%s%d" P.prefix i
+end
+
+module Switch = Make (struct
+  let prefix = "sw"
+end)
+
+module Core = Make (struct
+  let prefix = "core"
+end)
+
+module Link = Make (struct
+  let prefix = "L"
+end)
+
+module Flow = Make (struct
+  let prefix = "F"
+end)

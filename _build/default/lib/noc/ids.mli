@@ -1,0 +1,31 @@
+(** Typed identifiers for the NoC domain.
+
+    Switches, cores, physical links and flows are all represented by
+    dense integers internally, but mixing them up (e.g. indexing a
+    route table with a switch id) is a classic source of silent bugs in
+    EDA code.  Each entity therefore gets its own opaque id type. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  (** @raise Invalid_argument on negative input. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Switch : S
+(** A switch (router) of the topology graph TG(S, L). *)
+
+module Core : S
+(** A core (IP block) of the communication graph G(V, E). *)
+
+module Link : S
+(** A directed physical link of the topology. *)
+
+module Flow : S
+(** A communication flow (edge of G(V, E)) with a static route. *)

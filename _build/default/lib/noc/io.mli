@@ -1,0 +1,31 @@
+(** Textual design format: save and load a complete NoC design
+    (topology, VC counts, cores, mapping, flows, routes).
+
+    The format is line-oriented and versioned:
+
+    {v
+    noc-design 1
+    switches 4
+    cores 4
+    link <id> <src-switch> <dst-switch> <vc-count>
+    core <id> <switch>
+    flow <id> <src-core> <dst-core> <bandwidth>
+    route <flow-id> <link>:<vc> <link>:<vc> ...
+    v}
+
+    Comment lines start with [#]; blank lines are ignored.  [link],
+    [core] and [flow] ids must be dense and in order (they are assigned
+    by the builders); a [route] line may be omitted for an unrouted
+    flow. *)
+
+val save : Network.t -> string
+(** Serialize to the textual format. *)
+
+val save_file : string -> Network.t -> unit
+(** [save_file path net] writes {!save} to [path]. *)
+
+val load : string -> (Network.t, string) result
+(** Parse a design.  Errors carry a line number and a reason. *)
+
+val load_file : string -> (Network.t, string) result
+(** Read and {!load} a file; I/O failures become [Error]. *)

@@ -1,0 +1,118 @@
+type t = {
+  n_switches : int;
+  n_links : int;
+  total_vcs : int;
+  n_routed_flows : int;
+  avg_hops : float;
+  max_hops : int;
+  avg_link_load : float;
+  max_link_load : float;
+  load_imbalance : float;
+  switch_connectivity : float;
+}
+
+let of_network net =
+  let topo = Network.topology net in
+  let routes = List.filter (fun (_, r) -> r <> []) (Network.routes net) in
+  let n_routed_flows = List.length routes in
+  let hop_total = List.fold_left (fun acc (_, r) -> acc + Route.length r) 0 routes in
+  let max_hops = List.fold_left (fun acc (_, r) -> max acc (Route.length r)) 0 routes in
+  let loads =
+    List.filter_map
+      (fun (l : Topology.link) ->
+        let load = Network.link_load net l.Topology.id in
+        if load > 0. then Some load else None)
+      (Topology.links topo)
+  in
+  let load_total = List.fold_left ( +. ) 0. loads in
+  let max_link_load = List.fold_left max 0. loads in
+  let avg_link_load =
+    if loads = [] then 0. else load_total /. float_of_int (List.length loads)
+  in
+  let n = Topology.n_switches topo in
+  let connectivity =
+    if n < 2 then 1.
+    else begin
+      let g = Topology.switch_graph topo in
+      let reachable_pairs = ref 0 in
+      for s = 0 to n - 1 do
+        let r = Noc_graph.Traversal.reachable g s in
+        Array.iteri (fun d ok -> if ok && d <> s then incr reachable_pairs) r
+      done;
+      float_of_int !reachable_pairs /. float_of_int (n * (n - 1))
+    end
+  in
+  {
+    n_switches = n;
+    n_links = Topology.n_links topo;
+    total_vcs = Topology.total_vcs topo;
+    n_routed_flows;
+    avg_hops =
+      (if n_routed_flows = 0 then 0.
+       else float_of_int hop_total /. float_of_int n_routed_flows);
+    max_hops;
+    avg_link_load;
+    max_link_load;
+    load_imbalance =
+      (if avg_link_load = 0. then 0. else max_link_load /. avg_link_load);
+    switch_connectivity = connectivity;
+  }
+
+let flow_cut_bandwidth net ~src ~dst =
+  let topo = Network.topology net in
+  let multiplicity = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Topology.link) ->
+      let key = (Ids.Switch.to_int l.Topology.src, Ids.Switch.to_int l.Topology.dst) in
+      Hashtbl.replace multiplicity key
+        (1. +. Option.value ~default:0. (Hashtbl.find_opt multiplicity key)))
+    (Topology.links topo);
+  let g = Topology.switch_graph topo in
+  let capacity u v = Option.value ~default:0. (Hashtbl.find_opt multiplicity (u, v)) in
+  Noc_graph.Max_flow.max_flow g ~capacity ~source:(Ids.Switch.to_int src)
+    ~sink:(Ids.Switch.to_int dst)
+
+let critical_links net =
+  let topo = Network.topology net in
+  let pairs =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (f : Traffic.flow) ->
+           let src, dst = Network.endpoints net f.Traffic.id in
+           if Ids.Switch.equal src dst then None
+           else Some (Ids.Switch.to_int src, Ids.Switch.to_int dst))
+         (Traffic.flows (Network.traffic net)))
+  in
+  (* Rebuild the switch graph without one link and re-check every
+     endpoint pair; parallel links make a link non-critical by
+     construction (the twin keeps the edge alive). *)
+  let links = Topology.links topo in
+  let is_critical (victim : Topology.link) =
+    let g = Noc_graph.Digraph.create ~initial_capacity:(Topology.n_switches topo) () in
+    Noc_graph.Digraph.ensure_vertex g (Topology.n_switches topo - 1);
+    List.iter
+      (fun (l : Topology.link) ->
+        if not (Ids.Link.equal l.Topology.id victim.Topology.id) then
+          Noc_graph.Digraph.add_edge g
+            (Ids.Switch.to_int l.Topology.src)
+            (Ids.Switch.to_int l.Topology.dst))
+      links;
+    List.exists
+      (fun (s, d) ->
+        not (Noc_graph.Traversal.reachable g s).(d))
+      pairs
+  in
+  List.filter_map
+    (fun (l : Topology.link) ->
+      if is_critical l then Some l.Topology.id else None)
+    links
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>%d switches, %d links, %d VCs, %d routed flows@,\
+     hops: avg %.2f, max %d@,\
+     link load: avg %.1f MB/s, max %.1f MB/s, imbalance %.2f@,\
+     switch connectivity: %.0f%%@]"
+    m.n_switches m.n_links m.total_vcs m.n_routed_flows m.avg_hops m.max_hops
+    m.avg_link_load m.max_link_load m.load_imbalance
+    (100. *. m.switch_connectivity)

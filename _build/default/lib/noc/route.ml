@@ -1,0 +1,62 @@
+type t = Channel.t list
+
+let links r = List.map Channel.link r
+let length = List.length
+let uses_channel r c = List.exists (Channel.equal c) r
+
+let consecutive_pairs r =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  pairs r
+
+let check topo ~src ~dst r =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_vc c =
+    let have = Topology.vc_count topo (Channel.link c) in
+    if Channel.vc c >= have then
+      Some
+        (Format.asprintf "channel %a uses VC %d but link has only %d" Channel.pp c
+           (Channel.vc c) have)
+    else None
+  in
+  match r with
+  | [] ->
+      if Ids.Switch.equal src dst then Ok ()
+      else fail "empty route between distinct switches %a and %a" Ids.Switch.pp src
+             Ids.Switch.pp dst
+  | first :: _ -> (
+      match List.find_map check_vc r with
+      | Some msg -> Error msg
+      | None ->
+          let first_link = Topology.link topo (Channel.link first) in
+          let last = List.nth r (List.length r - 1) in
+          let last_link = Topology.link topo (Channel.link last) in
+          if not (Ids.Switch.equal first_link.Topology.src src) then
+            fail "route starts at %a, expected %a" Ids.Switch.pp
+              first_link.Topology.src Ids.Switch.pp src
+          else if not (Ids.Switch.equal last_link.Topology.dst dst) then
+            fail "route ends at %a, expected %a" Ids.Switch.pp last_link.Topology.dst
+              Ids.Switch.pp dst
+          else begin
+            let continuous (a, b) =
+              let la = Topology.link topo (Channel.link a) in
+              let lb = Topology.link topo (Channel.link b) in
+              Ids.Switch.equal la.Topology.dst lb.Topology.src
+            in
+            match List.find_opt (fun p -> not (continuous p)) (consecutive_pairs r) with
+            | Some (a, b) ->
+                fail "discontinuous route: %a then %a" Channel.pp a Channel.pp b
+            | None ->
+                let sorted = List.sort Channel.compare r in
+                let rec has_dup = function
+                  | a :: (b :: _ as rest) ->
+                      if Channel.equal a b then true else has_dup rest
+                  | [ _ ] | [] -> false
+                in
+                if has_dup sorted then fail "route repeats a channel" else Ok ()
+          end)
+
+let pp ppf r =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Channel.pp) r

@@ -1,0 +1,25 @@
+(** A route: the ordered list of channels a flow traverses from its
+    source switch to its destination switch (Definition 3). *)
+
+type t = Channel.t list
+
+val links : t -> Ids.Link.t list
+val length : t -> int
+
+val uses_channel : t -> Channel.t -> bool
+
+val consecutive_pairs : t -> (Channel.t * Channel.t) list
+(** The channel dependencies a route induces: [(c1,c2); (c2,c3); ...].
+    Empty for routes with fewer than two channels. *)
+
+val check : Topology.t -> src:Ids.Switch.t -> dst:Ids.Switch.t -> t ->
+  (unit, string) result
+(** Structural validation of a route on a topology:
+    - non-empty unless [src = dst];
+    - every channel's VC index is within the link's VC count;
+    - the first link leaves [src], the last enters [dst];
+    - consecutive links are head-to-tail;
+    - no channel repeats (routes are simple, as required for
+      wormhole-deadlock analysis on static routes). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type t = {
+  topo : Topology.t;
+  func : at:Ids.Switch.t -> dst:Ids.Switch.t -> Channel.t list;
+  cache : (int * int, Channel.t list) Hashtbl.t;
+}
+
+let make topo func = { topo; func; cache = Hashtbl.create 256 }
+
+let options t ~at ~dst =
+  let key = (Ids.Switch.to_int at, Ids.Switch.to_int dst) in
+  match Hashtbl.find_opt t.cache key with
+  | Some cs -> cs
+  | None ->
+      let cs =
+        if Ids.Switch.equal at dst then []
+        else begin
+          let raw = t.func ~at ~dst in
+          let validate c =
+            let info = Topology.link t.topo (Channel.link c) in
+            if not (Ids.Switch.equal info.Topology.src at) then
+              invalid_arg
+                (Format.asprintf
+                   "Routing_function: channel %a does not leave %a" Channel.pp c
+                   Ids.Switch.pp at);
+            if Channel.vc c >= Topology.vc_count t.topo (Channel.link c) then
+              invalid_arg
+                (Format.asprintf "Routing_function: channel %a does not exist"
+                   Channel.pp c)
+          in
+          List.iter validate raw;
+          List.sort_uniq Channel.compare raw
+        end
+      in
+      Hashtbl.replace t.cache key cs;
+      cs
+
+let topology t = t.topo
+
+let of_static_routes net =
+  let topo = Network.topology net in
+  (* (switch, dst switch) -> channels, harvested from the routes. *)
+  let table = Hashtbl.create 256 in
+  let harvest (flow, route) =
+    let _, dst = Network.endpoints net flow in
+    List.iter
+      (fun c ->
+        let at = (Topology.link topo (Channel.link c)).Topology.src in
+        let key = (Ids.Switch.to_int at, Ids.Switch.to_int dst) in
+        let old = Option.value ~default:[] (Hashtbl.find_opt table key) in
+        if not (List.exists (Channel.equal c) old) then
+          Hashtbl.replace table key (c :: old))
+      route
+  in
+  List.iter harvest (Network.routes net);
+  make topo (fun ~at ~dst ->
+      Option.value ~default:[]
+        (Hashtbl.find_opt table (Ids.Switch.to_int at, Ids.Switch.to_int dst)))
+
+let minimal_adaptive ?(all_vcs = true) net =
+  let topo = Network.topology net in
+  let g = Topology.switch_graph topo in
+  (* Hop distance from every switch to every destination: BFS on the
+     transposed switch graph, once per destination. *)
+  let n = Topology.n_switches topo in
+  let gt = Noc_graph.Digraph.transpose g in
+  let dist_to = Array.init n (fun d -> Noc_graph.Traversal.bfs_distances gt d) in
+  make topo (fun ~at ~dst ->
+      let d = dist_to.(Ids.Switch.to_int dst) in
+      let here = d.(Ids.Switch.to_int at) in
+      if here <= 0 then []
+      else
+        List.concat_map
+          (fun (l : Topology.link) ->
+            let next = d.(Ids.Switch.to_int l.Topology.dst) in
+            if next >= 0 && next = here - 1 then
+              if all_vcs then
+                List.init (Topology.vc_count topo l.Topology.id) (fun vc ->
+                    Channel.make l.Topology.id vc)
+              else [ Channel.make l.Topology.id 0 ]
+            else [])
+          (Topology.out_links topo at))
+
+let restrict t ~keep =
+  make t.topo (fun ~at ~dst -> List.filter keep (options t ~at ~dst))
+
+let is_connected t net =
+  let topo = Network.topology net in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  (* For each destination switch, walk the closure of switches reachable
+     under the function from each flow source; every switch in the
+     closure (except the destination) must offer at least one option. *)
+  let check_flow (f : Traffic.flow) =
+    let src, dst = Network.endpoints net f.Traffic.id in
+    if Ids.Switch.equal src dst then Ok ()
+    else begin
+      let seen = Array.make (Topology.n_switches topo) false in
+      let q = Queue.create () in
+      seen.(Ids.Switch.to_int src) <- true;
+      Queue.add src q;
+      let stranded = ref None in
+      while !stranded = None && not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        if not (Ids.Switch.equal u dst) then begin
+          match options t ~at:u ~dst with
+          | [] -> stranded := Some u
+          | cs ->
+              List.iter
+                (fun c ->
+                  let v = (Topology.link topo (Channel.link c)).Topology.dst in
+                  if not seen.(Ids.Switch.to_int v) then begin
+                    seen.(Ids.Switch.to_int v) <- true;
+                    Queue.add v q
+                  end)
+                cs
+        end
+      done;
+      match !stranded with
+      | Some u ->
+          fail "flow %a: stranded at %a while routing to %a" Ids.Flow.pp
+            f.Traffic.id Ids.Switch.pp u Ids.Switch.pp dst
+      | None -> Ok ()
+    end
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | f :: rest -> (
+        match check_flow f with Ok () -> all rest | Error _ as e -> e)
+  in
+  all (Traffic.flows (Network.traffic net))

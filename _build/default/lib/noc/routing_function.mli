@@ -1,0 +1,49 @@
+(** Adaptive routing functions.
+
+    The core flow of this library uses static per-flow routes, but the
+    deadlock theory it builds on (Dally/Duato) is stated for *routing
+    functions*: given the current switch and the destination switch,
+    the function offers a set of candidate output channels.  This
+    module provides that abstraction plus builders, so Duato's
+    necessary-and-sufficient condition ({!Noc_deadlock.Duato}) can be
+    checked on adaptive designs. *)
+
+type t
+(** A routing function over a fixed topology. *)
+
+val make :
+  Topology.t ->
+  (at:Ids.Switch.t -> dst:Ids.Switch.t -> Channel.t list) ->
+  t
+(** Wrap an arbitrary candidate-set function.  The callback is memoized
+    per (at, dst) pair; it must only return channels that exist and
+    leave [at].
+    @raise Invalid_argument (at query time) on a channel that does not
+    leave [at] or does not exist. *)
+
+val options : t -> at:Ids.Switch.t -> dst:Ids.Switch.t -> Channel.t list
+(** Candidate channels, sorted; empty at the destination or when the
+    function offers nothing. *)
+
+val topology : t -> Topology.t
+
+val of_static_routes : Network.t -> t
+(** The degenerate function induced by installed routes: at switch [u]
+    towards destination-switch [d], the channels that some flow with
+    destination switch [d] actually uses out of [u]. *)
+
+val minimal_adaptive : ?all_vcs:bool -> Network.t -> t
+(** Fully adaptive minimal routing: every channel on any minimum-hop
+    path towards the destination.  With [all_vcs] (default [true])
+    every VC of a chosen link is offered, otherwise only VC 0. *)
+
+val restrict : t -> keep:(Channel.t -> bool) -> t
+(** The subfunction offering only the channels satisfying [keep] —
+    Duato's R1. *)
+
+val is_connected : t -> Network.t -> (unit, string) result
+(** Checks that every flow's destination is reachable from its source
+    switch by always following the function (and that progress never
+    strands: every reachable intermediate switch keeps at least one
+    option).  [Error] names the first stranded (switch, destination)
+    pair. *)

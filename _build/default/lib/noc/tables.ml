@@ -1,0 +1,110 @@
+type entry = {
+  flow : Ids.Flow.t;
+  input : Channel.t option;
+  output : Channel.t option;
+}
+
+(* Key: (switch, flow, input channel).  Routes are simple, so a flow
+   presents at most one input per switch and the key is unique. *)
+type t = {
+  entries : (int * int * (Channel.t option), Channel.t option) Hashtbl.t;
+  by_switch : (int, entry list) Hashtbl.t;
+}
+
+let add t sw flow ~input ~output =
+  let key = (Ids.Switch.to_int sw, Ids.Flow.to_int flow, input) in
+  Hashtbl.replace t.entries key output;
+  let old = Option.value ~default:[] (Hashtbl.find_opt t.by_switch (Ids.Switch.to_int sw)) in
+  Hashtbl.replace t.by_switch (Ids.Switch.to_int sw) ({ flow; input; output } :: old)
+
+let compile net =
+  let topo = Network.topology net in
+  let t = { entries = Hashtbl.create 256; by_switch = Hashtbl.create 64 } in
+  let compile_route (flow, route) =
+    match route with
+    | [] -> ()
+    | first :: _ ->
+        let src_switch = (Topology.link topo (Channel.link first)).Topology.src in
+        add t src_switch flow ~input:None ~output:(Some first);
+        let rec hops = function
+          | a :: (b :: _ as rest) ->
+              let mid = (Topology.link topo (Channel.link a)).Topology.dst in
+              add t mid flow ~input:(Some a) ~output:(Some b);
+              hops rest
+          | [ last ] ->
+              let dst_switch = (Topology.link topo (Channel.link last)).Topology.dst in
+              add t dst_switch flow ~input:(Some last) ~output:None
+          | [] -> ()
+        in
+        hops route
+  in
+  List.iter compile_route (Network.routes net);
+  t
+
+let switch_entries t sw =
+  let entries =
+    Option.value ~default:[] (Hashtbl.find_opt t.by_switch (Ids.Switch.to_int sw))
+  in
+  List.sort
+    (fun a b ->
+      match Ids.Flow.compare a.flow b.flow with
+      | 0 -> Option.compare Channel.compare a.input b.input
+      | c -> c)
+    entries
+
+let lookup t sw ~flow ~input =
+  Hashtbl.find_opt t.entries (Ids.Switch.to_int sw, Ids.Flow.to_int flow, input)
+
+let total_entries t = Hashtbl.length t.entries
+
+let check net t =
+  let topo = Network.topology net in
+  let walk (flow, route) =
+    match route with
+    | [] -> Ok ()
+    | first :: _ ->
+        let src = (Topology.link topo (Channel.link first)).Topology.src in
+        let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+        let rec step sw input remaining =
+          match lookup t sw ~flow ~input with
+          | None ->
+              fail "flow %a: missing table entry at %a" Ids.Flow.pp flow
+                Ids.Switch.pp sw
+          | Some None -> (
+              match remaining with
+              | [] -> Ok ()
+              | _ :: _ ->
+                  fail "flow %a: table ejects early at %a" Ids.Flow.pp flow
+                    Ids.Switch.pp sw)
+          | Some (Some out) -> (
+              match remaining with
+              | expected :: rest when Channel.equal out expected ->
+                  let next_sw = (Topology.link topo (Channel.link out)).Topology.dst in
+                  step next_sw (Some out) rest
+              | expected :: _ ->
+                  fail "flow %a: table says %a, route says %a at %a" Ids.Flow.pp
+                    flow Channel.pp out Channel.pp expected Ids.Switch.pp sw
+              | [] ->
+                  fail "flow %a: table forwards past the destination at %a"
+                    Ids.Flow.pp flow Ids.Switch.pp sw)
+        in
+        step src None route
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | r :: rest -> ( match walk r with Ok () -> all rest | Error _ as e -> e)
+  in
+  all (Network.routes net)
+
+let pp_entry ppf e =
+  let pp_opt ppf = function
+    | None -> Format.pp_print_string ppf "local"
+    | Some c -> Channel.pp ppf c
+  in
+  Format.fprintf ppf "%a: %a -> %a" Ids.Flow.pp e.flow pp_opt e.input pp_opt
+    e.output
+
+let pp_switch t ppf sw =
+  Format.fprintf ppf "@[<v>%a:" Ids.Switch.pp sw;
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_entry e) (switch_entries t sw);
+  Format.fprintf ppf "@]"

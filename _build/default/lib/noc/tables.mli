@@ -1,0 +1,39 @@
+(** Per-switch forwarding tables: the hardware-facing compilation of
+    the flow routes.
+
+    A wormhole router with table-based routing looks up
+    (input channel, flow id) — or (local injection, flow id) — and gets
+    the output channel to request.  This module compiles a network's
+    routes into exactly those tables and cross-checks them against the
+    route set, catching the class of bugs where two flows disagree
+    about a shared table entry. *)
+
+type entry = {
+  flow : Ids.Flow.t;
+  input : Channel.t option;  (** [None] = injected locally here. *)
+  output : Channel.t option;  (** [None] = ejected locally here. *)
+}
+
+type t
+
+val compile : Network.t -> t
+(** Builds every switch's table from the current routes. *)
+
+val switch_entries : t -> Ids.Switch.t -> entry list
+(** Entries of one switch, sorted by flow id then input channel. *)
+
+val lookup :
+  t -> Ids.Switch.t -> flow:Ids.Flow.t -> input:Channel.t option ->
+  Channel.t option option
+(** [lookup t sw ~flow ~input] is [Some output] when the table has the
+    entry, [None] when it does not (the flow never presents that input
+    at that switch). *)
+
+val total_entries : t -> int
+
+val check : Network.t -> t -> (unit, string) result
+(** Re-walks every route through the compiled tables: each flow must
+    traverse from its source switch to its destination switch using
+    only table lookups.  [Error] pinpoints the first inconsistency. *)
+
+val pp_switch : t -> Format.formatter -> Ids.Switch.t -> unit

@@ -1,0 +1,55 @@
+type issue = { flow : Ids.Flow.t option; message : string }
+
+let check net =
+  let topo = Network.topology net in
+  let check_flow (f : Traffic.flow) =
+    let src, dst = Network.endpoints net f.Traffic.id in
+    let r = Network.route net f.Traffic.id in
+    if r = [] && not (Ids.Switch.equal src dst) then
+      Some { flow = Some f.Traffic.id; message = "flow has no route" }
+    else
+      match Route.check topo ~src ~dst r with
+      | Ok () -> None
+      | Error message -> Some { flow = Some f.Traffic.id; message }
+  in
+  List.filter_map check_flow (Traffic.flows (Network.traffic net))
+
+let is_valid net = check net = []
+
+let routes_equivalent ~before ~after =
+  let physical net =
+    List.map (fun (f, r) -> (f, Route.links r)) (Network.routes net)
+  in
+  let same (fa, la) (fb, lb) =
+    Ids.Flow.equal fa fb && List.length la = List.length lb
+    && List.for_all2 Ids.Link.equal la lb
+  in
+  let ra = physical before and rb = physical after in
+  List.length ra = List.length rb && List.for_all2 same ra rb
+
+let switch_paths_equivalent ~before ~after =
+  let switch_path net route =
+    let topo = Network.topology net in
+    match route with
+    | [] -> []
+    | first :: _ ->
+        let head = (Topology.link topo (Channel.link first)).Topology.src in
+        head
+        :: List.map
+             (fun c -> (Topology.link topo (Channel.link c)).Topology.dst)
+             route
+  in
+  let paths net =
+    List.map (fun (f, r) -> (f, switch_path net r)) (Network.routes net)
+  in
+  let same (fa, pa) (fb, pb) =
+    Ids.Flow.equal fa fb && List.length pa = List.length pb
+    && List.for_all2 Ids.Switch.equal pa pb
+  in
+  let ra = paths before and rb = paths after in
+  List.length ra = List.length rb && List.for_all2 same ra rb
+
+let pp_issue ppf i =
+  match i.flow with
+  | Some f -> Format.fprintf ppf "%a: %s" Ids.Flow.pp f i.message
+  | None -> Format.pp_print_string ppf i.message

@@ -1,0 +1,27 @@
+(** Whole-design invariant checking.  Used as a post-condition by the
+    deadlock-removal pass (the transformed network must still be a
+    well-formed design that routes every flow) and heavily exercised by
+    the property-based tests. *)
+
+type issue = { flow : Ids.Flow.t option; message : string }
+
+val check : Network.t -> issue list
+(** All violations found: per-flow route problems (via {!Route.check})
+    and missing routes for flows with distinct endpoints.  Empty means
+    the design is well-formed. *)
+
+val is_valid : Network.t -> bool
+
+val routes_equivalent : before:Network.t -> after:Network.t -> bool
+(** [true] iff both designs route the same flow set through the same
+    sequence of *physical links* (VC indices may differ).  The
+    VC-based deadlock-removal pass must preserve this: it only moves
+    flows between VCs of the same links. *)
+
+val switch_paths_equivalent : before:Network.t -> after:Network.t -> bool
+(** Weaker equivalence: the same flow set visits the same *switch
+    sequence* (links and VCs may differ).  This is the invariant of
+    the physical-link removal variant, which moves flows onto fresh
+    parallel links between the same switches. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/power/flow_energy.ml: Channel Format Ids List Network Noc_model Noc_synth Params Route Topology Traffic

@@ -1,0 +1,1 @@
+lib/power/flow_energy.mli: Format Ids Network Noc_model Params

@@ -1,0 +1,1 @@
+lib/power/link_model.ml: Format Ids Network Noc_model Noc_synth Params

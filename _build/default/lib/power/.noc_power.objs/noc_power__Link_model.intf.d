@@ -1,0 +1,1 @@
+lib/power/link_model.mli: Format Ids Network Noc_model Noc_synth Params

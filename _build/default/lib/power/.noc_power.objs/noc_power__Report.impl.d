@@ -1,0 +1,1 @@
+lib/power/report.ml: Format Ids Link_model List Network Noc_model Noc_synth Params Switch_model Topology

@@ -1,0 +1,1 @@
+lib/power/report.mli: Format Link_model Network Noc_model Params Switch_model

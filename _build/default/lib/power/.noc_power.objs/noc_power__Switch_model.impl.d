@@ -1,0 +1,1 @@
+lib/power/switch_model.ml: Channel Format Ids List Network Noc_model Params Topology Traffic

@@ -1,0 +1,1 @@
+lib/power/switch_model.mli: Format Ids Network Noc_model Params

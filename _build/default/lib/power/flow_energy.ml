@@ -1,0 +1,69 @@
+open Noc_model
+
+type flow_cost = {
+  flow : Ids.Flow.t;
+  hops : int;
+  energy_pj_per_bit : float;
+  power_mw : float;
+}
+
+type t = { flows : flow_cost list; total_dynamic_mw : float }
+
+let of_network ?(params = Params.default_65nm) net =
+  let topo = Network.topology net in
+  let floorplan = Noc_synth.Floorplan.make topo in
+  (* Energy for one bit to traverse one hop: buffer write+read at the
+     downstream switch, crossbar pass, arbiter share, plus the wire. *)
+  let hop_energy c =
+    let link = Channel.link c in
+    let info = Topology.link topo link in
+    let downstream = info.Topology.dst in
+    let in_ports = List.length (Topology.in_links topo downstream) + 1 in
+    let out_ports = List.length (Topology.out_links topo downstream) + 1 in
+    let wire =
+      params.Params.e_wire_pj_per_bit_mm
+      *. Noc_synth.Floorplan.link_length_mm floorplan link
+    in
+    let arbiter_per_bit =
+      params.Params.e_arbiter_pj_per_req /. float_of_int params.Params.flit_bits
+    in
+    params.Params.e_buffer_pj_per_bit
+    +. (params.Params.e_crossbar_pj_per_bit_port *. float_of_int (in_ports + out_ports))
+    +. arbiter_per_bit +. wire
+  in
+  let cost (f : Traffic.flow) =
+    let route = Network.route net f.Traffic.id in
+    let energy_pj_per_bit =
+      List.fold_left (fun acc c -> acc +. hop_energy c) 0. route
+    in
+    let bits_per_s = f.Traffic.bandwidth *. 1.0e6 *. 8. in
+    {
+      flow = f.Traffic.id;
+      hops = Route.length route;
+      energy_pj_per_bit;
+      power_mw = bits_per_s *. energy_pj_per_bit /. 1.0e9;
+    }
+  in
+  let flows = List.map cost (Traffic.flows (Network.traffic net)) in
+  {
+    flows;
+    total_dynamic_mw = List.fold_left (fun acc c -> acc +. c.power_mw) 0. flows;
+  }
+
+let ranked t =
+  List.sort
+    (fun a b ->
+      match compare b.power_mw a.power_mw with
+      | 0 -> Ids.Flow.compare a.flow b.flow
+      | c -> c)
+    t.flows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>per-flow dynamic power (total %.3f mW):"
+    t.total_dynamic_mw;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  %a: %d hops, %.2f pJ/bit, %.3f mW" Ids.Flow.pp
+        c.flow c.hops c.energy_pj_per_bit c.power_mw)
+    (ranked t);
+  Format.fprintf ppf "@]"

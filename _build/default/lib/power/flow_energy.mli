@@ -1,0 +1,26 @@
+(** Per-flow energy accounting: how many picojoules each transferred
+    bit of a flow costs along its route (buffers, crossbars, wires),
+    and therefore which flows dominate the NoC's dynamic power.  The
+    classic use is ranking candidates for remapping onto shorter
+    paths. *)
+
+open Noc_model
+
+type flow_cost = {
+  flow : Ids.Flow.t;
+  hops : int;
+  energy_pj_per_bit : float;  (** Route traversal cost for one bit. *)
+  power_mw : float;  (** At the flow's demanded bandwidth. *)
+}
+
+type t = {
+  flows : flow_cost list;  (** Flow-id order. *)
+  total_dynamic_mw : float;
+}
+
+val of_network : ?params:Params.t -> Network.t -> t
+
+val ranked : t -> flow_cost list
+(** Flows by descending power. *)
+
+val pp : Format.formatter -> t -> unit

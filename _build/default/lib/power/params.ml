@@ -1,0 +1,84 @@
+type t = {
+  voltage_v : float;
+  frequency_hz : float;
+  flit_bits : int;
+  buffer_depth : int;
+  e_buffer_pj_per_bit : float;
+  e_crossbar_pj_per_bit_port : float;
+  e_arbiter_pj_per_req : float;
+  e_wire_pj_per_bit_mm : float;
+  e_clock_fj_per_bit_cycle : float;
+  p_leak_buffer_nw_per_bit : float;
+  p_leak_crossbar_nw_per_bit_port2 : float;
+  p_leak_arbiter_nw_per_port : float;
+  a_buffer_um2_per_bit : float;
+  a_crossbar_um2_per_bit_port2 : float;
+  a_arbiter_um2_per_port_vc : float;
+  a_wire_um2_per_bit_mm : float;
+}
+
+(* Magnitudes follow the published ORION 2.0 / Intel 80-core router
+   breakdowns at 65 nm: buffer access ~0.03-0.06 pJ/bit, crossbar a few
+   hundredths of a pJ/bit/port, wires ~0.1-0.2 pJ/bit/mm, SRAM cell
+   area ~0.6 um^2/bit.  The comparisons in this project depend only on
+   monotone trends (more VCs -> more buffers -> more power/area), which
+   these constants preserve. *)
+let default_65nm =
+  {
+    voltage_v = 1.1;
+    frequency_hz = 1.0e9;
+    flit_bits = 32;
+    buffer_depth = 4;
+    e_buffer_pj_per_bit = 0.05;
+    e_crossbar_pj_per_bit_port = 0.01;
+    e_arbiter_pj_per_req = 0.3;
+    e_wire_pj_per_bit_mm = 0.15;
+    e_clock_fj_per_bit_cycle = 3.0;
+    p_leak_buffer_nw_per_bit = 25.0;
+    p_leak_crossbar_nw_per_bit_port2 = 0.4;
+    p_leak_arbiter_nw_per_port = 150.0;
+    a_buffer_um2_per_bit = 28.0;
+    a_crossbar_um2_per_bit_port2 = 5.0;
+    a_arbiter_um2_per_port_vc = 120.0;
+    a_wire_um2_per_bit_mm = 12.0;
+  }
+
+(* One-node scalings, first order: dynamic energy ~ C*V^2 shrinks ~0.55x
+   per node; cell area ~0.5x; leakage density grows as oxides thin. *)
+let scaled_90nm =
+  {
+    default_65nm with
+    voltage_v = 1.2;
+    frequency_hz = 0.8e9;
+    e_buffer_pj_per_bit = default_65nm.e_buffer_pj_per_bit /. 0.55;
+    e_crossbar_pj_per_bit_port = default_65nm.e_crossbar_pj_per_bit_port /. 0.55;
+    e_arbiter_pj_per_req = default_65nm.e_arbiter_pj_per_req /. 0.55;
+    e_wire_pj_per_bit_mm = default_65nm.e_wire_pj_per_bit_mm /. 0.7;
+    e_clock_fj_per_bit_cycle = default_65nm.e_clock_fj_per_bit_cycle /. 0.55;
+    p_leak_buffer_nw_per_bit = default_65nm.p_leak_buffer_nw_per_bit *. 0.4;
+    a_buffer_um2_per_bit = default_65nm.a_buffer_um2_per_bit /. 0.5;
+    a_crossbar_um2_per_bit_port2 = default_65nm.a_crossbar_um2_per_bit_port2 /. 0.5;
+    a_arbiter_um2_per_port_vc = default_65nm.a_arbiter_um2_per_port_vc /. 0.5;
+    a_wire_um2_per_bit_mm = default_65nm.a_wire_um2_per_bit_mm /. 0.7;
+  }
+
+let scaled_45nm =
+  {
+    default_65nm with
+    voltage_v = 1.0;
+    frequency_hz = 1.5e9;
+    e_buffer_pj_per_bit = default_65nm.e_buffer_pj_per_bit *. 0.55;
+    e_crossbar_pj_per_bit_port = default_65nm.e_crossbar_pj_per_bit_port *. 0.55;
+    e_arbiter_pj_per_req = default_65nm.e_arbiter_pj_per_req *. 0.55;
+    e_wire_pj_per_bit_mm = default_65nm.e_wire_pj_per_bit_mm *. 0.7;
+    e_clock_fj_per_bit_cycle = default_65nm.e_clock_fj_per_bit_cycle *. 0.55;
+    p_leak_buffer_nw_per_bit = default_65nm.p_leak_buffer_nw_per_bit *. 2.5;
+    a_buffer_um2_per_bit = default_65nm.a_buffer_um2_per_bit *. 0.5;
+    a_crossbar_um2_per_bit_port2 = default_65nm.a_crossbar_um2_per_bit_port2 *. 0.5;
+    a_arbiter_um2_per_port_vc = default_65nm.a_arbiter_um2_per_port_vc *. 0.5;
+    a_wire_um2_per_bit_mm = default_65nm.a_wire_um2_per_bit_mm *. 0.7;
+  }
+
+let link_capacity_mbps p =
+  (* One flit per cycle; flit_bits/8 bytes per flit; report MB/s. *)
+  p.frequency_hz *. float_of_int p.flit_bits /. 8. /. 1.0e6

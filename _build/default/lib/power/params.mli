@@ -1,0 +1,48 @@
+(** Technology and microarchitecture parameters of the power/area
+    model.  Defaults are calibrated to the order of magnitude of
+    ORION 2.0 at 65 nm / 1.1 V / 1 GHz with 32-bit flits and 4-flit VC
+    buffers: a 5x5 router at moderate load lands in the
+    single-digit-milliwatt range, with buffers the dominant term — the
+    property the paper's VC-count comparisons rely on. *)
+
+type t = {
+  voltage_v : float;
+  frequency_hz : float;
+  flit_bits : int;
+  buffer_depth : int;  (** Flits per VC buffer. *)
+  (* Dynamic energy coefficients. *)
+  e_buffer_pj_per_bit : float;
+      (** Write + read energy per bit through a VC FIFO. *)
+  e_crossbar_pj_per_bit_port : float;
+      (** Per bit and per (in+out)-port of the crossbar. *)
+  e_arbiter_pj_per_req : float;  (** Per allocation request. *)
+  e_wire_pj_per_bit_mm : float;  (** Link traversal per bit per mm. *)
+  e_clock_fj_per_bit_cycle : float;
+      (** Clock power of buffer storage cells: every buffer bit burns
+          this much per cycle whether or not traffic flows (ORION 2.0
+          models clock power as a first-class, often dominant term).
+          This is what makes an unused extra VC expensive. *)
+  (* Leakage power coefficients. *)
+  p_leak_buffer_nw_per_bit : float;
+  p_leak_crossbar_nw_per_bit_port2 : float;
+      (** Per bit of datapath width and per (in*out) port product. *)
+  p_leak_arbiter_nw_per_port : float;
+  (* Area coefficients. *)
+  a_buffer_um2_per_bit : float;
+  a_crossbar_um2_per_bit_port2 : float;
+  a_arbiter_um2_per_port_vc : float;
+  a_wire_um2_per_bit_mm : float;  (** Repeater/driver area. *)
+}
+
+val default_65nm : t
+
+val scaled_90nm : t
+(** 65 nm constants scaled up one node: higher dynamic energy and
+    area, lower leakage density, 0.8 GHz. *)
+
+val scaled_45nm : t
+(** 65 nm constants scaled down one node: lower dynamic energy and
+    area, markedly higher leakage density, 1.5 GHz. *)
+
+val link_capacity_mbps : t -> float
+(** Peak bandwidth of one link: one flit per cycle, in MB/s. *)

@@ -1,0 +1,24 @@
+(** Whole-network power and area rollup — the quantities behind the
+    paper's Figure 10 and its 66 % area / 8.6 % power savings claims. *)
+
+open Noc_model
+
+type t = {
+  switch_dynamic_mw : float;
+  switch_leakage_mw : float;
+  link_dynamic_mw : float;
+  total_power_mw : float;
+  switch_area_mm2 : float;
+  link_area_mm2 : float;
+  total_area_mm2 : float;
+  total_vcs : int;
+  switches : Switch_model.breakdown list;
+  links : Link_model.breakdown list;
+}
+
+val of_network : ?params:Params.t -> Network.t -> t
+(** Evaluates the model on the network's current topology, VC counts
+    and routed loads.  The floorplan is derived from the topology. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/adaptive_engine.ml: Channel Engine Format Hashtbl Ids List Network Noc_model Option Queue Routing_function Stats Topology Trace Traffic

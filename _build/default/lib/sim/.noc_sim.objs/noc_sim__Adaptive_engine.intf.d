@@ -1,0 +1,1 @@
+lib/sim/adaptive_engine.mli: Engine Format Ids Network Noc_model Routing_function Stats Trace

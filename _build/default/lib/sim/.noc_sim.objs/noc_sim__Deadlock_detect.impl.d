@@ -1,0 +1,1 @@
+lib/sim/deadlock_detect.ml: Array Hashtbl List Noc_graph

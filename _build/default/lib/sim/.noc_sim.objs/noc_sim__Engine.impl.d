@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Channel Deadlock_detect Format Hashtbl Ids List Network Noc_model Option Packet Queue Stats Topology Trace

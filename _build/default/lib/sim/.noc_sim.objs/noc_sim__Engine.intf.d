@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Format Network Noc_model Packet Stats Trace

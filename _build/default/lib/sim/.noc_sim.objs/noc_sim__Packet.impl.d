@@ -1,0 +1,1 @@
+lib/sim/packet.ml: Array Channel Format Ids List Noc_model

@@ -1,0 +1,1 @@
+lib/sim/packet.mli: Channel Format Ids Noc_model

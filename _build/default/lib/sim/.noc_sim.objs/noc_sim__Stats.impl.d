@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Channel Format Hashtbl Ids List Noc_model

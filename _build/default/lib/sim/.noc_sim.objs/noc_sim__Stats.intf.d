@@ -1,0 +1,1 @@
+lib/sim/stats.mli: Channel Format Ids Noc_model

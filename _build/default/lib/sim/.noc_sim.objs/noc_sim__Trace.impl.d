@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Channel Format Hashtbl List Noc_model Option

@@ -1,0 +1,1 @@
+lib/sim/traffic_gen.ml: Ids List Network Noc_model Packet Traffic

@@ -1,0 +1,1 @@
+lib/sim/traffic_gen.mli: Network Noc_model Packet

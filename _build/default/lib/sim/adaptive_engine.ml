@@ -1,0 +1,320 @@
+open Noc_model
+
+type workload = {
+  id : int;
+  flow : Ids.Flow.t;
+  src : Ids.Switch.t;
+  dst : Ids.Switch.t;
+  length : int;
+  inject_at : int;
+}
+
+let workload_of_flows net ~packet_length ~packets_per_flow =
+  let next = ref 0 in
+  List.concat_map
+    (fun (f : Traffic.flow) ->
+      let src, dst = Network.endpoints net f.Traffic.id in
+      if Ids.Switch.equal src dst then []
+      else
+        List.init packets_per_flow (fun _ ->
+            let id = !next in
+            incr next;
+            { id; flow = f.Traffic.id; src; dst; length = packet_length; inject_at = 0 }))
+    (Traffic.flows (Network.traffic net))
+
+type stalled = { cycle : int; in_network_flits : int; blocked_packets : int list }
+
+type outcome = Completed of Stats.t | Stalled of stalled | Timed_out of Stats.t
+
+(* Per-packet dynamic state: the path its head has carved so far
+   (reversed), how many flits the source has pushed, etc. *)
+type job = {
+  w : workload;
+  mutable path_rev : Channel.t list;
+  mutable sent : int;  (** Flits injected so far. *)
+  mutable finished : bool;
+}
+
+type buffered = { job : job; flit_index : int; mutable arrived : int }
+
+type chan_state = {
+  channel : Channel.t;
+  head_switch : Ids.Switch.t;  (** Downstream endpoint of the link. *)
+  capacity : int;
+  queue : buffered Queue.t;
+  mutable owner : int option;
+  mutable accepted : bool;
+  mutable arrivals : int;
+}
+
+let run ?(config = Engine.default_config)
+    ?(on_event = fun (_ : Trace.event) -> ()) net rf workloads =
+  let topo = Network.topology net in
+  let states = Channel.Table.create 256 in
+  List.iter
+    (fun c ->
+      Channel.Table.replace states c
+        {
+          channel = c;
+          head_switch = (Topology.link topo (Channel.link c)).Topology.dst;
+          capacity = config.Engine.buffer_depth;
+          queue = Queue.create ();
+          owner = None;
+          accepted = false;
+          arrivals = 0;
+        })
+    (Topology.channels topo);
+  let state c =
+    match Channel.Table.find_opt states c with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          (Format.asprintf "Adaptive_engine: routing function offered unknown %a"
+             Channel.pp c)
+  in
+  let channel_order =
+    List.map state (List.sort Channel.compare (Topology.channels topo))
+  in
+  let jobs =
+    List.map (fun w -> { w; path_rev = []; sent = 0; finished = false }) workloads
+  in
+  (* Source queues per flow, jobs in (inject_at, id) order. *)
+  let sources =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun j ->
+        let k = Ids.Flow.to_int j.w.flow in
+        Hashtbl.replace tbl k (j :: Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+      jobs;
+    Hashtbl.fold
+      (fun k js acc ->
+        ( k,
+          ref
+            (List.sort
+               (fun a b ->
+                 match compare a.w.inject_at b.w.inject_at with
+                 | 0 -> compare a.w.id b.w.id
+                 | c -> c)
+               js) )
+        :: acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let n_packets = List.length workloads in
+  let flits_moved = ref 0 in
+  let acc = Stats.Accumulator.create () in
+  (* Position of channel [c] in a job's carved path. *)
+  let path_index j c =
+    let rec find i = function
+      | [] -> invalid_arg "Adaptive_engine: flit off its path"
+      | x :: rest -> if Channel.equal x c then i else find (i - 1) rest
+    in
+    find (List.length j.path_rev - 1) j.path_rev
+  in
+  let path_nth j i = List.nth (List.rev j.path_rev) i in
+  (* Try to acquire a next channel among the function's candidates:
+     first free-with-space candidate wins. *)
+  let try_extend j ~at cycle =
+    let candidates = Routing_function.options rf ~at ~dst:j.w.dst in
+    let free cs' =
+      cs'.owner = None && (not cs'.accepted) && Queue.length cs'.queue < cs'.capacity
+    in
+    let rec pick = function
+      | [] -> None
+      | c :: rest ->
+          let cs' = state c in
+          (* Minimal adaptivity is loopless, but guard against a
+             function offering a channel already on the path. *)
+          if List.exists (Channel.equal c) j.path_rev then pick rest
+          else if free cs' then Some cs'
+          else pick rest
+    in
+    match pick candidates with
+    | None -> None
+    | Some cs' ->
+        cs'.owner <- Some j.w.id;
+        on_event
+          (Trace.Acquire { cycle; packet = j.w.id; channel = cs'.channel });
+        cs'.accepted <- true;
+        cs'.arrivals <- cs'.arrivals + 1;
+        j.path_rev <- cs'.channel :: j.path_rev;
+        Some cs'
+  in
+  let step cycle =
+    let moved = ref false in
+    List.iter (fun cs -> cs.accepted <- false) channel_order;
+    let forward cs =
+      match Queue.peek_opt cs.queue with
+      | None -> ()
+      | Some b when b.arrived + config.Engine.router_latency > cycle -> ()
+      | Some b ->
+          let j = b.job in
+          let i = path_index j cs.channel in
+          let at_path_end = i = List.length j.path_rev - 1 in
+          let is_tail = b.flit_index = j.w.length - 1 in
+          if at_path_end && Ids.Switch.equal cs.head_switch j.w.dst then begin
+            (* Ejection. *)
+            ignore (Queue.pop cs.queue);
+            incr flits_moved;
+            moved := true;
+            if is_tail then begin
+              cs.owner <- None;
+              on_event
+                (Trace.Release { cycle; packet = j.w.id; channel = cs.channel });
+              j.finished <- true;
+              Stats.Accumulator.record acc ~flow:j.w.flow
+                ~latency:(cycle - j.w.inject_at);
+              on_event (Trace.Deliver { cycle; packet = j.w.id })
+            end
+          end
+          else begin
+            let target =
+              if at_path_end then begin
+                (* Only the head extends the path. *)
+                if b.flit_index = 0 then try_extend j ~at:cs.head_switch cycle
+                else None
+              end
+              else begin
+                let cs' = state (path_nth j (i + 1)) in
+                if
+                  (not cs'.accepted)
+                  && Queue.length cs'.queue < cs'.capacity
+                  && cs'.owner = Some j.w.id
+                then begin
+                  cs'.accepted <- true;
+                  cs'.arrivals <- cs'.arrivals + 1;
+                  Some cs'
+                end
+                else None
+              end
+            in
+            match target with
+            | None -> ()
+            | Some cs' ->
+                ignore (Queue.pop cs.queue);
+                Queue.push { job = j; flit_index = b.flit_index; arrived = cycle } cs'.queue;
+                on_event
+                  (Trace.Hop
+                     {
+                       cycle;
+                       packet = j.w.id;
+                       flit = b.flit_index;
+                       channel = cs'.channel;
+                     });
+                if is_tail then begin
+                  cs.owner <- None;
+                  on_event
+                    (Trace.Release { cycle; packet = j.w.id; channel = cs.channel })
+                end;
+                incr flits_moved;
+                moved := true
+          end
+    in
+    List.iter forward channel_order;
+    let inject src =
+      match !src with
+      | [] -> ()
+      | j :: rest ->
+          if j.w.inject_at <= cycle then begin
+            let target =
+              if j.sent = 0 then try_extend j ~at:j.w.src cycle
+              else begin
+                match j.path_rev with
+                | [] -> None
+                | _ ->
+                    let cs' = state (path_nth j 0) in
+                    if
+                      (not cs'.accepted)
+                      && Queue.length cs'.queue < cs'.capacity
+                      && cs'.owner = Some j.w.id
+                    then begin
+                      cs'.accepted <- true;
+                      cs'.arrivals <- cs'.arrivals + 1;
+                      Some cs'
+                    end
+                    else None
+              end
+            in
+            match target with
+            | None -> ()
+            | Some cs' ->
+                if j.sent = 0 then
+                  on_event (Trace.Inject { cycle; packet = j.w.id });
+                Queue.push { job = j; flit_index = j.sent; arrived = cycle } cs'.queue;
+                on_event
+                  (Trace.Hop
+                     { cycle; packet = j.w.id; flit = j.sent; channel = cs'.channel });
+                j.sent <- j.sent + 1;
+                incr flits_moved;
+                moved := true;
+                if j.sent = j.w.length then src := rest
+          end
+    in
+    List.iter inject sources;
+    !moved
+  in
+  let network_flits () =
+    Channel.Table.fold (fun _ cs n -> n + Queue.length cs.queue) states 0
+  in
+  let stats cycle =
+    let channel_moves =
+      List.filter_map
+        (fun cs -> if cs.arrivals > 0 then Some (cs.channel, cs.arrivals) else None)
+        channel_order
+    in
+    {
+      Stats.cycles = cycle;
+      delivered = Stats.Accumulator.delivered acc;
+      flits_moved = !flits_moved;
+      per_flow = Stats.Accumulator.flow_stats acc;
+      channel_moves;
+    }
+  in
+  let blocked () =
+    let from_channels =
+      List.filter_map
+        (fun cs ->
+          match Queue.peek_opt cs.queue with
+          | Some b when not b.job.finished -> Some b.job.w.id
+          | Some _ | None -> None)
+        channel_order
+    in
+    let from_sources =
+      List.filter_map
+        (fun src -> match !src with j :: _ -> Some j.w.id | [] -> None)
+        sources
+    in
+    List.sort_uniq compare (from_channels @ from_sources)
+  in
+  let rec loop cycle stall =
+    if Stats.Accumulator.delivered acc = n_packets then Completed (stats cycle)
+    else if cycle >= config.Engine.max_cycles then Timed_out (stats cycle)
+    else begin
+      let moved = step cycle in
+      let alive =
+        network_flits () > 0
+        || List.exists
+             (fun src ->
+               match !src with j :: _ -> j.w.inject_at <= cycle | [] -> false)
+             sources
+      in
+      let stall = if moved || not alive then 0 else stall + 1 in
+      let threshold =
+        max config.Engine.stall_threshold (4 * config.Engine.router_latency)
+      in
+      if stall >= threshold then
+        Stalled
+          { cycle; in_network_flits = network_flits (); blocked_packets = blocked () }
+      else loop (cycle + 1) stall
+    end
+  in
+  loop 0 0
+
+let pp_outcome ppf = function
+  | Completed s -> Format.fprintf ppf "completed: %a" Stats.pp s
+  | Timed_out s -> Format.fprintf ppf "TIMED OUT: %a" Stats.pp s
+  | Stalled d ->
+      Format.fprintf ppf "STALLED at cycle %d: %d flits stuck, %d blocked packets"
+        d.cycle d.in_network_flits
+        (List.length d.blocked_packets)

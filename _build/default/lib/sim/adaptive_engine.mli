@@ -1,0 +1,62 @@
+(** Wormhole simulator with {e adaptive} routing: instead of a fixed
+    per-packet channel list, each packet's head consults a
+    {!Noc_model.Routing_function.t} at every switch and grabs the first
+    candidate channel that is free and has space (deterministic
+    preference order: the function's own channel order).  The body
+    follows the path the head carved.
+
+    This is the runtime companion of {!Noc_deadlock.Duato}: a function
+    that passes Duato's check (e.g. fully adaptive VC 1 with an XY
+    escape lane on VC 0) completes any workload here, while an
+    unprotected adaptive function on a cyclic topology can be driven
+    into a standing stall.
+
+    Note on stall semantics: an adaptive head waits on {e all} its
+    candidate channels at once and proceeds when any frees up
+    (OR-waiting), so a waits-for {e cycle} is no longer a sufficient
+    deadlock witness; the stall watchdog (no flit moved for
+    [stall_threshold] cycles) is the ground truth and the blocked-set
+    report is diagnostic. *)
+
+open Noc_model
+
+type workload = {
+  id : int;
+  flow : Ids.Flow.t;
+  src : Ids.Switch.t;
+  dst : Ids.Switch.t;
+  length : int;  (** Flits. *)
+  inject_at : int;
+}
+
+val workload_of_flows :
+  Network.t -> packet_length:int -> packets_per_flow:int -> workload list
+(** Burst workload straight from the network's flow endpoints (no
+    static routes needed); same-switch flows are skipped. *)
+
+type stalled = {
+  cycle : int;
+  in_network_flits : int;
+  blocked_packets : int list;
+}
+
+type outcome =
+  | Completed of Stats.t
+  | Stalled of stalled  (** No flit moved for [stall_threshold] cycles. *)
+  | Timed_out of Stats.t
+
+val run :
+  ?config:Engine.config ->
+  ?on_event:(Trace.event -> unit) ->
+  Network.t ->
+  Routing_function.t ->
+  workload list ->
+  outcome
+(** Simulates the workload under the routing function.  [on_event]
+    receives the same event stream as {!Engine.run}; note that
+    {!Trace.check_route_order} does not apply (paths are carved at
+    runtime), but ownership and balance invariants do.
+    @raise Invalid_argument when the function offers a channel that
+    does not exist. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,24 @@
+type edge = { waiter : int; holder : int }
+
+(* Packet ids are sparse; compact them into dense graph vertices. *)
+let find_cycle edges =
+  let ids = Hashtbl.create 16 in
+  let names = ref [] in
+  let intern id =
+    match Hashtbl.find_opt ids id with
+    | Some v -> v
+    | None ->
+        let v = Hashtbl.length ids in
+        Hashtbl.replace ids id v;
+        names := id :: !names;
+        v
+  in
+  let g = Noc_graph.Digraph.create () in
+  List.iter (fun e -> Noc_graph.Digraph.add_edge g (intern e.waiter) (intern e.holder)) edges;
+  match Noc_graph.Cycles.find_any g with
+  | None -> None
+  | Some vertices ->
+      let arr = Array.of_list (List.rev !names) in
+      Some (List.map (fun v -> arr.(v)) vertices)
+
+let is_deadlocked edges = find_cycle edges <> None

@@ -1,0 +1,14 @@
+(** Waits-for analysis over blocked packets.
+
+    The simulator reports, for each blocked packet, which packet owns
+    the channel it is waiting to acquire.  A directed cycle in that
+    waits-for relation is a genuine wormhole deadlock certificate: no
+    packet in the cycle can ever advance. *)
+
+type edge = { waiter : int; holder : int }
+(** Packet ids: [waiter] is blocked on a channel owned by [holder]. *)
+
+val find_cycle : edge list -> int list option
+(** A cycle of packet ids in the waits-for relation, or [None]. *)
+
+val is_deadlocked : edge list -> bool

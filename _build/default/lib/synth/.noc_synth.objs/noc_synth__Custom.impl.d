@@ -1,0 +1,1 @@
+lib/synth/custom.ml: Array Fm_partition Ids List Mapping Network Noc_graph Noc_model Routing Topology Traffic

@@ -1,0 +1,1 @@
+lib/synth/custom.mli: Network Noc_model Traffic

@@ -1,0 +1,1 @@
+lib/synth/floorplan.ml: Ids List Noc_model Topology

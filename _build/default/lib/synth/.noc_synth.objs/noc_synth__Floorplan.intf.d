@@ -1,0 +1,1 @@
+lib/synth/floorplan.mli: Ids Noc_model Topology

@@ -1,0 +1,1 @@
+lib/synth/fm_partition.ml: Array Hashtbl Ids List Noc_model Traffic

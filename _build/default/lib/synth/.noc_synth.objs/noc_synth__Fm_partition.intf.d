@@ -1,0 +1,1 @@
+lib/synth/fm_partition.mli: Ids Noc_model Traffic

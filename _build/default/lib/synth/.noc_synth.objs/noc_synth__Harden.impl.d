@@ -1,0 +1,1 @@
+lib/synth/harden.ml: Format List Metrics Network Noc_model Topology

@@ -1,0 +1,1 @@
+lib/synth/harden.mli: Format Network Noc_model

@@ -1,0 +1,1 @@
+lib/synth/mapping.ml: Array Ids List Noc_model Traffic

@@ -1,0 +1,1 @@
+lib/synth/mapping.mli: Ids Noc_model Traffic

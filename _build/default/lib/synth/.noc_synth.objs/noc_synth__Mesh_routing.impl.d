@@ -1,0 +1,1 @@
+lib/synth/mesh_routing.ml: Channel Format Ids List Network Noc_model Routing_function Topology

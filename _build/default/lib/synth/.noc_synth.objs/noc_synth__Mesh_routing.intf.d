@@ -1,0 +1,1 @@
+lib/synth/mesh_routing.mli: Network Noc_model Routing_function

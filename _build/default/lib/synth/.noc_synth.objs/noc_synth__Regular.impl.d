@@ -1,0 +1,1 @@
+lib/synth/regular.ml: Ids Noc_model Topology

@@ -1,0 +1,1 @@
+lib/synth/regular.mli: Ids Noc_model Topology

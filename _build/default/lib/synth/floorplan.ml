@@ -1,0 +1,30 @@
+open Noc_model
+
+type t = { topo : Topology.t; columns : int; tile_mm : float }
+
+let make ?(tile_mm = 1.0) topo =
+  let n = Topology.n_switches topo in
+  let columns = int_of_float (ceil (sqrt (float_of_int n))) in
+  { topo; columns = max 1 columns; tile_mm }
+
+let position t s =
+  let i = Ids.Switch.to_int s in
+  (i mod t.columns, i / t.columns)
+
+let link_length_mm t l =
+  let info = Topology.link t.topo l in
+  let x1, y1 = position t info.Topology.src in
+  let x2, y2 = position t info.Topology.dst in
+  let manhattan = abs (x1 - x2) + abs (y1 - y2) in
+  float_of_int (max 1 manhattan) *. t.tile_mm
+
+let total_wire_mm t =
+  List.fold_left
+    (fun acc (l : Topology.link) -> acc +. link_length_mm t l.Topology.id)
+    0.
+    (Topology.links t.topo)
+
+let bounding_box_mm t =
+  let n = Topology.n_switches t.topo in
+  let rows = (n + t.columns - 1) / t.columns in
+  (float_of_int t.columns *. t.tile_mm, float_of_int rows *. t.tile_mm)

@@ -1,0 +1,24 @@
+(** Grid floorplan approximation: switches are placed on a near-square
+    grid in id order; link length is the Manhattan distance between the
+    endpoints' tiles.  This feeds the wire-power term of the power
+    model (the paper's flow used floorplan-aware synthesis [9]; the
+    relative comparisons only need consistent, monotone lengths). *)
+
+open Noc_model
+
+type t
+
+val make : ?tile_mm:float -> Topology.t -> t
+(** [tile_mm] is the pitch between adjacent tiles (default 1.0 mm). *)
+
+val position : t -> Ids.Switch.t -> int * int
+(** Grid coordinates of a switch. *)
+
+val link_length_mm : t -> Ids.Link.t -> float
+(** Manhattan wire length of a link; at least one tile pitch. *)
+
+val total_wire_mm : t -> float
+(** Sum of all link lengths. *)
+
+val bounding_box_mm : t -> float * float
+(** Width and height of the occupied grid. *)

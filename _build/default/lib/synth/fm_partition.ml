@@ -1,0 +1,131 @@
+open Noc_model
+
+(* Undirected affinity between two cores. *)
+let affinity_matrix traffic =
+  let n = Traffic.n_cores traffic in
+  let m = Array.make_matrix n n 0. in
+  List.iter
+    (fun (f : Traffic.flow) ->
+      let a = Ids.Core.to_int f.Traffic.src and b = Ids.Core.to_int f.Traffic.dst in
+      m.(a).(b) <- m.(a).(b) +. f.Traffic.bandwidth;
+      m.(b).(a) <- m.(b).(a) +. f.Traffic.bandwidth)
+    (Traffic.flows traffic);
+  m
+
+let cut_bandwidth traffic left right =
+  let m = affinity_matrix traffic in
+  List.fold_left
+    (fun acc a -> List.fold_left (fun acc b -> acc +. m.(a).(b)) acc right)
+    0. left
+
+let bipartition traffic ~cores ~max_part =
+  let k = List.length cores in
+  if k < 2 then invalid_arg "Fm_partition.bipartition: need at least 2 cores";
+  if 2 * max_part < k then
+    invalid_arg "Fm_partition.bipartition: cap makes a legal split impossible";
+  let m = affinity_matrix traffic in
+  let arr = Array.of_list (List.sort compare cores) in
+  (* Initial split: first half left, second half right (stable and
+     deterministic; FM refines it). *)
+  let side = Hashtbl.create k in
+  Array.iteri (fun i c -> Hashtbl.replace side c (i < (k + 1) / 2)) arr;
+  let in_left c = Hashtbl.find side c in
+  let size_left () = Array.fold_left (fun n c -> if in_left c then n + 1 else n) 0 arr in
+  (* Gain of moving core c to the other side: external - internal
+     affinity (within this core subset only). *)
+  let gain c =
+    Array.fold_left
+      (fun g c' ->
+        if c' = c then g
+        else if in_left c' = in_left c then g -. m.(c).(c')
+        else g +. m.(c).(c'))
+      0. arr
+  in
+  (* One FM pass: move-and-lock every core in best-gain order, then
+     keep the best prefix. *)
+  let pass () =
+    let locked = Hashtbl.create k in
+    let moves = ref [] in
+    let cum = ref 0. and best_cum = ref 0. and best_len = ref 0 in
+    for step = 1 to k do
+      (* Pick the unlocked core with the highest gain whose move keeps
+         both sides within the cap. *)
+      let best = ref None in
+      Array.iter
+        (fun c ->
+          if not (Hashtbl.mem locked c) then begin
+            let l = size_left () in
+            let new_left = if in_left c then l - 1 else l + 1 in
+            if new_left <= max_part && k - new_left <= max_part then begin
+              let g = gain c in
+              match !best with
+              | Some (g', c') when g' > g || (g' = g && c' < c) -> ()
+              | Some _ | None -> best := Some (g, c)
+            end
+          end)
+        arr;
+      match !best with
+      | None -> ()
+      | Some (g, c) ->
+          Hashtbl.replace side c (not (in_left c));
+          Hashtbl.replace locked c ();
+          cum := !cum +. g;
+          moves := c :: !moves;
+          if !cum > !best_cum +. 1e-9 then begin
+            best_cum := !cum;
+            best_len := step
+          end
+    done;
+    (* Roll back the moves after the best prefix. *)
+    let all = List.rev !moves in
+    List.iteri
+      (fun i c -> if i >= !best_len then Hashtbl.replace side c (not (in_left c)))
+      all;
+    !best_cum > 1e-9
+  in
+  let rec refine budget = if budget > 0 && pass () then refine (budget - 1) in
+  refine 8;
+  let left = List.filter in_left (Array.to_list arr) in
+  let right = List.filter (fun c -> not (in_left c)) (Array.to_list arr) in
+  (left, right)
+
+let cluster traffic ~n_switches =
+  let n = Traffic.n_cores traffic in
+  if n_switches <= 0 then invalid_arg "Fm_partition.cluster: n_switches <= 0";
+  if n_switches > n then invalid_arg "Fm_partition.cluster: more switches than cores";
+  (* Recursively split the core set, always giving each side a number
+     of target parts proportional to its share. *)
+  let mapping = Array.make n (-1) in
+  let next_part = ref 0 in
+  let rec split cores parts =
+    if parts <= 1 || List.length cores <= 1 then begin
+      let p = !next_part in
+      incr next_part;
+      List.iter (fun c -> mapping.(c) <- p) cores
+    end
+    else begin
+      let k = List.length cores in
+      let parts_left = parts / 2 in
+      let parts_right = parts - parts_left in
+      let left, right = bipartition traffic ~cores ~max_part:((k + 1) / 2) in
+      (* Each side must keep at least one core per part it will host;
+         move smallest-id cores across until both minima hold. *)
+      let rec rebalance left right =
+        if List.length left < parts_left then
+          match right with
+          | c :: rest -> rebalance (c :: left) rest
+          | [] -> (left, right)
+        else if List.length right < parts_right then
+          match left with
+          | c :: rest -> rebalance rest (c :: right)
+          | [] -> (left, right)
+        else (left, right)
+      in
+      let left, right = rebalance left right in
+      split left parts_left;
+      split right parts_right
+    end
+  in
+  split (List.init n (fun i -> i)) n_switches;
+  (* Densify part ids (they already are dense by construction). *)
+  Array.map Ids.Switch.of_int mapping

@@ -1,0 +1,28 @@
+(** Fiduccia–Mattheyses bipartitioning, applied recursively to map
+    cores onto switches — the classic min-cut alternative to the
+    greedy agglomerative mapper in {!Mapping}.
+
+    FM iteratively moves the single core with the best gain (reduction
+    in cut bandwidth) across the partition boundary, locks it, and
+    keeps the best prefix of the move sequence; balance is enforced as
+    a maximum part size.  Recursion then splits each part until enough
+    parts exist for one switch each. *)
+
+open Noc_model
+
+val bipartition :
+  Traffic.t -> cores:int list -> max_part:int -> int list * int list
+(** One FM bipartition of the given cores (by id) under the size cap
+    [max_part] per side.  Deterministic.
+    @raise Invalid_argument when [cores] has fewer than 2 elements or
+    the cap makes a legal split impossible. *)
+
+val cluster : Traffic.t -> n_switches:int -> Ids.Switch.t array
+(** Recursive FM mapping of every core to a switch; same contract as
+    {!Mapping.cluster} (all switches used, deterministic).
+    @raise Invalid_argument when [n_switches <= 0] or
+    [n_switches > n_cores]. *)
+
+val cut_bandwidth : Traffic.t -> int list -> int list -> float
+(** Total bandwidth crossing between the two core sets (both
+    directions). *)

@@ -1,0 +1,26 @@
+open Noc_model
+
+type report = { links_added : int; remaining_critical : int }
+
+let run net =
+  let topo = Network.topology net in
+  let added = ref 0 in
+  let rec fix budget =
+    match Metrics.critical_links net with
+    | [] -> ()
+    | victim :: _ when budget > 0 ->
+        (* A parallel twin is the minimal repair: it keeps the switch
+           graph identical under any single failure of the pair. *)
+        let info = Topology.link topo victim in
+        ignore
+          (Topology.add_link topo ~src:info.Topology.src ~dst:info.Topology.dst);
+        incr added;
+        fix (budget - 1)
+    | _ :: _ -> ()
+  in
+  fix (Topology.n_links topo + 1);
+  { links_added = !added; remaining_critical = List.length (Metrics.critical_links net) }
+
+let pp_report ppf r =
+  Format.fprintf ppf "hardening: %d backup link(s) added, %d critical link(s) remain"
+    r.links_added r.remaining_critical

@@ -1,0 +1,24 @@
+(** Topology hardening: eliminate single points of failure.
+
+    {!Noc_model.Metrics.critical_links} finds the links whose loss
+    disconnects some flow pair.  This pass adds, for each critical
+    link, a backup path: a parallel link if nothing cheaper exists, or
+    nothing at all when an alternative route already exists but was
+    simply not needed.  The result is a design where every routed flow
+    pair survives any single link failure. *)
+
+open Noc_model
+
+type report = {
+  links_added : int;
+  remaining_critical : int;  (** Should be [0] after hardening. *)
+}
+
+val run : Network.t -> report
+(** Adds backup links until {!Noc_model.Metrics.critical_links} is
+    empty (or no further progress is possible — never observed, since
+    a parallel link always removes the criticality of its twin).
+    Routes are untouched; re-run routing or removal afterwards if the
+    new links should carry traffic. *)
+
+val pp_report : Format.formatter -> report -> unit

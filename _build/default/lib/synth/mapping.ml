@@ -1,0 +1,113 @@
+open Noc_model
+
+(* Greedy agglomerative clustering on the undirected communication
+   affinity between clusters.  Affinities are kept in a dense matrix
+   indexed by cluster representative (the smallest core id in the
+   cluster), which is ample for the <=64-core benchmarks this project
+   targets. *)
+
+let cluster traffic ~n_switches =
+  let n = Traffic.n_cores traffic in
+  if n_switches <= 0 then invalid_arg "Mapping.cluster: n_switches <= 0";
+  if n_switches > n then
+    invalid_arg "Mapping.cluster: more switches than cores";
+  let cap = 2 * ((n + n_switches - 1) / n_switches) in
+  (* affinity.(i).(j): bandwidth between clusters represented by i, j. *)
+  let affinity = Array.make_matrix n n 0. in
+  List.iter
+    (fun (f : Traffic.flow) ->
+      let a = Ids.Core.to_int f.Traffic.src and b = Ids.Core.to_int f.Traffic.dst in
+      affinity.(a).(b) <- affinity.(a).(b) +. f.Traffic.bandwidth;
+      affinity.(b).(a) <- affinity.(b).(a) +. f.Traffic.bandwidth)
+    (Traffic.flows traffic);
+  let rep = Array.init n (fun i -> i) in
+  (* representative of each core's cluster *)
+  let size = Array.make n 1 in
+  let alive = Array.make n true in
+  let n_clusters = ref n in
+  let find_rep i = rep.(i) in
+  let merge a b =
+    (* Fold cluster b into cluster a (a < b kept as representative). *)
+    for k = 0 to n - 1 do
+      if alive.(k) && k <> a && k <> b then begin
+        affinity.(a).(k) <- affinity.(a).(k) +. affinity.(b).(k);
+        affinity.(k).(a) <- affinity.(a).(k)
+      end
+    done;
+    alive.(b) <- false;
+    size.(a) <- size.(a) + size.(b);
+    for i = 0 to n - 1 do
+      if rep.(i) = b then rep.(i) <- a
+    done;
+    decr n_clusters
+  in
+  let best_pair () =
+    (* Highest affinity pair whose merged size fits the cap; ties break
+       to the smallest (a, b).  Falls back to the smallest-size legal
+       pair when no positive affinity remains. *)
+    let best = ref None in
+    for a = 0 to n - 1 do
+      if alive.(a) then
+        for b = a + 1 to n - 1 do
+          if alive.(b) && size.(a) + size.(b) <= cap then begin
+            let w = affinity.(a).(b) in
+            match !best with
+            | Some (w', _, _) when w' >= w -> ()
+            | Some _ | None -> if w > 0. then best := Some (w, a, b)
+          end
+        done
+    done;
+    match !best with
+    | Some (_, a, b) -> Some (a, b)
+    | None ->
+        (* No affine pair: merge the two smallest clusters that fit. *)
+        let candidates = ref [] in
+        for a = 0 to n - 1 do
+          if alive.(a) then candidates := a :: !candidates
+        done;
+        let sorted =
+          List.sort
+            (fun a b ->
+              match compare size.(a) size.(b) with 0 -> compare a b | c -> c)
+            !candidates
+        in
+        (match sorted with
+        | a :: rest -> (
+            match List.find_opt (fun b -> size.(a) + size.(b) <= cap) rest with
+            | Some b -> Some (min a b, max a b)
+            | None -> (
+                (* Cap blocks everything: merge the two smallest anyway
+                   (can only happen with extreme skew). *)
+                match rest with b :: _ -> Some (min a b, max a b) | [] -> None))
+        | [] -> None)
+  in
+  let rec reduce () =
+    if !n_clusters > n_switches then
+      match best_pair () with
+      | Some (a, b) ->
+          merge a b;
+          reduce ()
+      | None -> ()
+  in
+  reduce ();
+  (* Densify representatives to switch ids 0..n_switches-1, in order of
+     smallest core id, so results are stable. *)
+  let reps =
+    List.sort_uniq compare (List.init n (fun i -> find_rep i))
+  in
+  let index_of r =
+    let rec go i = function
+      | [] -> assert false
+      | x :: rest -> if x = r then i else go (i + 1) rest
+    in
+    go 0 reps
+  in
+  Array.init n (fun i -> Ids.Switch.of_int (index_of (find_rep i)))
+
+let intra_cluster_bandwidth traffic mapping =
+  List.fold_left
+    (fun acc (f : Traffic.flow) ->
+      let s = mapping.(Ids.Core.to_int f.Traffic.src) in
+      let d = mapping.(Ids.Core.to_int f.Traffic.dst) in
+      if Ids.Switch.equal s d then acc +. f.Traffic.bandwidth else acc)
+    0. (Traffic.flows traffic)

@@ -1,0 +1,24 @@
+(** Core-to-switch assignment by communication-affinity clustering.
+
+    The paper's input topologies come from an application-specific
+    synthesis tool (ref. [9]) that groups heavily-communicating cores
+    on the same switch.  We reproduce the essential behaviour with
+    deterministic greedy agglomerative clustering: start from singleton
+    clusters and repeatedly merge the pair with the highest
+    inter-cluster bandwidth, subject to a balance cap, until exactly
+    [n_switches] clusters remain. *)
+
+open Noc_model
+
+val cluster : Traffic.t -> n_switches:int -> Ids.Switch.t array
+(** [cluster traffic ~n_switches] maps each core (by index) to a
+    switch.  Every switch receives at least one core when
+    [n_switches <= n_cores]; cluster sizes never exceed
+    [2 * ceil(n_cores / n_switches)].  Fully deterministic.
+    @raise Invalid_argument when [n_switches <= 0] or
+    [n_switches > n_cores]. *)
+
+val intra_cluster_bandwidth : Traffic.t -> Ids.Switch.t array -> float
+(** Total bandwidth of flows whose endpoints share a switch — the
+    quantity the clustering greedily maximizes (such flows never enter
+    the network). *)

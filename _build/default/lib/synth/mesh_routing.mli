@@ -1,0 +1,22 @@
+(** Mesh-specific routing functions: dimension-ordered (XY) routing
+    and the classic Duato construction — fully adaptive minimal
+    routing on VC 1 with an XY escape lane on VC 0.
+
+    All functions assume the {!Regular.mesh} id convention
+    (switch [(x, y)] has id [y * columns + x]) and that every link of
+    the mesh carries the VCs the function offers. *)
+
+open Noc_model
+
+val xy_static : columns:int -> rows:int -> Network.t -> Routing_function.t
+(** Pure XY on VC 0: deterministic, deadlock-free by turn
+    elimination.
+    @raise Invalid_argument (at query time) if the topology lacks a
+    needed mesh link. *)
+
+val adaptive_with_xy_escape :
+  columns:int -> rows:int -> Network.t -> Routing_function.t
+(** Duato's construction: all minimal hops on VC 1 (adaptive lane)
+    plus the XY hop on VC 0 (escape lane).  Passes
+    {!Noc_deadlock.Duato.check} with [escape = (vc = 0)].  Requires
+    two VCs on every mesh link. *)

@@ -1,0 +1,56 @@
+open Noc_model
+
+let sw = Ids.Switch.of_int
+
+let add_pair topo a b =
+  ignore (Topology.add_link topo ~src:(sw a) ~dst:(sw b));
+  ignore (Topology.add_link topo ~src:(sw b) ~dst:(sw a))
+
+let ring ~n_switches =
+  if n_switches < 2 then invalid_arg "Regular.ring: need at least 2 switches";
+  let topo = Topology.create ~n_switches in
+  for i = 0 to n_switches - 1 do
+    add_pair topo i ((i + 1) mod n_switches)
+  done;
+  topo
+
+let mesh ~columns ~rows =
+  if columns < 1 || rows < 1 || columns * rows < 2 then
+    invalid_arg "Regular.mesh: need at least 2 switches";
+  let topo = Topology.create ~n_switches:(columns * rows) in
+  let id x y = (y * columns) + x in
+  for y = 0 to rows - 1 do
+    for x = 0 to columns - 1 do
+      if x + 1 < columns then add_pair topo (id x y) (id (x + 1) y);
+      if y + 1 < rows then add_pair topo (id x y) (id x (y + 1))
+    done
+  done;
+  topo
+
+let torus ~columns ~rows =
+  let topo = mesh ~columns ~rows in
+  let id x y = (y * columns) + x in
+  if columns > 2 then
+    for y = 0 to rows - 1 do
+      add_pair topo (id (columns - 1) y) (id 0 y)
+    done;
+  if rows > 2 then
+    for x = 0 to columns - 1 do
+      add_pair topo (id x (rows - 1)) (id x 0)
+    done;
+  topo
+
+let mesh_coords ~columns s =
+  let i = Ids.Switch.to_int s in
+  (i mod columns, i / columns)
+
+let fully_connected ~n_switches =
+  if n_switches < 2 then
+    invalid_arg "Regular.fully_connected: need at least 2 switches";
+  let topo = Topology.create ~n_switches in
+  for a = 0 to n_switches - 1 do
+    for b = 0 to n_switches - 1 do
+      if a <> b then ignore (Topology.add_link topo ~src:(sw a) ~dst:(sw b))
+    done
+  done;
+  topo

@@ -1,0 +1,23 @@
+(** Regular topology generators.  All links are created in directed
+    pairs, so every generated topology is symmetric. *)
+
+open Noc_model
+
+val ring : n_switches:int -> Topology.t
+(** Bidirectional ring [0 - 1 - ... - (n-1) - 0].
+    @raise Invalid_argument when [n_switches < 2]. *)
+
+val mesh : columns:int -> rows:int -> Topology.t
+(** 2D mesh; switch [(x, y)] has id [y * columns + x].
+    @raise Invalid_argument when either dimension is [< 1] or the mesh
+    has a single switch. *)
+
+val torus : columns:int -> rows:int -> Topology.t
+(** 2D torus: mesh plus wrap-around links (no wrap on a dimension of
+    size [<= 2], where it would duplicate the mesh link). *)
+
+val mesh_coords : columns:int -> Ids.Switch.t -> int * int
+(** Inverse of the mesh id convention: [(x, y)] of a switch. *)
+
+val fully_connected : n_switches:int -> Topology.t
+(** Every ordered switch pair gets a link; used as a stress input. *)

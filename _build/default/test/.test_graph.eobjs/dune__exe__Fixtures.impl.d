@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Channel Format Ids List Network Noc_model Topology Traffic Validate

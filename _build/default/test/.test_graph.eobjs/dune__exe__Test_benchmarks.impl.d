@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Ids List Noc_benchmarks Noc_deadlock Noc_model Noc_sim Printf Registry Rng Spec Synthetic Traffic Workloads

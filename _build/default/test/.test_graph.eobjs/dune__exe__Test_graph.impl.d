@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cycles Digraph Dot K_shortest List Max_flow Noc_graph Paths Printf QCheck QCheck_alcotest Scc String Toposort Traversal Union_find

@@ -1,0 +1,394 @@
+open Noc_model
+open Noc_benchmarks
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  let xs = List.init 20 (fun _ -> Rng.next a) in
+  let ys = List.init 20 (fun _ -> Rng.next b) in
+  check bool_c "same stream" true (xs = ys)
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  check bool_c "different streams" false (Rng.next a = Rng.next b)
+
+let test_rng_int_bounds () =
+  let r = Rng.make 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    check bool_c "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.make 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.make 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    check bool_c "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_sample_distinct () =
+  let r = Rng.make 11 in
+  let xs = Rng.sample_distinct r 10 ~exclude:3 ~count:9 in
+  check int_c "count" 9 (List.length xs);
+  check int_c "distinct" 9 (List.length (List.sort_uniq compare xs));
+  check bool_c "exclusion respected" false (List.mem 3 xs)
+
+let test_rng_sample_too_many () =
+  let r = Rng.make 11 in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Rng.sample_distinct: not enough values") (fun () ->
+      ignore (Rng.sample_distinct r 5 ~exclude:0 ~count:5))
+
+let test_rng_pick () =
+  let r = Rng.make 3 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    check bool_c "picks member" true (Array.mem (Rng.pick r arr) arr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Registry and specs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_complete () =
+  check int_c "six benchmarks" 6 (List.length Registry.all);
+  check
+    Alcotest.(list string)
+    "figure 10 order"
+    [ "D26_media"; "D36_4"; "D36_6"; "D36_8"; "D35_bott"; "D38_tvopd" ]
+    Registry.names
+
+let test_registry_find () =
+  check bool_c "exact" true (Registry.find "D36_8" <> None);
+  check bool_c "case-insensitive" true (Registry.find "d26_MEDIA" <> None);
+  check bool_c "missing" true (Registry.find "nope" = None)
+
+let test_spec_core_counts () =
+  let expect = [ ("D26_media", 26); ("D36_4", 36); ("D36_6", 36); ("D36_8", 36);
+                 ("D35_bott", 35); ("D38_tvopd", 38) ] in
+  List.iter
+    (fun (name, n) ->
+      match Registry.find name with
+      | Some s -> check int_c name n s.Spec.n_cores
+      | None -> Alcotest.failf "missing %s" name)
+    expect
+
+let test_all_benchmarks_well_formed () =
+  List.iter
+    (fun s ->
+      let t = s.Spec.build () in
+      check int_c (s.Spec.name ^ " core count") s.Spec.n_cores (Traffic.n_cores t);
+      check bool_c (s.Spec.name ^ " has flows") true (Traffic.n_flows t > 0);
+      check bool_c
+        (s.Spec.name ^ " positive bandwidths")
+        true
+        (List.for_all
+           (fun (f : Traffic.flow) -> f.Traffic.bandwidth > 0.)
+           (Traffic.flows t)))
+    Registry.all
+
+let test_builds_are_reproducible () =
+  List.iter
+    (fun s ->
+      let a = s.Spec.build () and b = s.Spec.build () in
+      let row (f : Traffic.flow) =
+        (Ids.Core.to_int f.Traffic.src, Ids.Core.to_int f.Traffic.dst, f.Traffic.bandwidth)
+      in
+      check bool_c (s.Spec.name ^ " reproducible") true
+        (List.map row (Traffic.flows a) = List.map row (Traffic.flows b)))
+    Registry.all
+
+let test_d36_out_degrees () =
+  List.iter
+    (fun (name, k) ->
+      match Registry.find name with
+      | None -> Alcotest.failf "missing %s" name
+      | Some s ->
+          let t = s.Spec.build () in
+          check int_c (name ^ " flow count") (36 * k) (Traffic.n_flows t);
+          for src = 0 to 35 do
+            let outs = Traffic.flows_from t (Ids.Core.of_int src) in
+            check int_c (Printf.sprintf "%s core %d fan-out" name src) k
+              (List.length outs)
+          done)
+    [ ("D36_4", 4); ("D36_6", 6); ("D36_8", 8) ]
+
+let test_d35_bottleneck_structure () =
+  match Registry.find "D35_bott" with
+  | None -> Alcotest.fail "missing"
+  | Some s ->
+      let t = s.Spec.build () in
+      (* The three memories each receive from at least 10 processors. *)
+      List.iter
+        (fun m ->
+          let inbound = Traffic.flows_to t (Ids.Core.of_int m) in
+          check bool_c
+            (Printf.sprintf "memory %d is a hotspot" m)
+            true
+            (List.length inbound >= 10))
+        [ 32; 33; 34 ]
+
+let test_d26_memory_hotspots () =
+  match Registry.find "D26_media" with
+  | None -> Alcotest.fail "missing"
+  | Some s ->
+      let t = s.Spec.build () in
+      (* DRAM0 (core 16) serves the video pipeline and CPU. *)
+      check bool_c "dram0 busy" true
+        (List.length (Traffic.flows_to t (Ids.Core.of_int 16)) >= 3);
+      check bool_c "dram0 responds" true
+        (List.length (Traffic.flows_from t (Ids.Core.of_int 16)) >= 3)
+
+let test_d38_pipelines () =
+  match Registry.find "D38_tvopd" with
+  | None -> Alcotest.fail "missing"
+  | Some s ->
+      let t = s.Spec.build () in
+      (* Both pipelines are connected stage-to-stage. *)
+      let has_flow a b =
+        List.exists
+          (fun (f : Traffic.flow) -> Ids.Core.to_int f.Traffic.dst = b)
+          (Traffic.flows_from t (Ids.Core.of_int a))
+      in
+      for stage = 1 to 16 do
+        check bool_c (Printf.sprintf "A stage %d->%d" stage (stage + 1)) true
+          (has_flow stage (stage + 1))
+      done;
+      for stage = 18 to 34 do
+        check bool_c (Printf.sprintf "B stage %d->%d" stage (stage + 1)) true
+          (has_flow stage (stage + 1))
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic patterns                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthetic_uniform () =
+  let t = Synthetic.uniform ~n_cores:10 ~flows_per_core:3 ~seed:1 in
+  check int_c "flow count" 30 (Traffic.n_flows t);
+  for src = 0 to 9 do
+    check int_c "fan-out" 3 (List.length (Traffic.flows_from t (Ids.Core.of_int src)))
+  done;
+  let t' = Synthetic.uniform ~n_cores:10 ~flows_per_core:3 ~seed:1 in
+  let rows x =
+    List.map
+      (fun (f : Traffic.flow) ->
+        (Ids.Core.to_int f.Traffic.src, Ids.Core.to_int f.Traffic.dst))
+      (Traffic.flows x)
+  in
+  check bool_c "seeded reproducible" true (rows t = rows t');
+  Alcotest.check_raises "too dense"
+    (Invalid_argument "Synthetic.uniform: flows_per_core >= n_cores") (fun () ->
+      ignore (Synthetic.uniform ~n_cores:3 ~flows_per_core:3 ~seed:1))
+
+let test_synthetic_transpose () =
+  let t = Synthetic.transpose ~n_cores:9 ~bandwidth:10. in
+  (* k = 3: core i -> 3i mod 9; cores 0, 4, 8 map to themselves... 0->0
+     silent, 4->12 mod 9=3, 8->24 mod 9=6. *)
+  check bool_c "0 silent" true (Traffic.flows_from t (Ids.Core.of_int 0) = []);
+  check int_c "4 targets 3" 3
+    (Ids.Core.to_int
+       (List.hd (Traffic.flows_from t (Ids.Core.of_int 4))).Traffic.dst)
+
+let test_synthetic_bit_complement () =
+  let t = Synthetic.bit_complement ~n_cores:5 ~bandwidth:10. in
+  (* 5 cores: middle core 2 silent, others paired. *)
+  check int_c "four flows" 4 (Traffic.n_flows t);
+  check bool_c "middle silent" true (Traffic.flows_from t (Ids.Core.of_int 2) = []);
+  check int_c "0 pairs with 4" 4
+    (Ids.Core.to_int
+       (List.hd (Traffic.flows_from t (Ids.Core.of_int 0))).Traffic.dst)
+
+let test_synthetic_hotspot () =
+  let t = Synthetic.hotspot ~n_cores:10 ~n_hotspots:2 ~background:5. ~hotspot_bw:50. in
+  (* Hotspots are cores 8 and 9; each receives from 4 senders. *)
+  check int_c "hotspot 8 inbound" 4
+    (List.length (Traffic.flows_to t (Ids.Core.of_int 8)));
+  check int_c "hotspot 9 inbound" 4
+    (List.length (Traffic.flows_to t (Ids.Core.of_int 9)));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Synthetic.hotspot: n_hotspots out of range") (fun () ->
+      ignore (Synthetic.hotspot ~n_cores:4 ~n_hotspots:4 ~background:1. ~hotspot_bw:1.))
+
+let test_synthetic_neighbour_ring_shape () =
+  let t = Synthetic.neighbour_ring ~n_cores:6 ~bandwidth:10. in
+  check int_c "one flow per core" 6 (Traffic.n_flows t);
+  check int_c "wraps" 0
+    (Ids.Core.to_int
+       (List.hd (Traffic.flows_from t (Ids.Core.of_int 5))).Traffic.dst)
+
+let test_synthetic_ring_deadlocks () =
+  (* End-to-end: distance-2 ring traffic (every flow takes two hops) on
+     a unidirectional ring closes the canonical CDG cycle; neighbour
+     traffic alone would not (1-hop flows create no dependencies). *)
+  let n = 5 in
+  let traffic = Traffic.create ~n_cores:n in
+  for i = 0 to n - 1 do
+    ignore
+      (Traffic.add_flow traffic ~src:(Ids.Core.of_int i)
+         ~dst:(Ids.Core.of_int ((i + 2) mod n))
+         ~bandwidth:10.)
+  done;
+  let topo = Noc_model.Topology.create ~n_switches:n in
+  for i = 0 to n - 1 do
+    ignore
+      (Noc_model.Topology.add_link topo ~src:(Ids.Switch.of_int i)
+         ~dst:(Ids.Switch.of_int ((i + 1) mod n)))
+  done;
+  let net =
+    Noc_model.Network.make ~topology:topo ~traffic ~mapping:(fun c ->
+        Ids.Switch.of_int (Ids.Core.to_int c))
+  in
+  (match Noc_model.Routing.route_all net with Ok () -> () | Error e -> Alcotest.fail e);
+  check bool_c "cyclic CDG" false (Noc_deadlock.Removal.is_deadlock_free net);
+  let report = Noc_deadlock.Removal.run net in
+  check bool_c "removable" true report.Noc_deadlock.Removal.deadlock_free
+
+let test_synthetic_spec_wrapper () =
+  let spec =
+    Synthetic.spec_of ~name:"uniform10" ~description:"test" ~n_cores:10 (fun () ->
+        Synthetic.uniform ~n_cores:10 ~flows_per_core:2 ~seed:7)
+  in
+  check bool_c "buildable" true (Traffic.n_flows (spec.Spec.build ()) = 20)
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth-proportional workloads                                    *)
+(* ------------------------------------------------------------------ *)
+
+let workload_net () =
+  (* Two flows, one 10x heavier, on a 3-switch chain. *)
+  let topo = Noc_model.Topology.create ~n_switches:3 in
+  let l0 = Noc_model.Topology.add_link topo ~src:(Ids.Switch.of_int 0) ~dst:(Ids.Switch.of_int 1) in
+  let l1 = Noc_model.Topology.add_link topo ~src:(Ids.Switch.of_int 1) ~dst:(Ids.Switch.of_int 2) in
+  let traffic = Traffic.create ~n_cores:3 in
+  let heavy = Traffic.add_flow traffic ~src:(Ids.Core.of_int 0) ~dst:(Ids.Core.of_int 1) ~bandwidth:1000. in
+  let light = Traffic.add_flow traffic ~src:(Ids.Core.of_int 1) ~dst:(Ids.Core.of_int 2) ~bandwidth:100. in
+  let net =
+    Noc_model.Network.make ~topology:topo ~traffic ~mapping:(fun c ->
+        Ids.Switch.of_int (Ids.Core.to_int c))
+  in
+  Noc_model.Network.set_route net heavy [ Noc_model.Channel.make l0 0 ];
+  Noc_model.Network.set_route net light [ Noc_model.Channel.make l1 0 ];
+  (net, heavy, light)
+
+let count_for flow packets =
+  List.length
+    (List.filter (fun (p : Noc_sim.Packet.t) -> Ids.Flow.equal p.Noc_sim.Packet.flow flow) packets)
+
+let test_workload_proportional () =
+  let net, heavy, light = workload_net () in
+  let packets =
+    Workloads.bandwidth_proportional net ~packet_length:4 ~duration:1000
+      ~capacity_mbps:4000. ~seed:5
+  in
+  let h = count_for heavy packets and l = count_for light packets in
+  (* heavy: 1000/4000 * 1000 / 4 = 62 packets; light: ~6. *)
+  check bool_c "roughly 10x ratio" true (h >= 5 * l && l >= 1);
+  List.iter
+    (fun (p : Noc_sim.Packet.t) ->
+      check bool_c "within duration" true (p.Noc_sim.Packet.inject_at < 1000))
+    packets
+
+let test_workload_deterministic () =
+  let net, _, _ = workload_net () in
+  let gen () =
+    List.map
+      (fun (p : Noc_sim.Packet.t) -> (p.Noc_sim.Packet.id, p.Noc_sim.Packet.inject_at))
+      (Workloads.bandwidth_proportional net ~packet_length:4 ~duration:500
+         ~capacity_mbps:4000. ~seed:9)
+  in
+  check bool_c "same schedule" true (gen () = gen ())
+
+let test_workload_simulates () =
+  let net, _, _ = workload_net () in
+  let packets =
+    Workloads.bandwidth_proportional net ~packet_length:4 ~duration:300
+      ~capacity_mbps:4000. ~seed:3
+  in
+  match Noc_sim.Engine.run net packets with
+  | Noc_sim.Engine.Completed s ->
+      check int_c "all delivered" (List.length packets) s.Noc_sim.Stats.delivered
+  | Noc_sim.Engine.Deadlocked _ | Noc_sim.Engine.Timed_out _ ->
+      Alcotest.fail "chain cannot deadlock"
+
+let test_workload_validation () =
+  let net, _, _ = workload_net () in
+  Alcotest.check_raises "duration"
+    (Invalid_argument "Workloads.bandwidth_proportional: duration < 1") (fun () ->
+      ignore
+        (Workloads.bandwidth_proportional net ~packet_length:4 ~duration:0
+           ~capacity_mbps:4000. ~seed:1))
+
+let test_offered_load () =
+  let net, _, _ = workload_net () in
+  (* (1000 + 100) / 4000 / 2 flows = 0.1375 flits/cycle/flow. *)
+  check (Alcotest.float 1e-9) "mean rate" 0.1375
+    (Workloads.offered_load net ~capacity_mbps:4000.)
+
+let test_flows_of_table () =
+  let t = Spec.flows_of_table ~n_cores:3 [ (0, 1, 10.); (1, 2, 20.) ] in
+  check int_c "two flows" 2 (Traffic.n_flows t);
+  check (Alcotest.float 1e-9) "bandwidths" 30. (Traffic.total_bandwidth t)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "noc_benchmarks"
+    [
+      ( "rng",
+        [
+          tc "deterministic" test_rng_deterministic;
+          tc "seed sensitivity" test_rng_seed_sensitivity;
+          tc "int bounds" test_rng_int_bounds;
+          tc "int invalid" test_rng_int_invalid;
+          tc "float bounds" test_rng_float_bounds;
+          tc "sample distinct" test_rng_sample_distinct;
+          tc "sample too many" test_rng_sample_too_many;
+          tc "pick" test_rng_pick;
+        ] );
+      ( "registry",
+        [
+          tc "complete" test_registry_complete;
+          tc "find" test_registry_find;
+          tc "core counts" test_spec_core_counts;
+        ] );
+      ( "specs",
+        [
+          tc "well formed" test_all_benchmarks_well_formed;
+          tc "reproducible" test_builds_are_reproducible;
+          tc "D36_k fan-out" test_d36_out_degrees;
+          tc "D35 bottleneck" test_d35_bottleneck_structure;
+          tc "D26 memory hotspots" test_d26_memory_hotspots;
+          tc "D38 pipelines" test_d38_pipelines;
+          tc "flows_of_table" test_flows_of_table;
+        ] );
+      ( "workloads",
+        [
+          tc "bandwidth proportional" test_workload_proportional;
+          tc "deterministic" test_workload_deterministic;
+          tc "runs in the simulator" test_workload_simulates;
+          tc "validation" test_workload_validation;
+          tc "offered load" test_offered_load;
+        ] );
+      ( "synthetic",
+        [
+          tc "uniform" test_synthetic_uniform;
+          tc "transpose" test_synthetic_transpose;
+          tc "bit complement" test_synthetic_bit_complement;
+          tc "hotspot" test_synthetic_hotspot;
+          tc "neighbour ring shape" test_synthetic_neighbour_ring_shape;
+          tc "ring deadlocks and is repaired" test_synthetic_ring_deadlocks;
+          tc "spec wrapper" test_synthetic_spec_wrapper;
+        ] );
+    ]

@@ -1,0 +1,990 @@
+open Noc_model
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let str_c = Alcotest.string
+let sw = Fixtures.sw
+let core = Fixtures.core
+let ch = Fixtures.ch
+
+let fmt_to_string pp v = Format.asprintf "%a" pp v
+
+(* ------------------------------------------------------------------ *)
+(* Ids and channels                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_id_roundtrip () =
+  check int_c "switch roundtrip" 7 (Ids.Switch.to_int (Ids.Switch.of_int 7));
+  check int_c "flow roundtrip" 3 (Ids.Flow.to_int (Ids.Flow.of_int 3));
+  check bool_c "equal" true (Ids.Core.equal (core 2) (core 2));
+  check bool_c "not equal" false (Ids.Link.equal (Fixtures.lk 1) (Fixtures.lk 2))
+
+let test_id_negative_rejected () =
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "sw id must be non-negative") (fun () ->
+      ignore (Ids.Switch.of_int (-1)))
+
+let test_id_pp () =
+  check str_c "switch" "sw3" (fmt_to_string Ids.Switch.pp (sw 3));
+  check str_c "flow" "F0" (fmt_to_string Ids.Flow.pp (Ids.Flow.of_int 0))
+
+let test_channel_make () =
+  let c = Channel.make (Fixtures.lk 2) 1 in
+  check int_c "link" 2 (Ids.Link.to_int (Channel.link c));
+  check int_c "vc" 1 (Channel.vc c);
+  Alcotest.check_raises "negative vc"
+    (Invalid_argument "Channel.make: negative VC index") (fun () ->
+      ignore (Channel.make (Fixtures.lk 0) (-1)))
+
+let test_channel_compare_order () =
+  let a = ch 0 and b = ch ~vc:1 0 and c = ch 1 in
+  check bool_c "same link, vc orders" true (Channel.compare a b < 0);
+  check bool_c "link dominates" true (Channel.compare b c < 0);
+  check bool_c "equal" true (Channel.equal a (ch 0))
+
+let test_channel_pp_primed () =
+  check str_c "vc0 plain" "L3" (fmt_to_string Channel.pp (ch 3));
+  check str_c "vc1 primed" "L3'" (fmt_to_string Channel.pp (ch ~vc:1 3));
+  check str_c "vc2 numbered" "L3'2" (fmt_to_string Channel.pp (ch ~vc:2 3))
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_create_invalid () =
+  Alcotest.check_raises "zero switches"
+    (Invalid_argument "Topology.create: need at least one switch") (fun () ->
+      ignore (Topology.create ~n_switches:0))
+
+let test_topology_links () =
+  let t = Topology.create ~n_switches:3 in
+  let l0 = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let l1 = Topology.add_link t ~src:(sw 1) ~dst:(sw 2) in
+  check int_c "two links" 2 (Topology.n_links t);
+  check int_c "dense ids" 1 (Ids.Link.to_int l1);
+  let info = Topology.link t l0 in
+  check int_c "src" 0 (Ids.Switch.to_int info.Topology.src);
+  check int_c "dst" 1 (Ids.Switch.to_int info.Topology.dst)
+
+let test_topology_self_loop_rejected () =
+  let t = Topology.create ~n_switches:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.add_link: self-loop")
+    (fun () -> ignore (Topology.add_link t ~src:(sw 1) ~dst:(sw 1)))
+
+let test_topology_unknown_switch () =
+  let t = Topology.create ~n_switches:2 in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Topology.add_link: switch 5 out of range") (fun () ->
+      ignore (Topology.add_link t ~src:(sw 5) ~dst:(sw 0)))
+
+let test_topology_vcs () =
+  let t = Topology.create ~n_switches:2 in
+  let l = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  check int_c "one vc initially" 1 (Topology.vc_count t l);
+  check int_c "new index" 1 (Topology.add_vc t l);
+  check int_c "new index 2" 2 (Topology.add_vc t l);
+  check int_c "count" 3 (Topology.vc_count t l);
+  check int_c "total" 3 (Topology.total_vcs t);
+  check int_c "extra" 2 (Topology.extra_vcs t)
+
+let test_topology_channels_list () =
+  let t = Topology.create ~n_switches:2 in
+  let l0 = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let _l1 = Topology.add_link t ~src:(sw 1) ~dst:(sw 0) in
+  ignore (Topology.add_vc t l0);
+  let cs = Topology.channels t in
+  check int_c "3 channels" 3 (List.length cs);
+  check str_c "ordering" "L0,L0',L1"
+    (String.concat "," (List.map (fmt_to_string Channel.pp) cs))
+
+let test_topology_adjacency () =
+  let t = Topology.create ~n_switches:3 in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 2) in
+  let _ = Topology.add_link t ~src:(sw 1) ~dst:(sw 0) in
+  check int_c "out of 0" 2 (List.length (Topology.out_links t (sw 0)));
+  check int_c "in of 0" 1 (List.length (Topology.in_links t (sw 0)));
+  check int_c "degree 0" 3 (Topology.degree t (sw 0));
+  check int_c "parallel none" 0
+    (List.length (Topology.find_links t ~src:(sw 1) ~dst:(sw 2)))
+
+let test_topology_parallel_links () =
+  let t = Topology.create ~n_switches:2 in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  check int_c "parallel allowed" 2
+    (List.length (Topology.find_links t ~src:(sw 0) ~dst:(sw 1)))
+
+let test_topology_connectivity () =
+  let t = Topology.create ~n_switches:3 in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  check bool_c "disconnected" false (Topology.is_connected t);
+  let _ = Topology.add_link t ~src:(sw 2) ~dst:(sw 0) in
+  check bool_c "weakly connected" true (Topology.is_connected t)
+
+let test_topology_switch_graph () =
+  let t = Topology.create ~n_switches:3 in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let _ = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let g = Topology.switch_graph t in
+  check int_c "3 vertices" 3 (Noc_graph.Digraph.n_vertices g);
+  check int_c "parallel collapsed" 1 (Noc_graph.Digraph.n_edges g)
+
+let test_topology_copy_independent () =
+  let t = Topology.create ~n_switches:2 in
+  let l = Topology.add_link t ~src:(sw 0) ~dst:(sw 1) in
+  let t' = Topology.copy t in
+  ignore (Topology.add_vc t' l);
+  check int_c "original untouched" 1 (Topology.vc_count t l);
+  check int_c "copy grew" 2 (Topology.vc_count t' l)
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_traffic_flows () =
+  let t = Traffic.create ~n_cores:3 in
+  let f0 = Traffic.add_flow t ~src:(core 0) ~dst:(core 1) ~bandwidth:10. in
+  let _ = Traffic.add_flow t ~src:(core 0) ~dst:(core 2) ~bandwidth:20. in
+  check int_c "two flows" 2 (Traffic.n_flows t);
+  check (Alcotest.float 1e-9) "total bw" 30. (Traffic.total_bandwidth t);
+  let f = Traffic.flow t f0 in
+  check int_c "dst" 1 (Ids.Core.to_int f.Traffic.dst);
+  check int_c "from core0" 2 (List.length (Traffic.flows_from t (core 0)));
+  check int_c "to core2" 1 (List.length (Traffic.flows_to t (core 2)))
+
+let test_traffic_rejections () =
+  let t = Traffic.create ~n_cores:2 in
+  Alcotest.check_raises "self flow" (Invalid_argument "Traffic.add_flow: self-flow")
+    (fun () -> ignore (Traffic.add_flow t ~src:(core 0) ~dst:(core 0) ~bandwidth:1.));
+  Alcotest.check_raises "zero bw"
+    (Invalid_argument "Traffic.add_flow: non-positive bandwidth") (fun () ->
+      ignore (Traffic.add_flow t ~src:(core 0) ~dst:(core 1) ~bandwidth:0.))
+
+let test_traffic_demand () =
+  let t = Traffic.create ~n_cores:2 in
+  let _ = Traffic.add_flow t ~src:(core 0) ~dst:(core 1) ~bandwidth:5. in
+  let _ = Traffic.add_flow t ~src:(core 0) ~dst:(core 1) ~bandwidth:7. in
+  check (Alcotest.float 1e-9) "summed" 12. (Traffic.demand_between t (core 0) (core 1));
+  check (Alcotest.float 1e-9) "reverse empty" 0.
+    (Traffic.demand_between t (core 1) (core 0))
+
+(* ------------------------------------------------------------------ *)
+(* Routes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ring_topo () =
+  let t = Topology.create ~n_switches:4 in
+  for i = 0 to 3 do
+    ignore (Topology.add_link t ~src:(sw i) ~dst:(sw ((i + 1) mod 4)))
+  done;
+  t
+
+let test_route_check_ok () =
+  let t = ring_topo () in
+  check bool_c "valid 2-hop" true
+    (Route.check t ~src:(sw 0) ~dst:(sw 2) [ ch 0; ch 1 ] = Ok ())
+
+let test_route_check_empty () =
+  let t = ring_topo () in
+  check bool_c "same switch empty ok" true
+    (Route.check t ~src:(sw 1) ~dst:(sw 1) [] = Ok ());
+  check bool_c "distinct empty bad" true
+    (Result.is_error (Route.check t ~src:(sw 0) ~dst:(sw 1) []))
+
+let test_route_check_discontinuous () =
+  let t = ring_topo () in
+  check bool_c "gap detected" true
+    (Result.is_error (Route.check t ~src:(sw 0) ~dst:(sw 3) [ ch 0; ch 2 ]))
+
+let test_route_check_wrong_endpoints () =
+  let t = ring_topo () in
+  check bool_c "wrong start" true
+    (Result.is_error (Route.check t ~src:(sw 1) ~dst:(sw 2) [ ch 0; ch 1 ]));
+  check bool_c "wrong end" true
+    (Result.is_error (Route.check t ~src:(sw 0) ~dst:(sw 3) [ ch 0; ch 1 ]))
+
+let test_route_check_bad_vc () =
+  let t = ring_topo () in
+  check bool_c "vc out of range" true
+    (Result.is_error (Route.check t ~src:(sw 0) ~dst:(sw 1) [ ch ~vc:1 0 ]))
+
+let test_route_check_repeat () =
+  let t = ring_topo () in
+  (* 0->1->2->3->0->1 repeats channel L0. *)
+  check bool_c "repeat rejected" true
+    (Result.is_error
+       (Route.check t ~src:(sw 0) ~dst:(sw 1) [ ch 0; ch 1; ch 2; ch 3; ch 0 ]))
+
+let test_route_pairs () =
+  let r = [ ch 0; ch 1; ch 2 ] in
+  check int_c "pairs" 2 (List.length (Route.consecutive_pairs r));
+  check int_c "no pairs" 0 (List.length (Route.consecutive_pairs [ ch 0 ]));
+  check bool_c "uses channel" true (Route.uses_channel r (ch 1));
+  check bool_c "vc distinguishes" false (Route.uses_channel r (ch ~vc:1 1))
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_mapping_checked () =
+  let topo = Topology.create ~n_switches:2 in
+  let traffic = Traffic.create ~n_cores:1 in
+  Alcotest.check_raises "mapping range"
+    (Invalid_argument "Network.make: core 0 mapped to unknown switch 9") (fun () ->
+      ignore (Network.make ~topology:topo ~traffic ~mapping:(fun _ -> sw 9)))
+
+let test_network_routes_roundtrip () =
+  let ring = Fixtures.paper_ring () in
+  let f1 = ring.Fixtures.flows.(0) in
+  check int_c "route length" 3 (Route.length (Network.route ring.Fixtures.net f1));
+  check int_c "all routes" 4 (List.length (Network.routes ring.Fixtures.net))
+
+let test_network_endpoints () =
+  let ring = Fixtures.paper_ring () in
+  let src, dst = Network.endpoints ring.Fixtures.net ring.Fixtures.flows.(1) in
+  check int_c "src switch" 2 (Ids.Switch.to_int src);
+  check int_c "dst switch" 0 (Ids.Switch.to_int dst)
+
+let test_network_loads () =
+  let ring = Fixtures.paper_ring () in
+  let net = ring.Fixtures.net in
+  (* L0 (the paper's L1) carries F1, F3 and F4, 100 MB/s each. *)
+  check (Alcotest.float 1e-9) "channel load" 300. (Network.channel_load net (ch 0));
+  check (Alcotest.float 1e-9) "link load" 300. (Network.link_load net (Fixtures.lk 0));
+  check (Alcotest.float 1e-9) "other vc empty" 0.
+    (Network.channel_load net (ch ~vc:1 0))
+
+let test_network_copy_isolated () =
+  let ring = Fixtures.paper_ring () in
+  let net = ring.Fixtures.net in
+  let net' = Network.copy net in
+  Network.set_route net' ring.Fixtures.flows.(0) [];
+  ignore (Topology.add_vc (Network.topology net') (Fixtures.lk 0));
+  check int_c "route preserved" 3
+    (Route.length (Network.route net ring.Fixtures.flows.(0)));
+  check int_c "vcs preserved" 1 (Topology.vc_count (Network.topology net) (Fixtures.lk 0))
+
+(* ------------------------------------------------------------------ *)
+(* CDG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdg_paper_example () =
+  let ring = Fixtures.paper_ring () in
+  let cdg = Cdg.build ring.Fixtures.net in
+  check int_c "4 channels" 4 (Cdg.n_channels cdg);
+  check int_c "4 dependencies" 4 (Noc_graph.Digraph.n_edges (Cdg.graph cdg));
+  check bool_c "cyclic" false (Cdg.is_deadlock_free cdg);
+  match Cdg.smallest_cycle cdg with
+  | None -> Alcotest.fail "expected the ring cycle"
+  | Some cycle -> check int_c "cycle length 4" 4 (List.length cycle)
+
+let test_cdg_dependency_flows () =
+  let ring = Fixtures.paper_ring () in
+  let cdg = Cdg.build ring.Fixtures.net in
+  let flows = Cdg.flows_on_dependency cdg ~src:(ch 0) ~dst:(ch 1) in
+  (* L1 -> L2 is created by F1 and F4 (paper numbering). *)
+  check int_c "two flows" 2 (List.length flows);
+  check bool_c "F1 there" true
+    (List.exists (Ids.Flow.equal ring.Fixtures.flows.(0)) flows);
+  check bool_c "F4 there" true
+    (List.exists (Ids.Flow.equal ring.Fixtures.flows.(3)) flows);
+  check int_c "absent edge empty" 0
+    (List.length (Cdg.flows_on_dependency cdg ~src:(ch 1) ~dst:(ch 0)))
+
+let test_cdg_acyclic_mesh () =
+  let net = Fixtures.xy_mesh_2x2 () in
+  Fixtures.check_valid "xy mesh" net;
+  let cdg = Cdg.build net in
+  check bool_c "XY routing deadlock-free" true (Cdg.is_deadlock_free cdg);
+  check bool_c "no cycle found" true (Cdg.smallest_cycle cdg = None)
+
+let test_cdg_includes_unused_channels () =
+  let ring = Fixtures.paper_ring () in
+  ignore (Topology.add_vc (Network.topology ring.Fixtures.net) (Fixtures.lk 0));
+  let cdg = Cdg.build ring.Fixtures.net in
+  check int_c "5 channels now" 5 (Cdg.n_channels cdg);
+  check int_c "still 4 deps" 4 (Noc_graph.Digraph.n_edges (Cdg.graph cdg))
+
+let test_cdg_cycles_enumeration () =
+  let ring = Fixtures.paper_ring () in
+  let cdg = Cdg.build ring.Fixtures.net in
+  check int_c "exactly one elementary cycle" 1 (List.length (Cdg.cycles cdg))
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_routing_min_hop () =
+  let ring = Fixtures.paper_ring () in
+  let net = ring.Fixtures.net in
+  (match Routing.route_flow net ring.Fixtures.flows.(0) with
+  | Ok r -> check int_c "3 hops around the ring" 3 (Route.length r)
+  | Error e -> Alcotest.fail e);
+  match Routing.route_all net with
+  | Ok () -> Fixtures.check_valid "rerouted ring" net
+  | Error e -> Alcotest.fail e
+
+let test_routing_unreachable () =
+  let topo = Topology.create ~n_switches:2 in
+  let traffic = Traffic.create ~n_cores:2 in
+  let f = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:1. in
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c -> sw (Ids.Core.to_int c))
+  in
+  check bool_c "no path reported" true (Result.is_error (Routing.route_flow net f));
+  check bool_c "route_all propagates" true (Result.is_error (Routing.route_all net))
+
+let test_routing_same_switch () =
+  let topo = Topology.create ~n_switches:1 in
+  let traffic = Traffic.create ~n_cores:2 in
+  let f = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:1. in
+  let net = Network.make ~topology:topo ~traffic ~mapping:(fun _ -> sw 0) in
+  match Routing.route_flow net f with
+  | Ok r -> check int_c "empty route" 0 (Route.length r)
+  | Error e -> Alcotest.fail e
+
+let test_routing_load_aware_spreads () =
+  (* Two parallel 2-hop paths between 0 and 3; two heavy flows should
+     not pile on one path. *)
+  let topo = Topology.create ~n_switches:4 in
+  let _ = Topology.add_link topo ~src:(sw 0) ~dst:(sw 1) in
+  let _ = Topology.add_link topo ~src:(sw 1) ~dst:(sw 3) in
+  let _ = Topology.add_link topo ~src:(sw 0) ~dst:(sw 2) in
+  let _ = Topology.add_link topo ~src:(sw 2) ~dst:(sw 3) in
+  let traffic = Traffic.create ~n_cores:2 in
+  let fa = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:100. in
+  let fb = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:90. in
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c ->
+        if Ids.Core.to_int c = 0 then sw 0 else sw 3)
+  in
+  (match Routing.route_all_load_aware net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fixtures.check_valid "load aware" net;
+  let ra = Route.links (Network.route net fa) in
+  let rb = Route.links (Network.route net fb) in
+  check bool_c "disjoint paths" true
+    (List.for_all (fun l -> not (List.exists (Ids.Link.equal l) rb)) ra)
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_ok () =
+  let ring = Fixtures.paper_ring () in
+  check bool_c "paper ring valid" true (Validate.is_valid ring.Fixtures.net)
+
+let test_validate_missing_route () =
+  let ring = Fixtures.paper_ring () in
+  Network.set_route ring.Fixtures.net ring.Fixtures.flows.(2) [];
+  let issues = Validate.check ring.Fixtures.net in
+  check int_c "one issue" 1 (List.length issues)
+
+let test_validate_routes_equivalent () =
+  let ring = Fixtures.paper_ring () in
+  let net = ring.Fixtures.net in
+  let net' = Network.copy net in
+  check bool_c "identical" true (Validate.routes_equivalent ~before:net ~after:net');
+  (* Moving a flow to another VC of the same links keeps equivalence. *)
+  ignore (Topology.add_vc (Network.topology net') (Fixtures.lk 0));
+  Network.set_route net' ring.Fixtures.flows.(3) [ ch ~vc:1 0; ch 1 ];
+  check bool_c "vc change ok" true (Validate.routes_equivalent ~before:net ~after:net');
+  (* Changing physical links breaks it. *)
+  Network.set_route net' ring.Fixtures.flows.(3) [ ch 0 ];
+  check bool_c "physical change detected" false
+    (Validate.routes_equivalent ~before:net ~after:net')
+
+(* ------------------------------------------------------------------ *)
+(* Routing functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_rf_of_static_routes () =
+  let ring = Fixtures.paper_ring () in
+  let rf = Routing_function.of_static_routes ring.Fixtures.net in
+  (* F1 (core0 -> core3) uses L0 at sw0. *)
+  let opts = Routing_function.options rf ~at:(sw 0) ~dst:(sw 3) in
+  check int_c "one option" 1 (List.length opts);
+  check bool_c "it is L0" true (Channel.equal (List.hd opts) (ch 0));
+  (* No flow from sw1 to sw0 exists, so no options there. *)
+  check int_c "no options elsewhere" 0
+    (List.length (Routing_function.options rf ~at:(sw 1) ~dst:(sw 0)));
+  check int_c "empty at destination" 0
+    (List.length (Routing_function.options rf ~at:(sw 3) ~dst:(sw 3)))
+
+let test_rf_minimal_adaptive_diamond () =
+  (* Two equal-length paths 0->3: the adaptive function offers both
+     first hops. *)
+  let topo = Topology.create ~n_switches:4 in
+  let _ = Topology.add_link topo ~src:(sw 0) ~dst:(sw 1) in
+  let _ = Topology.add_link topo ~src:(sw 1) ~dst:(sw 3) in
+  let _ = Topology.add_link topo ~src:(sw 0) ~dst:(sw 2) in
+  let _ = Topology.add_link topo ~src:(sw 2) ~dst:(sw 3) in
+  let traffic = Traffic.create ~n_cores:2 in
+  let _ = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:1. in
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c ->
+        if Ids.Core.to_int c = 0 then sw 0 else sw 3)
+  in
+  let rf = Routing_function.minimal_adaptive net in
+  check int_c "both first hops" 2
+    (List.length (Routing_function.options rf ~at:(sw 0) ~dst:(sw 3)));
+  check int_c "one hop from 1" 1
+    (List.length (Routing_function.options rf ~at:(sw 1) ~dst:(sw 3)))
+
+let test_rf_minimal_adaptive_vcs () =
+  let ring = Fixtures.paper_ring () in
+  ignore (Topology.add_vc (Network.topology ring.Fixtures.net) (Fixtures.lk 0));
+  let rf = Routing_function.minimal_adaptive ring.Fixtures.net in
+  check int_c "both VCs offered" 2
+    (List.length (Routing_function.options rf ~at:(sw 0) ~dst:(sw 1)));
+  let rf0 = Routing_function.minimal_adaptive ~all_vcs:false ring.Fixtures.net in
+  check int_c "vc0 only" 1
+    (List.length (Routing_function.options rf0 ~at:(sw 0) ~dst:(sw 1)))
+
+let test_rf_make_validates () =
+  let ring = Fixtures.paper_ring () in
+  let topo = Network.topology ring.Fixtures.net in
+  (* L1 leaves sw1, not sw0: querying must blow up. *)
+  let bogus = Routing_function.make topo (fun ~at:_ ~dst:_ -> [ ch 1 ]) in
+  check bool_c "invalid channel rejected" true
+    (try
+       ignore (Routing_function.options bogus ~at:(sw 0) ~dst:(sw 2));
+       false
+     with Invalid_argument _ -> true)
+
+let test_rf_restrict_and_connectivity () =
+  let ring = Fixtures.paper_ring () in
+  let rf = Routing_function.of_static_routes ring.Fixtures.net in
+  check bool_c "full function connected" true
+    (Routing_function.is_connected rf ring.Fixtures.net = Ok ());
+  let empty = Routing_function.restrict rf ~keep:(fun _ -> false) in
+  check bool_c "empty restriction stranded" true
+    (Result.is_error (Routing_function.is_connected empty ring.Fixtures.net))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_ring () =
+  let ring = Fixtures.paper_ring () in
+  let m = Metrics.of_network ring.Fixtures.net in
+  check int_c "switches" 4 m.Metrics.n_switches;
+  check int_c "links" 4 m.Metrics.n_links;
+  check int_c "routed flows" 4 m.Metrics.n_routed_flows;
+  (* Routes: 3 + 2 + 2 + 2 hops = 9/4. *)
+  check (Alcotest.float 1e-9) "avg hops" 2.25 m.Metrics.avg_hops;
+  check int_c "max hops" 3 m.Metrics.max_hops;
+  check (Alcotest.float 1e-9) "connectivity" 1.0 m.Metrics.switch_connectivity;
+  check bool_c "imbalance >= 1" true (m.Metrics.load_imbalance >= 1.)
+
+let test_metrics_unrouted () =
+  let ring = Fixtures.paper_ring () in
+  List.iter
+    (fun (f, _) -> Network.set_route ring.Fixtures.net f [])
+    (Network.routes ring.Fixtures.net);
+  let m = Metrics.of_network ring.Fixtures.net in
+  check int_c "no routed flows" 0 m.Metrics.n_routed_flows;
+  check (Alcotest.float 1e-9) "avg hops zero" 0. m.Metrics.avg_hops;
+  check (Alcotest.float 1e-9) "imbalance zero" 0. m.Metrics.load_imbalance
+
+let test_metrics_critical_links () =
+  (* On the unidirectional ring every used link is a single point of
+     failure. *)
+  let ring = Fixtures.paper_ring () in
+  let critical = Metrics.critical_links ring.Fixtures.net in
+  check int_c "all four links critical" 4 (List.length critical);
+  (* Adding a parallel link de-criticalizes its twin. *)
+  let topo = Network.topology ring.Fixtures.net in
+  let _ = Topology.add_link topo ~src:(sw 0) ~dst:(sw 1) in
+  let critical' = Metrics.critical_links ring.Fixtures.net in
+  check int_c "L0 covered by its twin" 3 (List.length critical');
+  check bool_c "L0 no longer critical" false
+    (List.exists (Ids.Link.equal (Fixtures.lk 0)) critical')
+
+let test_metrics_critical_links_mesh () =
+  (* The bidirectional 2x2 mesh has disjoint backups for every pair. *)
+  let net = Fixtures.xy_mesh_2x2 () in
+  check int_c "no single points of failure" 0
+    (List.length (Metrics.critical_links net))
+
+let test_metrics_cut_bandwidth () =
+  let ring = Fixtures.paper_ring () in
+  (* On a unidirectional 4-ring, any src->dst cut is a single link. *)
+  check (Alcotest.float 1e-9) "ring cut" 1.
+    (Metrics.flow_cut_bandwidth ring.Fixtures.net ~src:(sw 0) ~dst:(sw 2));
+  (* Add a parallel link 0->1: cut towards 1 doubles. *)
+  let topo = Network.topology ring.Fixtures.net in
+  let _ = Topology.add_link topo ~src:(sw 0) ~dst:(sw 1) in
+  check (Alcotest.float 1e-9) "parallel doubles" 2.
+    (Metrics.flow_cut_bandwidth ring.Fixtures.net ~src:(sw 0) ~dst:(sw 1))
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth feasibility                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bandwidth_feasible () =
+  let ring = Fixtures.paper_ring () in
+  (* Heaviest link (L0) carries 300 MB/s. *)
+  let b = Bandwidth.analyze ~capacity_mbps:400. ring.Fixtures.net in
+  check bool_c "feasible at 400" true b.Bandwidth.feasible;
+  (match b.Bandwidth.worst with
+  | Some w ->
+      check int_c "worst is L0" 0 (Ids.Link.to_int w.Bandwidth.link);
+      check (Alcotest.float 1e-9) "75% utilization" 0.75 w.Bandwidth.utilization;
+      check int_c "three flows on it" 3 (List.length w.Bandwidth.flows)
+  | None -> Alcotest.fail "expected a loaded link");
+  check int_c "nothing oversubscribed" 0 (List.length (Bandwidth.oversubscribed b))
+
+let test_bandwidth_oversubscribed () =
+  let ring = Fixtures.paper_ring () in
+  let b = Bandwidth.analyze ~capacity_mbps:250. ring.Fixtures.net in
+  check bool_c "infeasible at 250" false b.Bandwidth.feasible;
+  match Bandwidth.oversubscribed b with
+  | w :: _ -> check bool_c "over 100%" true (w.Bandwidth.utilization > 1.0)
+  | [] -> Alcotest.fail "expected an oversubscribed link"
+
+let test_bandwidth_validation () =
+  let ring = Fixtures.paper_ring () in
+  Alcotest.check_raises "capacity" (Invalid_argument "Bandwidth.analyze: capacity <= 0")
+    (fun () -> ignore (Bandwidth.analyze ~capacity_mbps:0. ring.Fixtures.net))
+
+(* ------------------------------------------------------------------ *)
+(* Io                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let same_design a b =
+  Topology.n_switches (Network.topology a) = Topology.n_switches (Network.topology b)
+  && Topology.n_links (Network.topology a) = Topology.n_links (Network.topology b)
+  && Topology.total_vcs (Network.topology a) = Topology.total_vcs (Network.topology b)
+  && Traffic.n_flows (Network.traffic a) = Traffic.n_flows (Network.traffic b)
+  && List.for_all2
+       (fun (fa, ra) (fb, rb) ->
+         Ids.Flow.equal fa fb
+         && List.length ra = List.length rb
+         && List.for_all2 Channel.equal ra rb)
+       (Network.routes a) (Network.routes b)
+
+let test_io_roundtrip_ring () =
+  let ring = Fixtures.paper_ring () in
+  let text = Io.save ring.Fixtures.net in
+  match Io.load text with
+  | Ok net -> check bool_c "roundtrip preserves design" true (same_design ring.Fixtures.net net)
+  | Error e -> Alcotest.fail e
+
+let test_io_roundtrip_with_vcs () =
+  (* After removal the design has VC > 1 channels and rewritten routes;
+     the format must carry them. *)
+  let ring = Fixtures.paper_ring () in
+  ignore (Noc_deadlock.Removal.run ring.Fixtures.net);
+  let text = Io.save ring.Fixtures.net in
+  match Io.load text with
+  | Ok net ->
+      check bool_c "vcs preserved" true (same_design ring.Fixtures.net net);
+      check bool_c "still deadlock-free" true
+        (Cdg.is_deadlock_free (Cdg.build net))
+  | Error e -> Alcotest.fail e
+
+let test_io_comments_and_blanks () =
+  let ring = Fixtures.paper_ring () in
+  let text = "# a comment\n\n" ^ Io.save ring.Fixtures.net ^ "\n# trailing\n" in
+  check bool_c "tolerated" true (Result.is_ok (Io.load text))
+
+let test_io_error_messages () =
+  let cases =
+    [
+      ("nonsense 1\n", "unknown directive");
+      ("noc-design 2\n", "unsupported format version");
+      ("switches x\n", "bad switch count");
+      ("noc-design 1\nswitches 2\n", "missing 'cores'");
+      ("noc-design 1\ncores 2\n", "missing 'switches'");
+      ("noc-design 1\nswitches 2\ncores 1\ncore 0 0\nroute 5 0:0\n",
+       "route for unknown flow");
+    ]
+  in
+  List.iter
+    (fun (text, fragment) ->
+      match Io.load text with
+      | Ok _ -> Alcotest.failf "expected failure for %S" text
+      | Error e ->
+          let contains =
+            let n = String.length fragment and h = String.length e in
+            let rec scan i =
+              i + n <= h && (String.sub e i n = fragment || scan (i + 1))
+            in
+            scan 0
+          in
+          check bool_c (Printf.sprintf "%S mentions %S (got %S)" text fragment e)
+            true contains)
+    cases
+
+let test_io_rejects_invalid_route () =
+  (* A structurally broken route must be caught by validation. *)
+  let text =
+    "noc-design 1\nswitches 2\ncores 2\nlink 0 0 1 1\ncore 0 0\ncore 1 1\n\
+     flow 0 0 1 10\nroute 0 0:5\n"
+  in
+  check bool_c "bad vc rejected" true (Result.is_error (Io.load text))
+
+let test_io_file_roundtrip () =
+  let ring = Fixtures.paper_ring () in
+  let path = Filename.temp_file "noc_io_test" ".noc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save_file path ring.Fixtures.net;
+      match Io.load_file path with
+      | Ok net -> check bool_c "file roundtrip" true (same_design ring.Fixtures.net net)
+      | Error e -> Alcotest.fail e)
+
+let test_io_missing_file () =
+  check bool_c "missing file is an error" true
+    (Result.is_error (Io.load_file "/nonexistent/path.noc"))
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding tables                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_tables_compile_ring () =
+  let ring = Fixtures.paper_ring () in
+  let t = Tables.compile ring.Fixtures.net in
+  (* Each flow contributes (hops + 1) entries: inject, forwards, eject. *)
+  let expected =
+    List.fold_left
+      (fun acc (_, r) -> acc + Route.length r + 1)
+      0
+      (Network.routes ring.Fixtures.net)
+  in
+  check int_c "entry count" expected (Tables.total_entries t)
+
+let test_tables_lookup_semantics () =
+  let ring = Fixtures.paper_ring () in
+  let t = Tables.compile ring.Fixtures.net in
+  let f1 = ring.Fixtures.flows.(0) in
+  (* F1 = {L0, L1, L2}: injected at sw0 onto L0. *)
+  (match Tables.lookup t (sw 0) ~flow:f1 ~input:None with
+  | Some (Some out) -> check bool_c "injects onto L0" true (Channel.equal out (ch 0))
+  | Some None | None -> Alcotest.fail "expected injection entry");
+  (* At sw1, input L0 forwards to L1. *)
+  (match Tables.lookup t (sw 1) ~flow:f1 ~input:(Some (ch 0)) with
+  | Some (Some out) -> check bool_c "forwards to L1" true (Channel.equal out (ch 1))
+  | Some None | None -> Alcotest.fail "expected forward entry");
+  (* At sw3, input L2 ejects. *)
+  (match Tables.lookup t (sw 3) ~flow:f1 ~input:(Some (ch 2)) with
+  | Some None -> ()
+  | Some (Some _) | None -> Alcotest.fail "expected ejection entry");
+  (* No phantom entries. *)
+  check bool_c "absent entry" true
+    (Tables.lookup t (sw 2) ~flow:f1 ~input:None = None)
+
+let test_tables_check_passes () =
+  let ring = Fixtures.paper_ring () in
+  let t = Tables.compile ring.Fixtures.net in
+  check bool_c "consistent" true (Tables.check ring.Fixtures.net t = Ok ())
+
+let test_tables_check_catches_stale () =
+  (* Compile, then change a route: the stale table must fail. *)
+  let ring = Fixtures.paper_ring () in
+  let t = Tables.compile ring.Fixtures.net in
+  ignore (Topology.add_vc (Network.topology ring.Fixtures.net) (Fixtures.lk 0));
+  Network.set_route ring.Fixtures.net ring.Fixtures.flows.(3) [ ch ~vc:1 0; ch 1 ];
+  check bool_c "stale table detected" true
+    (Result.is_error (Tables.check ring.Fixtures.net t))
+
+let test_tables_after_removal () =
+  (* End-to-end: tables recompiled after the removal pass must still
+     check out, with the duplicated channels present. *)
+  let ring = Fixtures.paper_ring () in
+  ignore (Noc_deadlock.Removal.run ring.Fixtures.net);
+  let t = Tables.compile ring.Fixtures.net in
+  check bool_c "post-removal tables consistent" true
+    (Tables.check ring.Fixtures.net t = Ok ());
+  let rendered = Format.asprintf "%a" (Tables.pp_switch t) (sw 0) in
+  check bool_c "shows the duplicate channel" true
+    (let needle = "L0'" in
+     let n = String.length needle and h = String.length rendered in
+     let rec scan i = i + n <= h && (String.sub rendered i n = needle || scan (i + 1)) in
+     scan 0)
+
+(* ------------------------------------------------------------------ *)
+(* Dot export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let string_contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_dot_topology () =
+  let ring = Fixtures.paper_ring () in
+  let s = Dot_export.topology ring.Fixtures.net in
+  check bool_c "has switches" true (string_contains ~needle:"sw0" s);
+  check bool_c "has links" true (string_contains ~needle:"L0 (1 VC" s);
+  check bool_c "no highlight yet" false (string_contains ~needle:"red" s)
+
+let test_dot_topology_highlights_vcs () =
+  let ring = Fixtures.paper_ring () in
+  ignore (Noc_deadlock.Removal.run ring.Fixtures.net);
+  let s = Dot_export.topology ring.Fixtures.net in
+  check bool_c "added VC highlighted" true (string_contains ~needle:"red" s);
+  check bool_c "2 VC label" true (string_contains ~needle:"(2 VC" s)
+
+let test_dot_heatmap () =
+  let ring = Fixtures.paper_ring () in
+  let utilization l = if Ids.Link.to_int l = 0 then 0.9 else 0.0 in
+  let s = Dot_export.topology_heatmap ~utilization ring.Fixtures.net in
+  check bool_c "hot link red" true (string_contains ~needle:"red" s);
+  check bool_c "idle links grey" true (string_contains ~needle:"gray70" s);
+  check bool_c "percentage label" true (string_contains ~needle:"L0 90%" s)
+
+let test_dot_cdg_highlights_cycle () =
+  let ring = Fixtures.paper_ring () in
+  let s = Dot_export.cdg ring.Fixtures.net in
+  check bool_c "cycle coloured" true (string_contains ~needle:"color=\"red\"" s);
+  ignore (Noc_deadlock.Removal.run ring.Fixtures.net);
+  let s' = Dot_export.cdg ring.Fixtures.net in
+  check bool_c "no colour when acyclic" false (string_contains ~needle:"color=\"red\"" s');
+  check bool_c "primed channel appears" true (string_contains ~needle:"L0'" s')
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random ring-with-chords networks with min-hop routes: the CDG built
+   from any valid route set must only contain dependencies between
+   head-to-tail links. *)
+let random_net_gen =
+  QCheck.Gen.(
+    let* n_switches = int_range 3 8 in
+    let* n_extra = int_bound 5 in
+    let* extra =
+      list_size (return n_extra)
+        (pair (int_bound (n_switches - 1)) (int_bound (n_switches - 1)))
+    in
+    let* n_flows = int_range 1 12 in
+    let* pairs =
+      list_size (return n_flows)
+        (pair (int_bound (n_switches - 1)) (int_bound (n_switches - 1)))
+    in
+    return (n_switches, extra, pairs))
+
+let build_random_net (n_switches, extra, pairs) =
+  let topo = Topology.create ~n_switches in
+  for i = 0 to n_switches - 1 do
+    ignore (Topology.add_link topo ~src:(sw i) ~dst:(sw ((i + 1) mod n_switches)))
+  done;
+  List.iter
+    (fun (a, b) -> if a <> b then ignore (Topology.add_link topo ~src:(sw a) ~dst:(sw b)))
+    extra;
+  let traffic = Traffic.create ~n_cores:n_switches in
+  List.iter
+    (fun (a, b) ->
+      if a <> b then
+        ignore (Traffic.add_flow traffic ~src:(core a) ~dst:(core b) ~bandwidth:10.))
+    pairs;
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c -> sw (Ids.Core.to_int c))
+  in
+  match Routing.route_all net with
+  | Ok () -> net
+  | Error e -> failwith e
+
+let arbitrary_net =
+  QCheck.make
+    ~print:(fun (n, extra, pairs) ->
+      Printf.sprintf "switches=%d extra=%d flows=%d" n (List.length extra)
+        (List.length pairs))
+    random_net_gen
+
+let prop_routing_valid =
+  QCheck.Test.make ~name:"min-hop routing yields valid networks" ~count:100
+    arbitrary_net (fun input ->
+      let net = build_random_net input in
+      Validate.is_valid net)
+
+let prop_cdg_edges_head_to_tail =
+  QCheck.Test.make ~name:"CDG edges connect head-to-tail links" ~count:100
+    arbitrary_net (fun input ->
+      let net = build_random_net input in
+      let topo = Network.topology net in
+      let cdg = Cdg.build net in
+      Noc_graph.Digraph.fold_edges
+        (fun acc u v ->
+          let cu = Cdg.channel_of_vertex cdg u and cv = Cdg.channel_of_vertex cdg v in
+          let lu = Topology.link topo (Channel.link cu) in
+          let lv = Topology.link topo (Channel.link cv) in
+          acc && Ids.Switch.equal lu.Topology.dst lv.Topology.src)
+        true (Cdg.graph cdg))
+
+let prop_cdg_deps_bounded_by_route_pairs =
+  QCheck.Test.make ~name:"CDG edge count bounded by route pair count" ~count:100
+    arbitrary_net (fun input ->
+      let net = build_random_net input in
+      let cdg = Cdg.build net in
+      let pair_count =
+        List.fold_left
+          (fun acc (_, r) -> acc + List.length (Route.consecutive_pairs r))
+          0 (Network.routes net)
+      in
+      Noc_graph.Digraph.n_edges (Cdg.graph cdg) <= pair_count)
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"Io.save/load round-trips any valid network" ~count:80
+    arbitrary_net (fun input ->
+      let net = build_random_net input in
+      match Io.load (Io.save net) with
+      | Ok net' -> same_design net net'
+      | Error _ -> false)
+
+(* Fuzz the design-file parser: single-character mutations of a valid
+   file must always yield Ok or Error, never an exception. *)
+let prop_io_parser_total =
+  let base = Io.save (Fixtures.paper_ring ()).Fixtures.net in
+  QCheck.Test.make ~name:"Io.load never raises on mutated input" ~count:300
+    QCheck.(pair (int_bound (String.length base - 1)) printable_char)
+    (fun (pos, c) ->
+      let mutated = Bytes.of_string base in
+      Bytes.set mutated pos c;
+      match Io.load (Bytes.to_string mutated) with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "exception %s at pos %d" (Printexc.to_string e)
+            pos)
+
+let prop_tables_consistent =
+  QCheck.Test.make ~name:"compiled tables always validate" ~count:80 arbitrary_net
+    (fun input ->
+      let net = build_random_net input in
+      Tables.check net (Tables.compile net) = Ok ())
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_routing_valid; prop_cdg_edges_head_to_tail;
+      prop_cdg_deps_bounded_by_route_pairs; prop_io_roundtrip;
+      prop_io_parser_total; prop_tables_consistent;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "noc_model"
+    [
+      ( "ids_channels",
+        [
+          tc "id roundtrip" test_id_roundtrip;
+          tc "negative rejected" test_id_negative_rejected;
+          tc "printing" test_id_pp;
+          tc "channel make" test_channel_make;
+          tc "channel ordering" test_channel_compare_order;
+          tc "primed printing" test_channel_pp_primed;
+        ] );
+      ( "topology",
+        [
+          tc "create invalid" test_topology_create_invalid;
+          tc "links" test_topology_links;
+          tc "self loop rejected" test_topology_self_loop_rejected;
+          tc "unknown switch rejected" test_topology_unknown_switch;
+          tc "vc management" test_topology_vcs;
+          tc "channel list" test_topology_channels_list;
+          tc "adjacency" test_topology_adjacency;
+          tc "parallel links" test_topology_parallel_links;
+          tc "connectivity" test_topology_connectivity;
+          tc "switch graph" test_topology_switch_graph;
+          tc "copy independent" test_topology_copy_independent;
+        ] );
+      ( "traffic",
+        [
+          tc "flows" test_traffic_flows;
+          tc "rejections" test_traffic_rejections;
+          tc "demand between" test_traffic_demand;
+        ] );
+      ( "route",
+        [
+          tc "valid route" test_route_check_ok;
+          tc "empty routes" test_route_check_empty;
+          tc "discontinuity" test_route_check_discontinuous;
+          tc "wrong endpoints" test_route_check_wrong_endpoints;
+          tc "bad vc" test_route_check_bad_vc;
+          tc "repeated channel" test_route_check_repeat;
+          tc "pairs and membership" test_route_pairs;
+        ] );
+      ( "network",
+        [
+          tc "mapping checked" test_network_mapping_checked;
+          tc "routes roundtrip" test_network_routes_roundtrip;
+          tc "endpoints" test_network_endpoints;
+          tc "loads" test_network_loads;
+          tc "copy isolated" test_network_copy_isolated;
+        ] );
+      ( "cdg",
+        [
+          tc "paper example" test_cdg_paper_example;
+          tc "dependency flows" test_cdg_dependency_flows;
+          tc "xy mesh acyclic" test_cdg_acyclic_mesh;
+          tc "unused channels included" test_cdg_includes_unused_channels;
+          tc "cycle enumeration" test_cdg_cycles_enumeration;
+        ] );
+      ( "routing",
+        [
+          tc "min hop" test_routing_min_hop;
+          tc "unreachable" test_routing_unreachable;
+          tc "same switch" test_routing_same_switch;
+          tc "load aware spreads" test_routing_load_aware_spreads;
+        ] );
+      ( "validate",
+        [
+          tc "ok" test_validate_ok;
+          tc "missing route" test_validate_missing_route;
+          tc "routes equivalent" test_validate_routes_equivalent;
+        ] );
+      ( "routing_function",
+        [
+          tc "of static routes" test_rf_of_static_routes;
+          tc "minimal adaptive diamond" test_rf_minimal_adaptive_diamond;
+          tc "vc handling" test_rf_minimal_adaptive_vcs;
+          tc "validation" test_rf_make_validates;
+          tc "restrict and connectivity" test_rf_restrict_and_connectivity;
+        ] );
+      ( "metrics",
+        [
+          tc "ring" test_metrics_ring;
+          tc "unrouted" test_metrics_unrouted;
+          tc "critical links on the ring" test_metrics_critical_links;
+          tc "no critical links on the mesh" test_metrics_critical_links_mesh;
+          tc "cut bandwidth" test_metrics_cut_bandwidth;
+        ] );
+      ( "bandwidth",
+        [
+          tc "feasible" test_bandwidth_feasible;
+          tc "oversubscribed" test_bandwidth_oversubscribed;
+          tc "validation" test_bandwidth_validation;
+        ] );
+      ( "io",
+        [
+          tc "roundtrip ring" test_io_roundtrip_ring;
+          tc "roundtrip with VCs" test_io_roundtrip_with_vcs;
+          tc "comments and blanks" test_io_comments_and_blanks;
+          tc "error messages" test_io_error_messages;
+          tc "invalid route rejected" test_io_rejects_invalid_route;
+          tc "file roundtrip" test_io_file_roundtrip;
+          tc "missing file" test_io_missing_file;
+        ] );
+      ( "tables",
+        [
+          tc "compile ring" test_tables_compile_ring;
+          tc "lookup semantics" test_tables_lookup_semantics;
+          tc "check passes" test_tables_check_passes;
+          tc "check catches stale tables" test_tables_check_catches_stale;
+          tc "after removal" test_tables_after_removal;
+        ] );
+      ( "dot_export",
+        [
+          tc "topology" test_dot_topology;
+          tc "topology highlights VCs" test_dot_topology_highlights_vcs;
+          tc "utilization heatmap" test_dot_heatmap;
+          tc "cdg highlights cycle" test_dot_cdg_highlights_cycle;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,656 @@
+open Noc_model
+open Noc_sim
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let sw = Fixtures.sw
+let core = Fixtures.core
+let ch = Fixtures.ch
+
+(* ------------------------------------------------------------------ *)
+(* Packets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_packet_make_checks () =
+  let route = [ ch 0 ] in
+  Alcotest.check_raises "length" (Invalid_argument "Packet.make: length < 1")
+    (fun () ->
+      ignore (Packet.make ~id:0 ~flow:(Fixtures.fl 0) ~route ~length:0 ~inject_at:0));
+  Alcotest.check_raises "route" (Invalid_argument "Packet.make: empty route")
+    (fun () ->
+      ignore (Packet.make ~id:0 ~flow:(Fixtures.fl 0) ~route:[] ~length:1 ~inject_at:0));
+  Alcotest.check_raises "time"
+    (Invalid_argument "Packet.make: negative injection cycle") (fun () ->
+      ignore (Packet.make ~id:0 ~flow:(Fixtures.fl 0) ~route ~length:1 ~inject_at:(-1)))
+
+let test_packet_flits () =
+  let p = Packet.make ~id:1 ~flow:(Fixtures.fl 0) ~route:[ ch 0 ] ~length:3 ~inject_at:0 in
+  let flits = Packet.flits p in
+  check int_c "three flits" 3 (List.length flits);
+  (match flits with
+  | head :: _ -> check bool_c "head" true (Packet.is_head head)
+  | [] -> Alcotest.fail "no flits");
+  check bool_c "tail" true (Packet.is_tail (List.nth flits 2));
+  check bool_c "middle is neither" false
+    (Packet.is_head (List.nth flits 1) || Packet.is_tail (List.nth flits 1))
+
+let test_single_flit_packet_is_head_and_tail () =
+  let p = Packet.make ~id:1 ~flow:(Fixtures.fl 0) ~route:[ ch 0 ] ~length:1 ~inject_at:0 in
+  match Packet.flits p with
+  | [ f ] -> check bool_c "both" true (Packet.is_head f && Packet.is_tail f)
+  | _ -> Alcotest.fail "expected one flit"
+
+(* ------------------------------------------------------------------ *)
+(* Traffic generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_burst_generation () =
+  let ring = Fixtures.paper_ring () in
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:4 ~packets_per_flow:3 in
+  check int_c "4 flows x 3" 12 (List.length packets);
+  check int_c "flits" 48 (Traffic_gen.total_flits packets);
+  check bool_c "all at cycle 0" true
+    (List.for_all (fun (p : Packet.t) -> p.Packet.inject_at = 0) packets)
+
+let test_periodic_generation () =
+  let ring = Fixtures.paper_ring () in
+  let packets =
+    Traffic_gen.periodic ring.Fixtures.net ~packet_length:2 ~packets_per_flow:2
+      ~interval:10
+  in
+  check int_c "8 packets" 8 (List.length packets);
+  let flow0 =
+    List.filter (fun (p : Packet.t) -> Ids.Flow.to_int p.Packet.flow = 0) packets
+  in
+  check
+    Alcotest.(list int)
+    "flow 0 staggered" [ 0; 10 ]
+    (List.sort compare (List.map (fun (p : Packet.t) -> p.Packet.inject_at) flow0))
+
+let test_periodic_bad_interval () =
+  let ring = Fixtures.paper_ring () in
+  Alcotest.check_raises "interval" (Invalid_argument "Traffic_gen.periodic: interval < 1")
+    (fun () ->
+      ignore
+        (Traffic_gen.periodic ring.Fixtures.net ~packet_length:1 ~packets_per_flow:1
+           ~interval:0))
+
+let test_generation_skips_local_flows () =
+  (* A flow between cores on the same switch has an empty route and
+     must not produce packets. *)
+  let topo = Topology.create ~n_switches:2 in
+  let l = Topology.add_link topo ~src:(sw 0) ~dst:(sw 1) in
+  let traffic = Traffic.create ~n_cores:3 in
+  let f_local = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:1. in
+  let f_net = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 2) ~bandwidth:1. in
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c ->
+        if Ids.Core.to_int c = 2 then sw 1 else sw 0)
+  in
+  Network.set_route net f_local [];
+  Network.set_route net f_net [ Channel.make l 0 ];
+  let packets = Traffic_gen.burst net ~packet_length:2 ~packets_per_flow:1 in
+  check int_c "only the network flow" 1 (List.length packets);
+  check bool_c "right flow" true
+    (match packets with
+    | [ p ] -> Ids.Flow.equal p.Packet.flow f_net
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock detection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_waits_for_cycle () =
+  let edges =
+    [
+      { Deadlock_detect.waiter = 10; holder = 20 };
+      { Deadlock_detect.waiter = 20; holder = 30 };
+      { Deadlock_detect.waiter = 30; holder = 10 };
+    ]
+  in
+  check bool_c "deadlocked" true (Deadlock_detect.is_deadlocked edges);
+  match Deadlock_detect.find_cycle edges with
+  | Some ids ->
+      check
+        Alcotest.(list int)
+        "cycle members" [ 10; 20; 30 ]
+        (List.sort compare ids)
+  | None -> Alcotest.fail "cycle expected"
+
+let test_waits_for_chain_no_cycle () =
+  let edges =
+    [
+      { Deadlock_detect.waiter = 1; holder = 2 };
+      { Deadlock_detect.waiter = 2; holder = 3 };
+    ]
+  in
+  check bool_c "chain is not deadlock" false (Deadlock_detect.is_deadlocked edges);
+  check bool_c "empty relation fine" false (Deadlock_detect.is_deadlocked [])
+
+(* ------------------------------------------------------------------ *)
+(* Engine: simple deliveries                                           *)
+(* ------------------------------------------------------------------ *)
+
+let one_link_net () =
+  let topo = Topology.create ~n_switches:2 in
+  let l = Topology.add_link topo ~src:(sw 0) ~dst:(sw 1) in
+  let traffic = Traffic.create ~n_cores:2 in
+  let f = Traffic.add_flow traffic ~src:(core 0) ~dst:(core 1) ~bandwidth:1. in
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c -> sw (Ids.Core.to_int c))
+  in
+  Network.set_route net f [ Channel.make l 0 ];
+  (net, f, l)
+
+let test_engine_single_packet () =
+  let net, f, _ = one_link_net () in
+  let p = Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:4 ~inject_at:0 in
+  match Engine.run net [ p ] with
+  | Engine.Completed s ->
+      check int_c "delivered" 1 s.Stats.delivered;
+      (* 4 flits, 1/cycle injection + 1 cycle in the buffer each:
+         latency is small and positive. *)
+      check bool_c "sane latency" true (Stats.max_latency s >= 4);
+      check int_c "flit moves: 4 in + 4 out" 8 s.Stats.flits_moved
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "expected completion"
+
+let test_engine_respects_inject_at () =
+  let net, f, _ = one_link_net () in
+  let p = Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:1 ~inject_at:50 in
+  match Engine.run net [ p ] with
+  | Engine.Completed s ->
+      check bool_c "waits for injection time" true (s.Stats.cycles >= 50)
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "expected completion"
+
+let test_engine_wormhole_blocking () =
+  (* Two packets on the same single-channel route: strictly serialized
+     because the channel is owned until the tail passes. *)
+  let net, f, _ = one_link_net () in
+  let route = Network.route net f in
+  let p1 = Packet.make ~id:0 ~flow:f ~route ~length:6 ~inject_at:0 in
+  let p2 = Packet.make ~id:1 ~flow:f ~route ~length:6 ~inject_at:0 in
+  match Engine.run net [ p1; p2 ] with
+  | Engine.Completed s ->
+      check int_c "both delivered" 2 s.Stats.delivered;
+      check bool_c "second waited" true (Stats.max_latency s > 6)
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "expected completion"
+
+let test_engine_unknown_channel_rejected () =
+  let net, f, _ = one_link_net () in
+  let bogus = Channel.make (Fixtures.lk 0) 3 in
+  let p = Packet.make ~id:0 ~flow:f ~route:[ bogus ] ~length:1 ~inject_at:0 in
+  Alcotest.check_raises "unknown channel"
+    (Invalid_argument "Engine.run: packet uses unknown channel L0'3") (fun () ->
+      ignore (Engine.run net [ p ]))
+
+let test_engine_empty_workload () =
+  let net, _, _ = one_link_net () in
+  match Engine.run net [] with
+  | Engine.Completed s ->
+      check int_c "zero cycles" 0 s.Stats.cycles;
+      check int_c "nothing" 0 s.Stats.delivered
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "vacuous completion"
+
+(* ------------------------------------------------------------------ *)
+(* Engine: deadlock behaviour (the heart of the reproduction)          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_deadlocks_under_burst () =
+  let ring = Fixtures.paper_ring () in
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:2 in
+  match Engine.run ring.Fixtures.net packets with
+  | Engine.Deadlocked d ->
+      check bool_c "flits stuck" true (d.Engine.in_network_flits > 0);
+      check bool_c "certificate found" true (d.Engine.waits_for_cycle <> None);
+      check bool_c "blocked packets listed" true (d.Engine.blocked_packets <> [])
+  | Engine.Completed _ -> Alcotest.fail "cyclic ring should deadlock under burst"
+  | Engine.Timed_out _ -> Alcotest.fail "should stall, not time out"
+
+let test_ring_completes_after_removal () =
+  let ring = Fixtures.paper_ring () in
+  ignore (Noc_deadlock.Removal.run ring.Fixtures.net);
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:2 in
+  match Engine.run ring.Fixtures.net packets with
+  | Engine.Completed s -> check int_c "all 8 packets" 8 s.Stats.delivered
+  | Engine.Deadlocked _ -> Alcotest.fail "acyclic CDG must not deadlock"
+  | Engine.Timed_out _ -> Alcotest.fail "should finish quickly"
+
+let test_ring_completes_after_resource_ordering () =
+  let ring = Fixtures.paper_ring () in
+  ignore (Noc_deadlock.Resource_ordering.apply ring.Fixtures.net);
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:2 in
+  match Engine.run ring.Fixtures.net packets with
+  | Engine.Completed s -> check int_c "all delivered" 8 s.Stats.delivered
+  | Engine.Deadlocked _ | Engine.Timed_out _ ->
+      Alcotest.fail "ordering-fixed design must complete"
+
+let test_xy_mesh_never_deadlocks () =
+  let net = Fixtures.xy_mesh_2x2 () in
+  let packets = Traffic_gen.burst net ~packet_length:12 ~packets_per_flow:2 in
+  match Engine.run net packets with
+  | Engine.Completed s ->
+      check int_c "all delivered" (List.length packets) s.Stats.delivered
+  | Engine.Deadlocked _ -> Alcotest.fail "XY routing cannot deadlock"
+  | Engine.Timed_out _ -> Alcotest.fail "small mesh should finish"
+
+let test_short_packets_escape_ring () =
+  (* Single-flit packets never hold two channels at once, so even the
+     cyclic ring drains: deadlock needs multi-channel occupancy. *)
+  let ring = Fixtures.paper_ring () in
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:1 ~packets_per_flow:2 in
+  match Engine.run ring.Fixtures.net packets with
+  | Engine.Completed s -> check int_c "all delivered" 8 s.Stats.delivered
+  | Engine.Deadlocked _ -> Alcotest.fail "single-flit packets cannot deadlock here"
+  | Engine.Timed_out _ -> Alcotest.fail "should finish"
+
+let test_channel_utilization () =
+  let net, f, l = one_link_net () in
+  let p = Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:4 ~inject_at:0 in
+  match Engine.run net [ p ] with
+  | Engine.Completed s ->
+      let c = Channel.make l 0 in
+      (match Stats.busiest_channel s with
+      | Some (busiest, n) ->
+          check bool_c "the single channel is busiest" true (Channel.equal busiest c);
+          check int_c "4 arrivals" 4 n
+      | None -> Alcotest.fail "expected channel stats");
+      check bool_c "utilization in (0, 1]" true
+        (Stats.utilization s c > 0. && Stats.utilization s c <= 1.);
+      check (Alcotest.float 1e-9) "unknown channel idle" 0.
+        (Stats.utilization s (Channel.make l 7))
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "expected completion"
+
+let test_rotate_priority_still_correct () =
+  (* Round-robin arbitration changes the schedule but not safety or
+     delivery. *)
+  let config = { Engine.default_config with Engine.rotate_priority = true } in
+  let net = Fixtures.xy_mesh_2x2 () in
+  let packets = Traffic_gen.burst net ~packet_length:8 ~packets_per_flow:2 in
+  (match Engine.run ~config net packets with
+  | Engine.Completed s -> check int_c "all delivered" (List.length packets) s.Stats.delivered
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "mesh must complete");
+  (* And the cyclic ring still deadlocks — fairness does not remove
+     structural deadlock. *)
+  let ring = Fixtures.paper_ring () in
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:2 in
+  match Engine.run ~config ring.Fixtures.net packets with
+  | Engine.Deadlocked _ -> ()
+  | Engine.Completed _ | Engine.Timed_out _ ->
+      Alcotest.fail "rotation cannot fix a structural deadlock"
+
+let test_router_latency_slows_delivery () =
+  let run latency =
+    let net, f, _ = one_link_net () in
+    let p =
+      Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:4 ~inject_at:0
+    in
+    let config = { Engine.default_config with Engine.router_latency = latency } in
+    match Engine.run ~config net [ p ] with
+    | Engine.Completed s -> s.Stats.cycles
+    | Engine.Deadlocked _ | Engine.Timed_out _ -> -1
+  in
+  let fast = run 1 and slow = run 4 in
+  check bool_c "both complete" true (fast > 0 && slow > 0);
+  check bool_c "deeper pipeline is slower" true (slow > fast)
+
+let test_router_latency_no_false_deadlock () =
+  (* A latency deeper than the stall threshold must not be mistaken for
+     a deadlock (the watchdog auto-scales). *)
+  let net, f, _ = one_link_net () in
+  let p =
+    Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:2 ~inject_at:0
+  in
+  let config =
+    { Engine.default_config with Engine.router_latency = 100; stall_threshold = 8 }
+  in
+  match Engine.run ~config net [ p ] with
+  | Engine.Completed _ -> ()
+  | Engine.Deadlocked _ -> Alcotest.fail "pipeline delay misread as deadlock"
+  | Engine.Timed_out _ -> Alcotest.fail "should complete"
+
+let test_engine_timeout_path () =
+  (* A workload that cannot finish within max_cycles must report
+     Timed_out with partial statistics, not hang or misreport. *)
+  let net, f, _ = one_link_net () in
+  let packets =
+    List.init 50 (fun i ->
+        Packet.make ~id:i ~flow:f ~route:(Network.route net f) ~length:8
+          ~inject_at:0)
+  in
+  let config = { Engine.default_config with Engine.max_cycles = 20 } in
+  match Engine.run ~config net packets with
+  | Engine.Timed_out s ->
+      check int_c "clock stopped at the cap" 20 s.Stats.cycles;
+      check bool_c "partial delivery counted" true (s.Stats.delivered < 50)
+  | Engine.Completed _ -> Alcotest.fail "cannot finish 400 flits in 20 cycles"
+  | Engine.Deadlocked _ -> Alcotest.fail "a chain cannot deadlock"
+
+let test_outcome_printers () =
+  (* pp smoke tests: every outcome constructor renders. *)
+  let net, f, _ = one_link_net () in
+  let p = Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:2 ~inject_at:0 in
+  let done_ = Engine.run net [ p ] in
+  check bool_c "completed renders" true
+    (String.length (Format.asprintf "%a" Engine.pp_outcome done_) > 0);
+  let ring = Fixtures.paper_ring () in
+  let stuck =
+    Engine.run ring.Fixtures.net
+      (Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:1)
+  in
+  check bool_c "deadlock renders" true
+    (String.length (Format.asprintf "%a" Engine.pp_outcome stuck) > 0);
+  check bool_c "stats render" true
+    (match done_ with
+    | Engine.Completed s -> String.length (Format.asprintf "%a" Stats.pp s) > 0
+    | Engine.Deadlocked _ | Engine.Timed_out _ -> false)
+
+let test_deterministic_outcomes () =
+  let run_once () =
+    let ring = Fixtures.paper_ring () in
+    let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:2 in
+    match Engine.run ring.Fixtures.net packets with
+    | Engine.Deadlocked d -> (d.Engine.cycle, d.Engine.in_network_flits)
+    | Engine.Completed _ | Engine.Timed_out _ -> (-1, -1)
+  in
+  check (Alcotest.pair int_c int_c) "bit-identical reruns" (run_once ()) (run_once ())
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mesh_with_two_vcs columns rows =
+  let n = columns * rows in
+  let topo = Noc_synth.Regular.mesh ~columns ~rows in
+  List.iter
+    (fun (l : Topology.link) -> ignore (Topology.add_vc topo l.Topology.id))
+    (Topology.links topo);
+  let traffic = Traffic.create ~n_cores:n in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then
+        ignore (Traffic.add_flow traffic ~src:(core s) ~dst:(core d) ~bandwidth:5.)
+    done
+  done;
+  Network.make ~topology:topo ~traffic ~mapping:(fun c -> sw (Ids.Core.to_int c))
+
+let test_adaptive_workload_generation () =
+  let net, _, _ = one_link_net () in
+  let w = Adaptive_engine.workload_of_flows net ~packet_length:3 ~packets_per_flow:2 in
+  check int_c "two packets" 2 (List.length w);
+  check bool_c "right endpoints" true
+    (List.for_all
+       (fun (x : Adaptive_engine.workload) ->
+         Ids.Switch.to_int x.Adaptive_engine.src = 0
+         && Ids.Switch.to_int x.Adaptive_engine.dst = 1
+         && x.Adaptive_engine.length = 3)
+       w)
+
+let test_adaptive_mesh_escape_completes () =
+  let net = mesh_with_two_vcs 3 3 in
+  let rf = Noc_synth.Mesh_routing.adaptive_with_xy_escape ~columns:3 ~rows:3 net in
+  let w = Adaptive_engine.workload_of_flows net ~packet_length:8 ~packets_per_flow:2 in
+  match Adaptive_engine.run net rf w with
+  | Adaptive_engine.Completed s ->
+      check int_c "all delivered" (List.length w) s.Stats.delivered
+  | Adaptive_engine.Stalled _ -> Alcotest.fail "escape-protected function stalled"
+  | Adaptive_engine.Timed_out _ -> Alcotest.fail "timed out"
+
+let test_adaptive_xy_static_completes () =
+  let net = mesh_with_two_vcs 3 3 in
+  let rf = Noc_synth.Mesh_routing.xy_static ~columns:3 ~rows:3 net in
+  let w = Adaptive_engine.workload_of_flows net ~packet_length:6 ~packets_per_flow:1 in
+  match Adaptive_engine.run net rf w with
+  | Adaptive_engine.Completed s ->
+      check int_c "all delivered" (List.length w) s.Stats.delivered
+  | Adaptive_engine.Stalled _ | Adaptive_engine.Timed_out _ ->
+      Alcotest.fail "XY routing must complete"
+
+let test_adaptive_unprotected_ring_stalls () =
+  let ring = Fixtures.paper_ring () in
+  let net = ring.Fixtures.net in
+  let rf = Noc_model.Routing_function.minimal_adaptive net in
+  let w = Adaptive_engine.workload_of_flows net ~packet_length:8 ~packets_per_flow:2 in
+  match Adaptive_engine.run net rf w with
+  | Adaptive_engine.Stalled d ->
+      check bool_c "flits stuck" true (d.Adaptive_engine.in_network_flits > 0);
+      check bool_c "blocked packets reported" true
+        (d.Adaptive_engine.blocked_packets <> [])
+  | Adaptive_engine.Completed _ -> Alcotest.fail "unprotected ring should stall"
+  | Adaptive_engine.Timed_out _ -> Alcotest.fail "should stall, not time out"
+
+let test_adaptive_deterministic () =
+  let run_once () =
+    let net = mesh_with_two_vcs 3 3 in
+    let rf = Noc_synth.Mesh_routing.adaptive_with_xy_escape ~columns:3 ~rows:3 net in
+    let w = Adaptive_engine.workload_of_flows net ~packet_length:8 ~packets_per_flow:2 in
+    match Adaptive_engine.run net rf w with
+    | Adaptive_engine.Completed s -> (s.Stats.cycles, s.Stats.flits_moved)
+    | Adaptive_engine.Stalled _ | Adaptive_engine.Timed_out _ -> (-1, -1)
+  in
+  check (Alcotest.pair int_c int_c) "bit identical" (run_once ()) (run_once ())
+
+let test_adaptive_trace_invariants () =
+  (* The adaptive engine's dynamic ownership must satisfy the same
+     wormhole invariants as the fixed-route engine. *)
+  let net = mesh_with_two_vcs 3 3 in
+  let rf = Noc_synth.Mesh_routing.adaptive_with_xy_escape ~columns:3 ~rows:3 net in
+  let w = Adaptive_engine.workload_of_flows net ~packet_length:6 ~packets_per_flow:2 in
+  let emit, dump = Trace.recorder () in
+  (match Adaptive_engine.run ~on_event:emit net rf w with
+  | Adaptive_engine.Completed _ -> ()
+  | Adaptive_engine.Stalled _ | Adaptive_engine.Timed_out _ ->
+      Alcotest.fail "expected completion");
+  let events = dump () in
+  check bool_c "events recorded" true (events <> []);
+  (match Trace.check_exclusive_ownership events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("adaptive ownership: " ^ e));
+  match Trace.check_balanced events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("adaptive balance: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Trace invariants                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced net packets =
+  let emit, dump = Trace.recorder () in
+  let outcome = Engine.run ~on_event:emit net packets in
+  (outcome, dump ())
+
+let route_table packets =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Packet.t) ->
+      Hashtbl.replace tbl p.Packet.id (Array.to_list p.Packet.route))
+    packets;
+  fun id -> Option.value ~default:[] (Hashtbl.find_opt tbl id)
+
+let test_trace_mesh_invariants () =
+  let net = Fixtures.xy_mesh_2x2 () in
+  let packets = Traffic_gen.burst net ~packet_length:6 ~packets_per_flow:2 in
+  let outcome, events = run_traced net packets in
+  (match outcome with
+  | Engine.Completed _ -> ()
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "expected completion");
+  check bool_c "events recorded" true (events <> []);
+  (match Trace.check_exclusive_ownership events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("ownership: " ^ e));
+  (match Trace.check_balanced events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("balance: " ^ e));
+  match Trace.check_route_order (route_table packets) events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("route order: " ^ e)
+
+let test_trace_deadlock_unbalanced () =
+  (* A deadlocked run must leave unreleased acquisitions: the checker
+     is supposed to notice. *)
+  let ring = Fixtures.paper_ring () in
+  let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length:8 ~packets_per_flow:1 in
+  let outcome, events = run_traced ring.Fixtures.net packets in
+  (match outcome with
+  | Engine.Deadlocked _ -> ()
+  | Engine.Completed _ | Engine.Timed_out _ -> Alcotest.fail "expected deadlock");
+  check bool_c "ownership still exclusive" true
+    (Trace.check_exclusive_ownership events = Ok ());
+  check bool_c "balance violated (stuck packets)" true
+    (Result.is_error (Trace.check_balanced events))
+
+let test_trace_checkers_reject_corrupt () =
+  let c = Fixtures.ch 0 in
+  let double_acquire =
+    [
+      Trace.Acquire { cycle = 0; packet = 1; channel = c };
+      Trace.Acquire { cycle = 1; packet = 2; channel = c };
+    ]
+  in
+  check bool_c "double acquire caught" true
+    (Result.is_error (Trace.check_exclusive_ownership double_acquire));
+  let foreign_release =
+    [
+      Trace.Acquire { cycle = 0; packet = 1; channel = c };
+      Trace.Release { cycle = 1; packet = 2; channel = c };
+    ]
+  in
+  check bool_c "foreign release caught" true
+    (Result.is_error (Trace.check_exclusive_ownership foreign_release));
+  let unowned_release = [ Trace.Release { cycle = 0; packet = 1; channel = c } ] in
+  check bool_c "unowned release caught" true
+    (Result.is_error (Trace.check_exclusive_ownership unowned_release))
+
+let test_trace_route_order_checker () =
+  let c0 = Fixtures.ch 0 and c1 = Fixtures.ch 1 in
+  let routes = function 1 -> [ c0; c1 ] | _ -> [] in
+  let ok =
+    [
+      Trace.Acquire { cycle = 0; packet = 1; channel = c0 };
+      Trace.Acquire { cycle = 1; packet = 1; channel = c1 };
+    ]
+  in
+  check bool_c "in order ok" true (Trace.check_route_order routes ok = Ok ());
+  let skipped = [ Trace.Acquire { cycle = 0; packet = 1; channel = c1 } ] in
+  check bool_c "skip caught" true
+    (Result.is_error (Trace.check_route_order routes skipped))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* After removal, *any* burst workload on the paper ring completes:
+   acyclic CDG -> no deadlock, for every packet length / count. *)
+let prop_removal_implies_completion =
+  QCheck.Test.make ~name:"post-removal ring completes for any workload" ~count:40
+    QCheck.(pair (int_range 1 12) (int_range 1 4))
+    (fun (packet_length, packets_per_flow) ->
+      let ring = Fixtures.paper_ring () in
+      ignore (Noc_deadlock.Removal.run ring.Fixtures.net);
+      let packets = Traffic_gen.burst ring.Fixtures.net ~packet_length ~packets_per_flow in
+      match Engine.run ring.Fixtures.net packets with
+      | Engine.Completed s -> s.Stats.delivered = List.length packets
+      | Engine.Deadlocked _ | Engine.Timed_out _ -> false)
+
+let prop_trace_invariants_hold =
+  QCheck.Test.make ~name:"wormhole invariants hold on every completed run"
+    ~count:40
+    QCheck.(pair (int_range 1 10) (int_range 1 3))
+    (fun (packet_length, packets_per_flow) ->
+      let net = Fixtures.xy_mesh_2x2 () in
+      let packets = Traffic_gen.burst net ~packet_length ~packets_per_flow in
+      let outcome, events = run_traced net packets in
+      match outcome with
+      | Engine.Completed _ ->
+          Trace.check_exclusive_ownership events = Ok ()
+          && Trace.check_balanced events = Ok ()
+          && Trace.check_route_order (route_table packets) events = Ok ()
+      | Engine.Deadlocked _ | Engine.Timed_out _ -> false)
+
+let prop_flit_conservation =
+  QCheck.Test.make ~name:"completed runs move every flit exactly route+1 times"
+    ~count:40
+    QCheck.(pair (int_range 1 8) (int_range 1 3))
+    (fun (packet_length, packets_per_flow) ->
+      let net = Fixtures.xy_mesh_2x2 () in
+      let packets = Traffic_gen.burst net ~packet_length ~packets_per_flow in
+      let expected =
+        List.fold_left
+          (fun acc (p : Packet.t) ->
+            acc + (p.Packet.length * (Array.length p.Packet.route + 1)))
+          0 packets
+      in
+      match Engine.run net packets with
+      | Engine.Completed s -> s.Stats.flits_moved = expected
+      | Engine.Deadlocked _ | Engine.Timed_out _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_removal_implies_completion; prop_flit_conservation;
+      prop_trace_invariants_hold;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "noc_sim"
+    [
+      ( "packet",
+        [
+          tc "constructor checks" test_packet_make_checks;
+          tc "flit enumeration" test_packet_flits;
+          tc "single-flit head=tail" test_single_flit_packet_is_head_and_tail;
+        ] );
+      ( "traffic_gen",
+        [
+          tc "burst" test_burst_generation;
+          tc "periodic" test_periodic_generation;
+          tc "bad interval" test_periodic_bad_interval;
+          tc "skips local flows" test_generation_skips_local_flows;
+        ] );
+      ( "deadlock_detect",
+        [
+          tc "cycle found" test_waits_for_cycle;
+          tc "chain is safe" test_waits_for_chain_no_cycle;
+        ] );
+      ( "engine_basic",
+        [
+          tc "single packet" test_engine_single_packet;
+          tc "inject_at respected" test_engine_respects_inject_at;
+          tc "wormhole serialization" test_engine_wormhole_blocking;
+          tc "unknown channel rejected" test_engine_unknown_channel_rejected;
+          tc "empty workload" test_engine_empty_workload;
+        ] );
+      ( "engine_deadlock",
+        [
+          tc "ring deadlocks under burst" test_ring_deadlocks_under_burst;
+          tc "ring completes after removal" test_ring_completes_after_removal;
+          tc "ring completes after ordering" test_ring_completes_after_resource_ordering;
+          tc "xy mesh never deadlocks" test_xy_mesh_never_deadlocks;
+          tc "single-flit packets escape" test_short_packets_escape_ring;
+          tc "channel utilization" test_channel_utilization;
+          tc "rotating priority" test_rotate_priority_still_correct;
+          tc "router latency slows delivery" test_router_latency_slows_delivery;
+          tc "deep pipeline is not a deadlock" test_router_latency_no_false_deadlock;
+          tc "timeout path" test_engine_timeout_path;
+          tc "outcome printers" test_outcome_printers;
+          tc "deterministic" test_deterministic_outcomes;
+        ] );
+      ( "adaptive",
+        [
+          tc "workload generation" test_adaptive_workload_generation;
+          tc "mesh with escape completes" test_adaptive_mesh_escape_completes;
+          tc "xy static completes" test_adaptive_xy_static_completes;
+          tc "unprotected ring stalls" test_adaptive_unprotected_ring_stalls;
+          tc "deterministic" test_adaptive_deterministic;
+          tc "trace invariants" test_adaptive_trace_invariants;
+        ] );
+      ( "trace",
+        [
+          tc "mesh invariants" test_trace_mesh_invariants;
+          tc "deadlock leaves unbalanced trace" test_trace_deadlock_unbalanced;
+          tc "checkers reject corrupt traces" test_trace_checkers_reject_corrupt;
+          tc "route order checker" test_trace_route_order_checker;
+        ] );
+      ("properties", qcheck_cases);
+    ]
