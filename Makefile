@@ -1,0 +1,54 @@
+# Mirrors .github/workflows/ci.yml so the gate is reproducible locally.
+# `make ci` = build + tests + clean-tree check + bench regression gate
+# (+ format check when ocamlformat is installed).
+
+DUNE ?= dune
+
+.PHONY: all build test fmt clean-tree bench bench-gate ci clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# .ocamlformat pins a version; skip gracefully where it isn't installed.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+clean-tree:
+	@if git ls-files _build | grep -q .; then \
+	  echo "clean-tree: _build/ artifacts are tracked in git"; \
+	  git ls-files _build | head; \
+	  exit 1; \
+	fi
+	@before="$$(git status --porcelain)"; \
+	$(DUNE) build; \
+	after="$$(git status --porcelain)"; \
+	if [ "$$before" != "$$after" ]; then \
+	  echo "clean-tree: dune build dirtied the tree"; \
+	  echo "$$after"; \
+	  exit 1; \
+	fi
+	@echo "clean-tree: OK"
+
+# Re-measure the removal benchmark (writes BENCH_removal.json, gitignored).
+bench:
+	$(DUNE) exec bench/main.exe -- removal
+
+# Compare a fresh measurement against the committed baseline.
+bench-gate: bench
+	$(DUNE) exec bench/check_regression.exe -- \
+	  bench/baseline/BENCH_removal.json BENCH_removal.json
+
+ci: build test fmt clean-tree bench-gate
+
+clean:
+	$(DUNE) clean
+	rm -f BENCH_removal.json

@@ -1,0 +1,52 @@
+(* CI gate: diff a freshly measured BENCH_removal.json against the
+   committed baseline.
+
+   Usage: check_regression.exe BASELINE.json CURRENT.json
+
+   Exit 0 when the current report matches the baseline's deterministic
+   outputs and keeps the incremental/rebuild speedup within tolerance;
+   exit 1 with one line per violation otherwise; exit 2 on bad input. *)
+
+open Noc_experiments
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error msg -> Error msg
+
+let load label path =
+  match read_file path with
+  | Error msg ->
+      Printf.eprintf "error: cannot read %s report %s: %s\n" label path msg;
+      exit 2
+  | Ok text -> (
+      match Bench_report.of_json text with
+      | Error msg ->
+          Printf.eprintf "error: cannot parse %s report %s: %s\n" label path msg;
+          exit 2
+      | Ok entries -> entries)
+
+let () =
+  match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+      let baseline = load "baseline" baseline_path in
+      let current = load "current" current_path in
+      Format.printf "current report:@.%a@.@." Bench_report.pp current;
+      let d36 =
+        List.filter (fun e -> e.Bench_report.benchmark = "D36_8") current
+      in
+      if d36 <> [] then
+        Format.printf "aggregate D36_8 speedup: %.2fx (baseline %.2fx)@.@."
+          (Bench_report.aggregate_speedup d36)
+          (Bench_report.aggregate_speedup
+             (List.filter (fun e -> e.Bench_report.benchmark = "D36_8") baseline));
+      (match Bench_report.compare_to_baseline ~baseline current with
+      | [] ->
+          print_endline "bench regression gate: PASS";
+          exit 0
+      | violations ->
+          List.iter (Printf.printf "VIOLATION: %s\n") violations;
+          print_endline "bench regression gate: FAIL";
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: %s BASELINE.json CURRENT.json\n" Sys.argv.(0);
+      exit 2

@@ -332,6 +332,87 @@ let run_perf () =
     report.Noc_deadlock.Removal.iterations
     (1000. *. (t1 -. t0))
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable removal benchmark (BENCH_removal.json): the        *)
+(* deterministic outputs and the incremental-vs-rebuild wall times     *)
+(* per (benchmark, switch count), consumed by check_regression.exe     *)
+(* against the committed baseline in CI.                               *)
+(* ------------------------------------------------------------------ *)
+
+let time_min_ms reps base f =
+  (* Min over repetitions on pre-copied networks: the min is the run
+     least disturbed by the collector and the scheduler, which is what
+     a regression diff wants. *)
+  let nets = Array.init reps (fun _ -> Noc_model.Network.copy base) in
+  let best = ref infinity in
+  let result = ref None in
+  for i = 0 to reps - 1 do
+    let t0 = Unix.gettimeofday () in
+    let r = f nets.(i) in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (1000. *. !best, Option.get !result)
+
+let removal_entries () =
+  let points =
+    [
+      ("D36_8", [ 10; 14; 18; 22; 26; 30; 35 ]);
+      ("D26_media", [ 8; 14; 20; 26 ]);
+    ]
+  in
+  List.concat_map
+    (fun (name, switch_counts) ->
+      let spec =
+        match Noc_benchmarks.Registry.find name with
+        | Some s -> s
+        | None -> assert false
+      in
+      let traffic = spec.Noc_benchmarks.Spec.build () in
+      List.map
+        (fun n_switches ->
+          let base = Noc_synth.Custom.synthesize_exn traffic ~n_switches in
+          let incremental_ms, inc =
+            time_min_ms 5 base Noc_deadlock.Removal.run
+          in
+          let rebuild_ms, reb =
+            time_min_ms 5 base (Noc_deadlock.Removal.run ~incremental:false)
+          in
+          (* Both arms are exact by construction; a mismatch here means
+             the incremental CDG maintenance broke. *)
+          assert (
+            inc.Noc_deadlock.Removal.iterations
+            = reb.Noc_deadlock.Removal.iterations);
+          assert (
+            inc.Noc_deadlock.Removal.vcs_added
+            = reb.Noc_deadlock.Removal.vcs_added);
+          {
+            Bench_report.benchmark = name;
+            n_switches;
+            iterations = inc.Noc_deadlock.Removal.iterations;
+            vcs_added = inc.Noc_deadlock.Removal.vcs_added;
+            incremental_ms;
+            rebuild_ms;
+          })
+        switch_counts)
+    points
+
+let run_removal_json () =
+  section "Removal benchmark: incremental vs rebuild-per-iteration";
+  let entries = removal_entries () in
+  Format.printf "%a@." Bench_report.pp entries;
+  Format.printf "@.aggregate D36_8 speedup: %.2fx@."
+    (Bench_report.aggregate_speedup
+       (List.filter (fun e -> e.Bench_report.benchmark = "D36_8") entries));
+  let out =
+    Option.value ~default:"BENCH_removal.json"
+      (Sys.getenv_opt "BENCH_REMOVAL_OUT")
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Bench_report.to_json entries));
+  Format.printf "wrote %s@." out
+
 let all_sections =
   [
     ("table1", run_table1);
@@ -349,6 +430,7 @@ let all_sections =
     ("latency", run_latency);
     ("simcheck", run_simcheck);
     ("perf", run_perf);
+    ("removal", run_removal_json);
   ]
 
 let () =

@@ -182,14 +182,32 @@ let balance_arg =
            ~doc:"After removal, spread flows across each link's VCs \
                  (acyclicity-preserving) to reduce head-of-line blocking.")
 
+let no_incremental_arg =
+  Arg.(value & flag
+       & info [ "no-incremental" ]
+           ~doc:"Rebuild the CDG from scratch every iteration (the \
+                 historical behaviour) instead of maintaining it in \
+                 place.  The result is identical; this exists for \
+                 cross-checking and benchmarking.")
+
+let validate_cdg_arg =
+  Arg.(value & flag
+       & info [ "validate-cdg" ]
+           ~doc:"After every removal iteration, assert that the \
+                 incrementally maintained CDG is structurally equal to \
+                 a fresh rebuild.  Slow; for debugging.")
+
 let remove_cmd =
   let run () name n_switches degree heuristic directions resource reroute
-      balance input save =
+      balance no_incremental validate_cdg input save =
     let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
     if reroute then
       Format.printf "%a@.@." Noc_deadlock.Reroute.pp_report
         (Noc_deadlock.Reroute.run net);
-    let report = Noc_deadlock.Removal.run ~heuristic ~directions ~resource net in
+    let report =
+      Noc_deadlock.Removal.run ~heuristic ~directions ~resource
+        ~incremental:(not no_incremental) ~validate:validate_cdg net
+    in
     Format.printf "%a@.@." Noc_deadlock.Removal.pp_report report;
     if balance && report.Noc_deadlock.Removal.deadlock_free then
       Format.printf "%a@.@." Noc_deadlock.Vc_balance.pp_report
@@ -204,7 +222,8 @@ let remove_cmd =
     (Cmd.info "remove" ~doc:"Remove deadlocks from a design, verify, and price")
     Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
           $ heuristic_arg $ directions_arg $ resource_arg $ reroute_first_arg
-          $ balance_arg $ input_arg $ save_arg)
+          $ balance_arg $ no_incremental_arg $ validate_cdg_arg $ input_arg
+          $ save_arg)
 
 let optimal_cmd =
   let budget_arg =

@@ -7,6 +7,7 @@ type change = {
   broken : Channel.t * Channel.t;
   added_channels : Channel.t list;
   rerouted_flows : Ids.Flow.t list;
+  route_changes : (Ids.Flow.t * Route.t * Route.t) list;
 }
 
 let apply_at ?(resource = Virtual_channel) net (table : Cost_table.t) col =
@@ -41,14 +42,18 @@ let apply_at ?(resource = Virtual_channel) net (table : Cost_table.t) col =
         d
   in
   let rerouted = ref [] in
+  let route_changes = ref [] in
   let reroute_row row =
     let flow = table.Cost_table.flows.(row) in
     let to_dup = Cost_table.channels_to_duplicate table flow col in
     if to_dup <> [] then begin
       let dup_set = Channel.Set.of_list to_dup in
       let subst c = if Channel.Set.mem c dup_set then duplicate_of c else c in
-      Network.set_route net flow (List.map subst (Network.route net flow));
-      rerouted := flow :: !rerouted
+      let old_route = Network.route net flow in
+      let new_route = List.map subst old_route in
+      Network.set_route net flow new_route;
+      rerouted := flow :: !rerouted;
+      route_changes := (flow, old_route, new_route) :: !route_changes
     end
   in
   Array.iteri (fun row _ -> reroute_row row) table.Cost_table.flows;
@@ -57,10 +62,14 @@ let apply_at ?(resource = Virtual_channel) net (table : Cost_table.t) col =
     broken;
     added_channels = List.rev !added;
     rerouted_flows = List.rev !rerouted;
+    route_changes = List.rev !route_changes;
   }
 
 let apply ?resource net table =
   apply_at ?resource net table table.Cost_table.best_pos
+
+let cdg_change c =
+  { Cdg.new_channels = c.added_channels; reroutes = c.route_changes }
 
 let pp_change ppf c =
   let dir =

@@ -24,6 +24,10 @@ type change = {
   broken : Channel.t * Channel.t;  (** The removed dependency edge. *)
   added_channels : Channel.t list;  (** Fresh duplicates. *)
   rerouted_flows : Ids.Flow.t list;
+  route_changes : (Ids.Flow.t * Route.t * Route.t) list;
+      (** Per rerouted flow: route before and after, in the same order
+          as [rerouted_flows] — the raw material for incremental CDG
+          maintenance. *)
 }
 
 val apply : ?resource:resource_kind -> Network.t -> Cost_table.t -> change
@@ -37,5 +41,9 @@ val apply_at :
   ?resource:resource_kind -> Network.t -> Cost_table.t -> int -> change
 (** Same, at an explicit column (used by tests and ablations).
     @raise Invalid_argument on an out-of-range column. *)
+
+val cdg_change : change -> Cdg.change
+(** The delta this change induces on a CDG of the pre-change network,
+    for {!Cdg.apply_change}. *)
 
 val pp_change : Format.formatter -> change -> unit

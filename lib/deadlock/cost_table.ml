@@ -48,33 +48,25 @@ let duplicate_set direction ~cycle_set ~route ~ci ~cj =
       | Forward -> collect 0 idx
       | Backward -> collect (idx + 1) (m - 1))
 
-let involved_flows net cycle_set =
+let involved_flows net in_cycle =
   let crosses (f : Traffic.flow) =
-    let inside =
-      List.filter
-        (fun c -> Channel.Set.mem c cycle_set)
-        (Network.route net f.Traffic.id)
+    (* The flow is involved as soon as two of its channels lie on the
+       cycle; no need to scan the rest of the route. *)
+    let rec scan count = function
+      | [] -> false
+      | c :: rest ->
+          if in_cycle c then count + 1 >= 2 || scan (count + 1) rest
+          else scan count rest
     in
-    List.length inside > 1
+    scan 0 (Network.route net f.Traffic.id)
   in
   List.filter crosses (Traffic.flows (Network.traffic net))
 
-let compute direction net cycle_list =
-  if cycle_list = [] then invalid_arg "Cost_table: empty cycle";
-  let cycle = Array.of_list cycle_list in
-  let k = Array.length cycle in
-  let cycle_set = Channel.Set.of_list cycle_list in
-  let flows = Array.of_list (involved_flows net cycle_set) in
-  let n_rows = Array.length flows in
-  let costs = Array.make_matrix n_rows k 0 in
-  for row = 0 to n_rows - 1 do
-    let route = Network.route net flows.(row).Traffic.id in
-    for col = 0 to k - 1 do
-      let ci = cycle.(col) and cj = cycle.((col + 1) mod k) in
-      costs.(row).(col) <-
-        List.length (duplicate_set direction ~cycle_set ~route ~ci ~cj)
-    done
-  done;
+(* The removal driver prices both directions of the same cycle every
+   iteration, and the expensive parts — finding the involved flows and
+   locating each flow's cycle dependencies — are direction-blind, so
+   both tables are computed in one shared pass. *)
+let finish direction ~cycle ~flows ~routes ~k ~n_rows costs =
   let max_costs =
     Array.init k (fun col ->
         let best = ref 0 in
@@ -100,16 +92,98 @@ let compute direction net cycle_list =
   {
     direction;
     cycle;
-    flows = Array.map (fun f -> f.Traffic.id) flows;
-    routes = Array.map (fun f -> Network.route net f.Traffic.id) flows;
+    flows;
+    routes;
     costs;
     max_costs;
     best_cost = !best_cost;
     best_pos = !best_pos;
   }
 
-let forward net cycle = compute Forward net cycle
-let backward net cycle = compute Backward net cycle
+let both net cycle_list =
+  if cycle_list = [] then invalid_arg "Cost_table: empty cycle";
+  let cycle = Array.of_list cycle_list in
+  let k = Array.length cycle in
+  let col_of = Channel.Table.create (2 * k) in
+  Array.iteri (fun i c -> Channel.Table.replace col_of c i) cycle;
+  let in_cycle c = Channel.Table.mem col_of c in
+  let flows = Array.of_list (involved_flows net in_cycle) in
+  let n_rows = Array.length flows in
+  let fwd_costs = Array.make_matrix n_rows k 0 in
+  let bwd_costs = Array.make_matrix n_rows k 0 in
+  let routes = Array.map (fun f -> Network.route net f.Traffic.id) flows in
+  (* Single pass per route instead of one [duplicate_set] scan per
+     (row, column, direction): a route position [p] carries the
+     dependency of column [col] iff [arr.(p)] is the cycle's [col]-th
+     channel and [arr.(p+1)] follows it on the cycle; the costs are
+     then the number of cycle channels the route uses up to [p]
+     (forward) or after it (backward) — prefix-sum reads.  The counts
+     are exactly [List.length (duplicate_set ...)], just not
+     recomputed from scratch per cell. *)
+  for row = 0 to n_rows - 1 do
+    let arr = Array.of_list routes.(row) in
+    let m = Array.length arr in
+    let prefix = Array.make (m + 1) 0 in
+    for p = 0 to m - 1 do
+      prefix.(p + 1) <- (prefix.(p) + if in_cycle arr.(p) then 1 else 0)
+    done;
+    for p = 0 to m - 2 do
+      match Channel.Table.find_opt col_of arr.(p) with
+      | Some col when Channel.equal cycle.((col + 1) mod k) arr.(p + 1) ->
+          (* Routes are simple, so each dependency occurs at most once
+             per route. *)
+          fwd_costs.(row).(col) <- prefix.(p + 1);
+          bwd_costs.(row).(col) <- prefix.(m) - prefix.(p + 1)
+      | Some _ | None -> ()
+    done
+  done;
+  let flow_ids = Array.map (fun f -> f.Traffic.id) flows in
+  ( finish Forward ~cycle ~flows:flow_ids ~routes ~k ~n_rows fwd_costs,
+    finish Backward ~cycle ~flows:flow_ids ~routes ~k ~n_rows bwd_costs )
+
+let forward net cycle = fst (both net cycle)
+let backward net cycle = snd (both net cycle)
+
+(* The pre-optimization implementation, kept verbatim as an executable
+   specification: one [duplicate_set] rescan per (row, column) and a
+   full-route involvement filter.  [both] must agree with it exactly —
+   the property tests check this, and [Removal.run ~incremental:false]
+   (the benchmark "before" arm) uses it so the baseline measures the
+   seed code, not a silently optimized variant. *)
+let compute_reference direction net cycle_list =
+  if cycle_list = [] then invalid_arg "Cost_table: empty cycle";
+  let cycle = Array.of_list cycle_list in
+  let k = Array.length cycle in
+  let cycle_set = Channel.Set.of_list cycle_list in
+  let involved =
+    let crosses (f : Traffic.flow) =
+      let inside =
+        List.filter
+          (fun c -> Channel.Set.mem c cycle_set)
+          (Network.route net f.Traffic.id)
+      in
+      List.length inside > 1
+    in
+    List.filter crosses (Traffic.flows (Network.traffic net))
+  in
+  let flows = Array.of_list involved in
+  let n_rows = Array.length flows in
+  let costs = Array.make_matrix n_rows k 0 in
+  for row = 0 to n_rows - 1 do
+    let route = Network.route net flows.(row).Traffic.id in
+    for col = 0 to k - 1 do
+      let ci = cycle.(col) and cj = cycle.((col + 1) mod k) in
+      costs.(row).(col) <-
+        List.length (duplicate_set direction ~cycle_set ~route ~ci ~cj)
+    done
+  done;
+  finish direction ~cycle
+    ~flows:(Array.map (fun f -> f.Traffic.id) flows)
+    ~routes:(Array.map (fun f -> Network.route net f.Traffic.id) flows)
+    ~k ~n_rows costs
+
+let forward_reference net cycle = compute_reference Forward net cycle
+let backward_reference net cycle = compute_reference Backward net cycle
 
 let channels_to_duplicate t flow col =
   let ci, cj = dependency t col in

@@ -9,41 +9,63 @@ type report = {
 
 type heuristic = Smallest_cycle_first | Any_cycle_first
 
-let find_cycle heuristic cdg =
+let find_cycle ?(hint = []) ?(reference = false) heuristic cdg =
   match heuristic with
-  | Smallest_cycle_first -> Cdg.smallest_cycle cdg
+  | Smallest_cycle_first ->
+      if reference then
+        Option.map
+          (List.map (Cdg.channel_of_vertex cdg))
+          (Noc_graph.Cycles.shortest_reference (Cdg.graph cdg))
+      else Cdg.smallest_cycle ~hint cdg
   | Any_cycle_first ->
       Option.map
         (List.map (Cdg.channel_of_vertex cdg))
         (Noc_graph.Cycles.find_any (Cdg.graph cdg))
 
-let pick_table net directions cycle =
-  let candidates =
-    List.map
-      (fun d ->
-        match d with
-        | Cost_table.Forward -> Cost_table.forward net cycle
-        | Cost_table.Backward -> Cost_table.backward net cycle)
-      directions
-  in
-  match candidates with
-  | [] -> invalid_arg "Removal.run: empty direction list"
-  | first :: rest ->
-      (* Algorithm 1 step 7: forward wins ties, and [directions] lists
-         Forward first by default, so [<] (strict) implements "f_cost
-         <= b_cost chooses forward". *)
-      List.fold_left
-        (fun best t ->
-          if t.Cost_table.best_cost < best.Cost_table.best_cost then t else best)
-        first rest
+let pick_table ?(reference = false) net directions cycle =
+  match (reference, directions) with
+  | false, [ Cost_table.Forward; Cost_table.Backward ] ->
+      (* The default direction list: price both tables in one shared
+         pass.  Strict [<] keeps the forward-wins-ties rule below. *)
+      let fwd, bwd = Cost_table.both net cycle in
+      if bwd.Cost_table.best_cost < fwd.Cost_table.best_cost then bwd else fwd
+  | _ ->
+      let compute d =
+        match (reference, d) with
+        | false, Cost_table.Forward -> Cost_table.forward net cycle
+        | false, Cost_table.Backward -> Cost_table.backward net cycle
+        | true, Cost_table.Forward -> Cost_table.forward_reference net cycle
+        | true, Cost_table.Backward -> Cost_table.backward_reference net cycle
+      in
+      (match List.map compute directions with
+      | [] -> invalid_arg "Removal.run: empty direction list"
+      | first :: rest ->
+          (* Algorithm 1 step 7: forward wins ties, and [directions]
+             lists Forward first by default, so [<] (strict) implements
+             "f_cost <= b_cost chooses forward". *)
+          List.fold_left
+            (fun best t ->
+              if t.Cost_table.best_cost < best.Cost_table.best_cost then t
+              else best)
+            first rest)
+
+(* Channels worth probing first in the next cycle search: everything
+   the break just touched.  Any new cycle was either already present
+   (shares no touched channel — found by the main scan regardless) or
+   was created/kept by the rerouted flows, in which case it passes
+   through one of these. *)
+let hint_channels (change : Break_cycle.change) =
+  let src, dst = change.broken in
+  src :: dst :: change.added_channels
 
 let run ?(max_iterations = 10_000) ?(heuristic = Smallest_cycle_first)
     ?(directions = [ Cost_table.Forward; Cost_table.Backward ])
-    ?(resource = Break_cycle.Virtual_channel) net =
+    ?(resource = Break_cycle.Virtual_channel) ?(incremental = true)
+    ?(validate = false) net =
   let before = Topology.total_vcs (Network.topology net) in
-  let rec loop iter changes =
-    let cdg = Cdg.build net in
-    match find_cycle heuristic cdg with
+  let reference = not incremental in
+  let rec loop iter changes cdg hint =
+    match find_cycle ~hint ~reference heuristic cdg with
     | None ->
         {
           iterations = iter;
@@ -60,15 +82,25 @@ let run ?(max_iterations = 10_000) ?(heuristic = Smallest_cycle_first)
             deadlock_free = false;
           }
         else begin
-          let table = pick_table net directions cycle in
+          let table = pick_table ~reference net directions cycle in
           let change = Break_cycle.apply ~resource net table in
           Logs.debug (fun m ->
               m "removal: iteration %d, cycle length %d, %a" (iter + 1)
                 (List.length cycle) Break_cycle.pp_change change);
-          loop (iter + 1) (change :: changes)
+          let cdg, hint =
+            if incremental then begin
+              Cdg.apply_change cdg (Break_cycle.cdg_change change);
+              if validate && not (Cdg.equal cdg (Cdg.build net)) then
+                failwith
+                  "Removal.run: incremental CDG diverged from fresh build";
+              (cdg, hint_channels change)
+            end
+            else (Cdg.build net, [])
+          in
+          loop (iter + 1) (change :: changes) cdg hint
         end
   in
-  loop 0 []
+  loop 0 [] (Cdg.build net) []
 
 let is_deadlock_free net = Cdg.is_deadlock_free (Cdg.build net)
 

@@ -1,0 +1,313 @@
+(* Machine-readable removal-benchmark reports (BENCH_removal.json).
+
+   The CI gate diffs a freshly measured report against the committed
+   baseline.  Absolute wall times are machine-dependent, so the gate
+   only compares quantities that are not:
+
+   - [iterations] / [vcs_added] are deterministic outputs of the
+     algorithm and must match the baseline exactly;
+   - the per-entry speedup (rebuild over incremental, both arms
+     measured on the same machine in the same process) is a ratio, so
+     a regression of the incremental hot path shows up on any host.
+
+   No JSON library ships in the toolchain here, so the tiny subset
+   needed (objects, arrays, strings, numbers) is emitted and parsed by
+   hand. *)
+
+type entry = {
+  benchmark : string;
+  n_switches : int;
+  iterations : int;
+  vcs_added : int;
+  incremental_ms : float;
+  rebuild_ms : float;
+}
+
+let schema = "bench-removal/1"
+
+let speedup e =
+  if e.incremental_ms > 0. then e.rebuild_ms /. e.incremental_ms else 0.
+
+let aggregate_speedup entries =
+  let inc = List.fold_left (fun a e -> a +. e.incremental_ms) 0. entries in
+  let reb = List.fold_left (fun a e -> a +. e.rebuild_ms) 0. entries in
+  if inc > 0. then reb /. inc else 0.
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "{\n  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string b "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"benchmark\": \"%s\", \"n_switches\": %d, \"iterations\": \
+            %d, \"vcs_added\": %d, \"incremental_ms\": %.6f, \"rebuild_ms\": \
+            %.6f}%s\n"
+           (escape e.benchmark) e.n_switches e.iterations e.vcs_added
+           e.incremental_ms e.rebuild_ms
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (minimal JSON subset)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+
+exception Parse_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | 'n' -> Buffer.add_char b '\n'
+               | 't' -> Buffer.add_char b '\t'
+               | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected number"
+    else
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Parse_error (Printf.sprintf "expected object with field %S" name))
+
+let as_num = function
+  | Num f -> f
+  | _ -> raise (Parse_error "expected number")
+
+let as_str = function
+  | Str s -> s
+  | _ -> raise (Parse_error "expected string")
+
+let of_json text =
+  match parse_json text with
+  | exception Parse_error msg -> Error msg
+  | root -> (
+      match field "schema" root with
+      | exception Parse_error msg -> Error msg
+      | s when as_str s <> schema ->
+          Error (Printf.sprintf "unsupported schema %S (want %S)" (as_str s) schema)
+      | _ -> (
+          match field "entries" root with
+          | exception Parse_error msg -> Error msg
+          | Arr items -> (
+              try
+                Ok
+                  (List.map
+                     (fun item ->
+                       {
+                         benchmark = as_str (field "benchmark" item);
+                         n_switches =
+                           int_of_float (as_num (field "n_switches" item));
+                         iterations =
+                           int_of_float (as_num (field "iterations" item));
+                         vcs_added =
+                           int_of_float (as_num (field "vcs_added" item));
+                         incremental_ms = as_num (field "incremental_ms" item);
+                         rebuild_ms = as_num (field "rebuild_ms" item);
+                       })
+                     items)
+              with Parse_error msg -> Error msg)
+          | _ -> Error "\"entries\" is not an array"))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (the CI gate)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let compare_to_baseline ?(ratio_tolerance = 0.25) ?(min_aggregate_speedup = 4.0)
+    ~baseline current =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let key e = (e.benchmark, e.n_switches) in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> key c = key b) current with
+      | None ->
+          err "%s@%d: entry missing from current report" b.benchmark
+            b.n_switches
+      | Some c ->
+          if c.iterations <> b.iterations then
+            err "%s@%d: iterations changed %d -> %d (trajectory drift)"
+              b.benchmark b.n_switches b.iterations c.iterations;
+          if c.vcs_added <> b.vcs_added then
+            err "%s@%d: vcs_added changed %d -> %d (trajectory drift)"
+              b.benchmark b.n_switches b.vcs_added c.vcs_added;
+          (* Machine-independent perf gate: the incremental/rebuild
+             ratio must not regress by more than [ratio_tolerance]
+             relative to the baseline ratio.  Entries whose rebuild arm
+             is under a couple of milliseconds show ±30 % run-to-run
+             ratio variance even with min-of-reps timing, so only the
+             larger sweep points get a per-entry check — the aggregate
+             floor below still covers the small ones. *)
+          let min_stable_ms = 2.0 in
+          if
+            b.incremental_ms > 0. && c.incremental_ms > 0.
+            && b.rebuild_ms >= min_stable_ms
+            && c.rebuild_ms >= min_stable_ms
+          then begin
+            let b_speedup = speedup b and c_speedup = speedup c in
+            if c_speedup < b_speedup *. (1. -. ratio_tolerance) then
+              err
+                "%s@%d: hot-path speedup regressed %.2fx -> %.2fx (> %.0f%% \
+                 tolerance)"
+                b.benchmark b.n_switches b_speedup c_speedup
+                (100. *. ratio_tolerance)
+          end)
+    baseline;
+  let d36 = List.filter (fun e -> e.benchmark = "D36_8") current in
+  if d36 <> [] then begin
+    let agg = aggregate_speedup d36 in
+    if agg < min_aggregate_speedup then
+      err "D36_8 sweep: aggregate incremental speedup %.2fx below the %.1fx floor"
+        agg min_aggregate_speedup
+  end;
+  List.rev !errors
+
+let pp ppf entries =
+  Format.fprintf ppf "@[<v>%-10s %4s %6s %5s %12s %12s %8s" "benchmark" "n"
+    "iters" "vcs" "incr (ms)" "rebuild (ms)" "speedup";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,%-10s %4d %6d %5d %12.3f %12.3f %7.2fx" e.benchmark
+        e.n_switches e.iterations e.vcs_added e.incremental_ms e.rebuild_ms
+        (speedup e))
+    entries;
+  Format.fprintf ppf "@]"

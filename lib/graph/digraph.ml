@@ -1,26 +1,22 @@
 (* Adjacency is stored twice (successors and predecessors) so that the
    cycle-breaking passes, which walk the CDG in both directions, pay the
    same cost either way.  Lists are kept sorted-by-insertion; membership
-   is answered by a hash set of packed edge keys to keep [mem_edge] and
-   duplicate-insertion O(1). *)
+   is answered by scanning the successor list.  The graphs this module
+   serves (CDGs, topology graphs) have small out-degrees, so the scan
+   beats a hash set of edge keys in practice: the hash table dominated
+   both construction time and allocation in the incremental-CDG hot
+   path, which rebuilds the graph once per removal iteration. *)
 
 type t = {
   mutable n : int;
   mutable succ : int list array;
   mutable pred : int list array;
-  edge_set : (int * int, unit) Hashtbl.t;
   mutable m : int;
 }
 
 let create ?(initial_capacity = 16) () =
   let cap = max 1 initial_capacity in
-  {
-    n = 0;
-    succ = Array.make cap [];
-    pred = Array.make cap [];
-    edge_set = Hashtbl.create (4 * cap);
-    m = 0;
-  }
+  { n = 0; succ = Array.make cap []; pred = Array.make cap []; m = 0 }
 
 let n_vertices g = g.n
 let n_edges g = g.m
@@ -52,21 +48,30 @@ let ensure_vertex g v =
     g.n <- v + 1
   end
 
-let mem_edge g u v = Hashtbl.mem g.edge_set (u, v)
+let mem_edge g u v =
+  u >= 0 && u < g.n && v >= 0 && v < g.n && List.mem v g.succ.(u)
 
 let add_edge g u v =
   ensure_vertex g u;
   ensure_vertex g v;
-  if not (mem_edge g u v) then begin
-    Hashtbl.replace g.edge_set (u, v) ();
+  if not (List.mem v g.succ.(u)) then begin
     g.succ.(u) <- v :: g.succ.(u);
     g.pred.(v) <- u :: g.pred.(v);
     g.m <- g.m + 1
   end
 
+(* [add_edge] minus the dedup scan and vertex growth, for bulk loads
+   where the caller guarantees both vertices exist and the edge is not
+   yet present (e.g. rebuilding from a deduplicated edge index).
+   Violating that corrupts the edge count and duplicates adjacency
+   entries. *)
+let unsafe_add_edge g u v =
+  g.succ.(u) <- v :: g.succ.(u);
+  g.pred.(v) <- u :: g.pred.(v);
+  g.m <- g.m + 1
+
 let remove_edge g u v =
-  if u < g.n && v < g.n && mem_edge g u v then begin
-    Hashtbl.remove g.edge_set (u, v);
+  if mem_edge g u v then begin
     g.succ.(u) <- List.filter (fun w -> w <> v) g.succ.(u);
     g.pred.(v) <- List.filter (fun w -> w <> u) g.pred.(v);
     g.m <- g.m - 1
@@ -124,9 +129,21 @@ let copy g =
   g'.n <- g.n;
   Array.blit g.succ 0 g'.succ 0 g.n;
   Array.blit g.pred 0 g'.pred 0 g.n;
-  Hashtbl.iter (fun k () -> Hashtbl.replace g'.edge_set k ()) g.edge_set;
   g'.m <- g.m;
   g'
+
+let equal a b =
+  a.n = b.n && a.m = b.m
+  && (let same = ref true in
+      (try
+         for v = 0 to a.n - 1 do
+           if a.succ.(v) <> b.succ.(v) || a.pred.(v) <> b.pred.(v) then begin
+             same := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !same)
 
 let transpose g =
   let g' = create ~initial_capacity:(max 1 g.n) () in

@@ -41,6 +41,13 @@ val add_edge : t -> int -> int -> unit
     endpoints with {!ensure_vertex} if needed.  Inserting an existing
     edge is a no-op (graphs are simple). *)
 
+val unsafe_add_edge : t -> int -> int -> unit
+(** [add_edge] without the duplicate check or vertex allocation, for
+    bulk loads: the caller must guarantee that both endpoints are
+    already valid vertices and that the edge is absent, or the graph
+    is corrupted (wrong edge count, duplicated adjacency entries).
+    Prepends to both adjacency lists exactly like {!add_edge}. *)
+
 val remove_edge : t -> int -> int -> unit
 (** [remove_edge g u v] deletes the edge [u -> v] if present. *)
 
@@ -71,6 +78,12 @@ val of_edges : ?n:int -> (int * int) list -> t
 
 val transpose : t -> t
 (** [transpose g] is a fresh graph with every edge reversed. *)
+
+val equal : t -> t -> bool
+(** Structural equality: same vertex count, same edges, {e and} the
+    same adjacency-list order.  The order sensitivity is deliberate:
+    the deadlock-removal pipeline breaks ties by adjacency order, so
+    two graphs are interchangeable for it only when this holds. *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer: one [u -> v] line per edge. *)

@@ -36,26 +36,35 @@ let bfs_order g src =
   done;
   List.rev !order
 
-let shortest_path g src dst =
-  if src = dst then Some [ src ]
+let shortest_path ?(max_edges = max_int) ?allowed g src dst =
+  let permitted =
+    match allowed with None -> fun _ -> true | Some f -> f
+  in
+  if src = dst then if max_edges >= 0 then Some [ src ] else None
+  else if max_edges < 1 || not (permitted src) then None
   else begin
     let n = Digraph.n_vertices g in
     let parent = Array.make n (-1) in
-    let seen = Array.make n false in
+    let dist = Array.make n (-1) in
     let q = Queue.create () in
-    seen.(src) <- true;
+    dist.(src) <- 0;
     Queue.add src q;
     let found = ref false in
     while (not !found) && not (Queue.is_empty q) do
       let u = Queue.pop q in
-      let visit v =
-        if not seen.(v) then begin
-          seen.(v) <- true;
-          parent.(v) <- u;
-          if v = dst then found := true else Queue.add v q
-        end
-      in
-      Digraph.iter_succ visit g u
+      (* Every vertex at distance [max_edges - 1] may still discover
+         [dst]; anything deeper cannot yield a path within the budget,
+         so its successors are not explored at all. *)
+      let du = dist.(u) in
+      if du < max_edges then
+        let visit v =
+          if dist.(v) < 0 && permitted v then begin
+            dist.(v) <- du + 1;
+            parent.(v) <- u;
+            if v = dst then found := true else Queue.add v q
+          end
+        in
+        Digraph.iter_succ visit g u
     done;
     if not !found then None
     else begin

@@ -9,10 +9,19 @@ val bfs_order : Digraph.t -> int -> int list
 (** Vertices reachable from [src] in BFS discovery order (includes
     [src] itself, first). *)
 
-val shortest_path : Digraph.t -> int -> int -> int list option
+val shortest_path :
+  ?max_edges:int -> ?allowed:(int -> bool) -> Digraph.t -> int -> int -> int list option
 (** [shortest_path g src dst] is a minimum-edge-count path
     [[src; ...; dst]], or [None] if [dst] is unreachable.  When
-    [src = dst] the path is [[src]] (zero edges). *)
+    [src = dst] the path is [[src]] (zero edges).
+
+    [max_edges] cuts the BFS off: only paths of at most that many
+    edges are found (the frontier beyond the budget is never
+    explored).  [allowed] restricts the search to a vertex subset;
+    [src] and [dst] must themselves be allowed or the result is
+    [None].  Both default to the unrestricted search, and when the
+    unrestricted shortest path satisfies the restrictions the very
+    same path is returned — the BFS discovery order is unchanged. *)
 
 val dfs_postorder : Digraph.t -> int list
 (** Postorder of a DFS forest covering every vertex (roots scanned in

@@ -1,33 +1,229 @@
 module Digraph = Noc_graph.Digraph
 
+(* The CDG is maintained incrementally across removal iterations, so
+   its state is the *index* [dep_flows] — which flow creates which
+   dependency at which position of its route — from which the digraph
+   is a deterministic projection ([refresh]).  Keeping [dep_flows]
+   keyed by channel pairs (not vertex ids) is what makes vertex
+   renumbering after a VC addition cheap and exact.
+
+   Exactness matters: the removal loop breaks ties by vertex id and by
+   adjacency-list order, so an incrementally maintained CDG must be
+   *structurally identical* to [build net] — same vertex numbering,
+   same succ/pred order — or the algorithm's trajectory (and the
+   pinned figure series in the tests) silently changes.  [refresh]
+   guarantees this by construction:
+
+   - vertices are the topology's channels sorted by [Channel.compare],
+     which is exactly the order [Topology.channels] yields;
+   - edges are inserted in ascending order of their first-encounter
+     key — the minimum [(flow, route position)] over the flows that
+     create the dependency — which is the order a fresh scan of the
+     route list encounters them, because that scan walks flows in
+     ascending id order and each route left to right.
+
+   A contributor [(flow, i)] names the dependency at position [i] of
+   [flow]'s route, so distinct dependencies never share a
+   first-encounter key: [edge_order] can be a map from key to channel
+   pair, kept up to date pair-by-pair as routes change. *)
+
+type contributor = Ids.Flow.t * int (* flow, pair index in its route *)
+
+let compare_contributor (f1, i1) (f2, i2) =
+  let c = Ids.Flow.compare f1 f2 in
+  if c <> 0 then c else Int.compare i1 i2
+
+module Contrib_map = Map.Make (struct
+  type t = contributor
+
+  let compare = compare_contributor
+end)
+
 type t = {
-  graph : Digraph.t;
-  channel_of_vertex : Channel.t array;
+  mutable graph : Digraph.t;
+  mutable channel_of_vertex : Channel.t array;
   vertex_of_channel : int Channel.Table.t;
-  dep_flows : (int * int, Ids.Flow.t list) Hashtbl.t;
+  dep_flows : (Channel.t * Channel.t, contributor list) Hashtbl.t;
+  mutable edge_order : (Channel.t * Channel.t) Contrib_map.t;
+      (** first-encounter key -> dependency; ascending-key iteration is
+          exactly the fresh-build edge insertion order. *)
 }
+
+type change = {
+  new_channels : Channel.t list;
+  reroutes : (Ids.Flow.t * Route.t * Route.t) list;
+}
+
+let min_contributor = function
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun k c -> if compare_contributor c k < 0 then c else k)
+           first rest)
+
+let add_route_deps dep_flows flow route =
+  List.iteri
+    (fun i pair ->
+      let old = Option.value ~default:[] (Hashtbl.find_opt dep_flows pair) in
+      Hashtbl.replace dep_flows pair ((flow, i) :: old))
+    (Route.consecutive_pairs route)
+
+let remove_route_deps dep_flows flow route =
+  List.iter
+    (fun pair ->
+      match Hashtbl.find_opt dep_flows pair with
+      | None -> ()
+      | Some contribs -> (
+          match
+            List.filter (fun (f, _) -> not (Ids.Flow.equal f flow)) contribs
+          with
+          | [] -> Hashtbl.remove dep_flows pair
+          | rest -> Hashtbl.replace dep_flows pair rest))
+    (Route.consecutive_pairs route)
+
+(* Re-derive vertex numbering (from index [from] on — channels below
+   it kept their positions) and the digraph from [channel_of_vertex],
+   [dep_flows] and [edge_order].  Channels are never removed, so
+   replacing the shifted suffix of [vertex_of_channel] leaves no stale
+   entries.  Edges come out of [edge_order] deduplicated (one pair per
+   first-encounter key), so the unchecked digraph insert applies. *)
+let refresh ?(from = 0) t =
+  let n = Array.length t.channel_of_vertex in
+  for i = from to n - 1 do
+    Channel.Table.replace t.vertex_of_channel t.channel_of_vertex.(i) i
+  done;
+  let graph = Digraph.create ~initial_capacity:(max 1 n) () in
+  if n > 0 then Digraph.ensure_vertex graph (n - 1);
+  Contrib_map.iter
+    (fun _ (a, b) ->
+      Digraph.unsafe_add_edge graph
+        (Channel.Table.find t.vertex_of_channel a)
+        (Channel.Table.find t.vertex_of_channel b))
+    t.edge_order;
+  t.graph <- graph
+
+(* Merge the (few) new channels into the sorted vertex array; returns
+   the first index whose numbering changed.  [Topology] only ever adds
+   channels, and [Channel.compare] is total and duplicate-free here
+   (a channel exists at most once), so a single backwards merge keeps
+   the array exactly as a full re-sort would. *)
+let insert_channels t channels =
+  let add = List.sort Channel.compare channels in
+  let old = t.channel_of_vertex in
+  let n_old = Array.length old in
+  let n_add = List.length add in
+  let out = Array.make (n_old + n_add) (List.hd add) in
+  let first_changed = ref (n_old + n_add) in
+  let rec merge i add k =
+    match add with
+    | [] ->
+        (* Every new channel placed: [k = i] holds by counting, so the
+           remaining old prefix keeps its positions. *)
+        for j = 0 to i do
+          out.(j) <- old.(j)
+        done
+    | c :: rest ->
+        if i >= 0 && Channel.compare old.(i) c > 0 then begin
+          out.(k) <- old.(i);
+          if k <> i then first_changed := min !first_changed k;
+          merge (i - 1) add (k - 1)
+        end
+        else begin
+          out.(k) <- c;
+          first_changed := min !first_changed k;
+          merge i rest (k - 1)
+        end
+  in
+  merge (n_old - 1) (List.rev add) (n_old + n_add - 1);
+  t.channel_of_vertex <- out;
+  !first_changed
 
 let build net =
   let topo = Network.topology net in
   let channels = Array.of_list (Topology.channels topo) in
+  (* [Topology.channels] already yields [Channel.compare] order; the
+     sort is a cheap one-time guarantee, not a per-iteration cost. *)
+  Array.sort Channel.compare channels;
   let n = Array.length channels in
   let vertex_of_channel = Channel.Table.create (2 * n) in
-  Array.iteri (fun i c -> Channel.Table.replace vertex_of_channel c i) channels;
-  let graph = Digraph.create ~initial_capacity:(max 1 n) () in
-  if n > 0 then Digraph.ensure_vertex graph (n - 1);
   let dep_flows = Hashtbl.create (4 * n) in
-  let add_route (flow_id, route) =
-    let dep (a, b) =
-      let u = Channel.Table.find vertex_of_channel a in
-      let v = Channel.Table.find vertex_of_channel b in
-      Digraph.add_edge graph u v;
-      let old = Option.value ~default:[] (Hashtbl.find_opt dep_flows (u, v)) in
-      Hashtbl.replace dep_flows (u, v) (flow_id :: old)
-    in
-    List.iter dep (Route.consecutive_pairs route)
+  List.iter
+    (fun (flow, route) -> add_route_deps dep_flows flow route)
+    (Network.routes net);
+  let edge_order =
+    Hashtbl.fold
+      (fun pair contribs acc ->
+        match min_contributor contribs with
+        | None -> acc
+        | Some key -> Contrib_map.add key pair acc)
+      dep_flows Contrib_map.empty
   in
-  List.iter add_route (Network.routes net);
-  { graph; channel_of_vertex = channels; vertex_of_channel; dep_flows }
+  let t =
+    {
+      graph = Digraph.create ();
+      channel_of_vertex = channels;
+      vertex_of_channel;
+      dep_flows;
+      edge_order;
+    }
+  in
+  refresh t;
+  t
+
+let apply_change t { new_channels; reroutes } =
+  (* Collect the dependencies whose contributor lists may change, and
+     their keys as of now, before touching anything: [edge_order] can
+     then be patched pair-by-pair instead of being rebuilt. *)
+  let affected = Hashtbl.create 16 in
+  let note pair =
+    if not (Hashtbl.mem affected pair) then
+      Hashtbl.replace affected pair
+        (min_contributor
+           (Option.value ~default:[] (Hashtbl.find_opt t.dep_flows pair)))
+  in
+  List.iter
+    (fun (_, old_route, new_route) ->
+      List.iter note (Route.consecutive_pairs old_route);
+      List.iter note (Route.consecutive_pairs new_route))
+    reroutes;
+  List.iter
+    (fun (flow, old_route, new_route) ->
+      remove_route_deps t.dep_flows flow old_route;
+      add_route_deps t.dep_flows flow new_route)
+    reroutes;
+  (* Two phases: drop every stale key first, then insert the fresh
+     ones.  A key can migrate between pairs in one change (the old
+     route's position [i] and the new route's position [i] are
+     different dependencies), so interleaving remove/add per pair
+     could clobber a binding another pair just wrote. *)
+  let rekeyed =
+    Hashtbl.fold
+      (fun pair old_key acc ->
+        let new_key =
+          min_contributor
+            (Option.value ~default:[] (Hashtbl.find_opt t.dep_flows pair))
+        in
+        if old_key = new_key then acc else (pair, old_key, new_key) :: acc)
+      affected []
+  in
+  List.iter
+    (fun (_, old_key, _) ->
+      match old_key with
+      | Some k -> t.edge_order <- Contrib_map.remove k t.edge_order
+      | None -> ())
+    rekeyed;
+  List.iter
+    (fun (pair, _, new_key) ->
+      match new_key with
+      | Some k -> t.edge_order <- Contrib_map.add k pair t.edge_order
+      | None -> ())
+    rekeyed;
+  let from =
+    if new_channels = [] then Array.length t.channel_of_vertex
+    else insert_channels t new_channels
+  in
+  refresh ~from t
 
 let graph t = t.graph
 let n_channels t = Array.length t.channel_of_vertex
@@ -40,21 +236,34 @@ let channel_of_vertex t v =
 let vertex_of_channel t c = Channel.Table.find t.vertex_of_channel c
 
 let flows_on_dependency t ~src ~dst =
-  match
-    ( Channel.Table.find_opt t.vertex_of_channel src,
-      Channel.Table.find_opt t.vertex_of_channel dst )
-  with
-  | Some u, Some v ->
-      List.sort_uniq Ids.Flow.compare
-        (Option.value ~default:[] (Hashtbl.find_opt t.dep_flows (u, v)))
-  | None, _ | _, None -> []
+  List.sort_uniq Ids.Flow.compare
+    (List.map fst
+       (Option.value ~default:[] (Hashtbl.find_opt t.dep_flows (src, dst))))
+
+let equal a b =
+  Array.length a.channel_of_vertex = Array.length b.channel_of_vertex
+  && Array.for_all2 Channel.equal a.channel_of_vertex b.channel_of_vertex
+  && Digraph.equal a.graph b.graph
+  && Contrib_map.equal ( = ) a.edge_order b.edge_order
+  &&
+  let sorted_bindings t =
+    Hashtbl.fold
+      (fun pair contribs acc ->
+        (pair, List.sort compare_contributor contribs) :: acc)
+      t.dep_flows []
+    |> List.sort compare
+  in
+  sorted_bindings a = sorted_bindings b
 
 let is_deadlock_free t = not (Noc_graph.Cycles.has_cycle t.graph)
 
-let smallest_cycle t =
+let smallest_cycle ?(hint = []) t =
+  let prefer =
+    List.filter_map (Channel.Table.find_opt t.vertex_of_channel) hint
+  in
   Option.map
     (List.map (channel_of_vertex t))
-    (Noc_graph.Cycles.shortest t.graph)
+    (Noc_graph.Cycles.shortest ~prefer t.graph)
 
 let cycles ?max_cycles t =
   List.map

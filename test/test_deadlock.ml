@@ -930,6 +930,34 @@ let prop_optimal_bounds_heuristic =
       o.Optimal.vcs_added <= h.Removal.vcs_added
       && Removal.is_deadlock_free o.Optimal.solution)
 
+let prop_incremental_cdg_exact =
+  (* The tentpole invariant: maintaining the CDG in place across
+     removal iterations ([validate] re-checks [Cdg.equal] against a
+     fresh [Cdg.build] after every single break) yields the same
+     trajectory as rebuilding from scratch each round. *)
+  QCheck.Test.make ~name:"incremental removal is exactly the rebuild removal"
+    ~count:60 arbitrary_net (fun input ->
+      let inc_net = build_net input in
+      let reb_net = build_net input in
+      let inc = Removal.run ~validate:true inc_net in
+      let reb = Removal.run ~incremental:false reb_net in
+      inc.Removal.iterations = reb.Removal.iterations
+      && inc.Removal.vcs_added = reb.Removal.vcs_added
+      && Cdg.equal (Cdg.build inc_net) (Cdg.build reb_net))
+
+let prop_cost_tables_match_reference =
+  (* The shared-pass cost tables must reproduce the seed's per-cell
+     rescan implementation field for field. *)
+  QCheck.Test.make ~name:"optimized cost tables equal the reference tables"
+    ~count:100 arbitrary_net (fun input ->
+      let net = build_net input in
+      match Cdg.smallest_cycle (Cdg.build net) with
+      | None -> true
+      | Some cycle ->
+          let fwd, bwd = Cost_table.both net cycle in
+          fwd = Cost_table.forward_reference net cycle
+          && bwd = Cost_table.backward_reference net cycle)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -941,7 +969,80 @@ let qcheck_cases =
       prop_certificate_witness_checks;
       prop_break_removes_the_edge;
       prop_optimal_bounds_heuristic;
+      prop_incremental_cdg_exact;
+      prop_cost_tables_match_reference;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental CDG maintenance on fixed-seed synthetic topologies      *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_nets () =
+  let open Noc_benchmarks.Synthetic in
+  List.map
+    (fun (name, traffic, n_switches) ->
+      (name, Noc_synth.Custom.synthesize_exn traffic ~n_switches))
+    [
+      ("uniform/s7", uniform ~n_cores:16 ~flows_per_core:3 ~seed:7, 8);
+      ("uniform/s23", uniform ~n_cores:20 ~flows_per_core:4 ~seed:23, 10);
+      ("transpose", transpose ~n_cores:16 ~bandwidth:100., 7);
+      ( "hotspot",
+        hotspot ~n_cores:12 ~n_hotspots:2 ~background:20. ~hotspot_bw:120.,
+        6 );
+      ("neighbour_ring", neighbour_ring ~n_cores:10 ~bandwidth:80., 5);
+    ]
+
+let test_incremental_validates_on_synthetic () =
+  List.iter
+    (fun (name, net) ->
+      (* [validate] raises Failure the first time the incrementally
+         maintained CDG diverges from a fresh build. *)
+      let fixed = Network.copy net in
+      let report = Removal.run ~validate:true fixed in
+      check bool_c
+        (Printf.sprintf "%s: deadlock free" name)
+        true report.Removal.deadlock_free;
+      check bool_c
+        (Printf.sprintf "%s: fresh CDG of the result is acyclic" name)
+        true
+        (Removal.is_deadlock_free fixed))
+    (synthetic_nets ())
+
+let test_incremental_equals_rebuild_on_synthetic () =
+  List.iter
+    (fun (name, net) ->
+      let inc_net = Network.copy net in
+      let reb_net = Network.copy net in
+      let inc = Removal.run inc_net in
+      let reb = Removal.run ~incremental:false reb_net in
+      check int_c
+        (Printf.sprintf "%s: iterations" name)
+        reb.Removal.iterations inc.Removal.iterations;
+      check int_c
+        (Printf.sprintf "%s: vcs added" name)
+        reb.Removal.vcs_added inc.Removal.vcs_added;
+      check bool_c
+        (Printf.sprintf "%s: final CDGs equal" name)
+        true
+        (Cdg.equal (Cdg.build inc_net) (Cdg.build reb_net)))
+    (synthetic_nets ())
+
+let test_cost_tables_reference_on_synthetic () =
+  List.iter
+    (fun (name, net) ->
+      match Cdg.smallest_cycle (Cdg.build net) with
+      | None -> ()
+      | Some cycle ->
+          let fwd, bwd = Cost_table.both net cycle in
+          check bool_c
+            (Printf.sprintf "%s: forward table" name)
+            true
+            (fwd = Cost_table.forward_reference net cycle);
+          check bool_c
+            (Printf.sprintf "%s: backward table" name)
+            true
+            (bwd = Cost_table.backward_reference net cycle))
+    (synthetic_nets ())
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -1042,6 +1143,15 @@ let () =
           tc "certificate on cyclic design" test_certificate_cyclic;
           tc "certificate after removal" test_certificate_after_removal;
           tc "bogus numbering rejected" test_check_numbering_rejects_bogus;
+        ] );
+      ( "incremental",
+        [
+          tc "validates on synthetic topologies"
+            test_incremental_validates_on_synthetic;
+          tc "equals rebuild on synthetic topologies"
+            test_incremental_equals_rebuild_on_synthetic;
+          tc "cost tables match reference on synthetic topologies"
+            test_cost_tables_reference_on_synthetic;
         ] );
       ("properties", qcheck_cases);
     ]

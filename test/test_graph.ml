@@ -678,12 +678,55 @@ let prop_min_cut_equals_max_flow =
         abs_float (flow -. value) < 1e-9 && abs_float (value -. cut_cap) < 1e-9
       end)
 
+(* The optimized smallest-cycle scan must agree with the verbatim seed
+   implementation on the exact cycle returned — not just its length —
+   because the removal trajectory tie-breaks on vertex ids and
+   adjacency order. *)
+let prop_shortest_matches_reference =
+  QCheck.Test.make ~name:"shortest equals the reference implementation"
+    ~count:300 arbitrary_graph (fun input ->
+      let g = build input in
+      Cycles.shortest g = Cycles.shortest_reference g)
+
+(* Search hints are pure acceleration: any prefer list (including
+   out-of-range vertices) must leave the result bit-identical. *)
+let prop_shortest_prefer_lossless =
+  QCheck.Test.make ~name:"shortest with hints returns the same cycle"
+    ~count:200 arbitrary_graph (fun input ->
+      let g = build input in
+      let n = Digraph.n_vertices g in
+      let prefers =
+        [ [ 0 ]; [ n - 1; 0; n / 2 ]; [ -1; n + 5 ]; List.init n Fun.id ]
+      in
+      let expected = Cycles.shortest g in
+      List.for_all (fun prefer -> Cycles.shortest ~prefer g = expected) prefers)
+
+(* [bound] is an exclusive cutoff: a bound one above the true length
+   changes nothing, the true length itself rules the cycle out. *)
+let prop_shortest_through_bound_lossless =
+  QCheck.Test.make ~name:"bounded shortest_through agrees with unbounded"
+    ~count:100 arbitrary_graph (fun input ->
+      let g = build input in
+      let n = Digraph.n_vertices g in
+      let ok v =
+        match Cycles.shortest_through g v with
+        | None -> Cycles.shortest_through ~bound:(n + 2) g v = None
+        | Some c ->
+            let l = List.length c in
+            Cycles.shortest_through ~bound:(l + 1) g v = Some c
+            && Cycles.shortest_through ~bound:l g v = None
+      in
+      List.for_all ok (List.init n Fun.id))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_scc_vs_toposort;
       prop_shortest_cycle_valid;
       prop_shortest_cycle_minimal;
+      prop_shortest_matches_reference;
+      prop_shortest_prefer_lossless;
+      prop_shortest_through_bound_lossless;
       prop_transpose_involution;
       prop_bfs_triangle;
       prop_toposort_sound;
