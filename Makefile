@@ -38,17 +38,20 @@ clean-tree:
 	fi
 	@echo "clean-tree: OK"
 
-# Re-measure the removal benchmark (writes BENCH_removal.json, gitignored).
+# Re-measure the benchmarks (write BENCH_*.json, gitignored).
 bench:
 	$(DUNE) exec bench/main.exe -- removal
+	$(DUNE) exec bench/main.exe -- service
 
-# Compare a fresh measurement against the committed baseline.
+# Compare fresh measurements against the committed baselines.
 bench-gate: bench
 	$(DUNE) exec bench/check_regression.exe -- \
 	  bench/baseline/BENCH_removal.json BENCH_removal.json
+	$(DUNE) exec bench/check_regression.exe -- \
+	  bench/baseline/BENCH_service.json BENCH_service.json
 
 ci: build test fmt clean-tree bench-gate
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_removal.json
+	rm -f BENCH_removal.json BENCH_service.json

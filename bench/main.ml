@@ -413,6 +413,138 @@ let run_removal_json () =
       Out_channel.output_string oc (Bench_report.to_json entries));
   Format.printf "wrote %s@." out
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable batch-service benchmark (BENCH_service.json): the  *)
+(* deterministic result hash of every job over the full benchmark      *)
+(* registry, batch wall times at 1/2/4 domains, and the warm-replay    *)
+(* (fully cached) cost, consumed by check_regression.exe in CI.        *)
+(* ------------------------------------------------------------------ *)
+
+let service_jobs () =
+  (* One removal, one ordering and one sweep job per registry
+     benchmark, at a switch count clipped to the core count — enough
+     work per job for the parallel arms to mean something, and full
+     registry coverage for the hash baseline. *)
+  List.concat_map
+    (fun spec ->
+      let name = spec.Noc_benchmarks.Spec.name in
+      let n_switches = min 14 spec.Noc_benchmarks.Spec.n_cores in
+      let design =
+        Noc_service.Job.Benchmark
+          {
+            name;
+            n_switches;
+            max_degree = Noc_service.Job.default_max_degree;
+          }
+      in
+      [
+        { Noc_service.Job.design; method_ = Noc_service.Job.removal_defaults };
+        {
+          Noc_service.Job.design;
+          method_ =
+            Noc_service.Job.Resource_ordering
+              { strategy = Noc_deadlock.Resource_ordering.Hop_index };
+        };
+        { Noc_service.Job.design; method_ = Noc_service.Job.Sweep };
+      ])
+    Noc_benchmarks.Registry.all
+
+let run_batch ~domains ~cache jobs =
+  let config =
+    {
+      Noc_service.Batch.default_config with
+      Noc_service.Batch.domains;
+      cache;
+    }
+  in
+  Noc_service.Batch.run config jobs
+
+let service_report () =
+  let open Noc_service in
+  let jobs = service_jobs () in
+  let hashes results =
+    List.map
+      (fun (r : Batch.job_result) -> Outcome.result_hash r.Batch.outcome)
+      results
+  in
+  (* Reference run: sequential, no cache.  Its result hashes are the
+     deterministic baseline every other arm must reproduce. *)
+  let reference, _ = run_batch ~domains:1 ~cache:None jobs in
+  List.iter
+    (fun (r : Batch.job_result) ->
+      if not (Outcome.is_done r.Batch.outcome) then
+        failwith
+          (Printf.sprintf "service bench: job %s did not complete: %s"
+             (Job.label r.Batch.job)
+             (Format.asprintf "%a" Outcome.pp r.Batch.outcome)))
+    reference;
+  let reference_hashes = hashes reference in
+  let timing domains =
+    (* Fresh cache per arm: within one batch the duplicate-free job
+       list makes every lookup a miss, so this times real solver work.
+       Min over repetitions, like the removal bench. *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let results, summary =
+        run_batch ~domains ~cache:(Some (Result_cache.create ~capacity:256)) jobs
+      in
+      if hashes results <> reference_hashes then
+        failwith
+          (Printf.sprintf
+             "service bench: %d-domain batch diverged from the sequential \
+              reference"
+             domains);
+      if summary.Batch.wall_ms < !best then best := summary.Batch.wall_ms
+    done;
+    {
+      Service_report.domains;
+      wall_ms = !best;
+      jobs_per_s =
+        (if !best > 0. then 1000. *. float_of_int (List.length jobs) /. !best
+         else 0.);
+    }
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  let arms = List.filter (fun d -> d = 1 || d <= host_cores) [ 1; 2; 4 ] in
+  let timings = List.map timing arms in
+  (* Warm replay: populate a cache, reset its counters, run again. *)
+  let cache = Result_cache.create ~capacity:256 in
+  let _ = run_batch ~domains:1 ~cache:(Some cache) jobs in
+  Result_cache.reset_counters cache;
+  let replay_results, replay_summary =
+    run_batch ~domains:1 ~cache:(Some cache) jobs
+  in
+  if hashes replay_results <> reference_hashes then
+    failwith "service bench: warm replay diverged from the sequential reference";
+  let replay_stats = Result_cache.stats cache in
+  {
+    Service_report.host_cores;
+    jobs =
+      List.map
+        (fun (r : Batch.job_result) ->
+          {
+            Service_report.label = Job.label r.Batch.job;
+            job_hash = Job.hash r.Batch.job;
+            result_hash = Outcome.result_hash r.Batch.outcome;
+          })
+        reference;
+    timings;
+    replay_wall_ms = replay_summary.Batch.wall_ms;
+    replay_hit_rate = Result_cache.hit_rate replay_stats;
+  }
+
+let run_service_json () =
+  section "Batch service: throughput, determinism, warm replay";
+  let report = service_report () in
+  Format.printf "%a@." Noc_service.Service_report.pp report;
+  let out =
+    Option.value ~default:"BENCH_service.json"
+      (Sys.getenv_opt "BENCH_SERVICE_OUT")
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Noc_service.Service_report.to_json report));
+  Format.printf "@.wrote %s@." out
+
 let all_sections =
   [
     ("table1", run_table1);
@@ -431,6 +563,7 @@ let all_sections =
     ("simcheck", run_simcheck);
     ("perf", run_perf);
     ("removal", run_removal_json);
+    ("service", run_service_json);
   ]
 
 let () =

@@ -1,7 +1,7 @@
 (* noc_tool: command-line front end for the deadlock-removal flow.
 
    Subcommands: list, synth, remove, ordering, updown, duato, optimal,
-   harden, analyze, dot, tables, compare, simulate, example.  Every
+   harden, analyze, dot, tables, compare, simulate, batch, example.  Every
    command works on a named benchmark synthesized at a chosen switch
    count — or on a design file via --input — so results are
    reproducible from the shell. *)
@@ -43,7 +43,8 @@ let lookup_benchmark name =
 let synthesize name n_switches max_degree =
   Result.bind (lookup_benchmark name) (fun spec ->
       let traffic = spec.Noc_benchmarks.Spec.build () in
-      if n_switches > Traffic.n_cores traffic then
+      if n_switches < 1 then Error "switch count must be at least 1"
+      else if n_switches > Traffic.n_cores traffic then
         Error
           (Printf.sprintf "%s has %d cores; switch count must not exceed that"
              name (Traffic.n_cores traffic))
@@ -90,9 +91,10 @@ let obtain_network ~input ~name ~n_switches ~degree =
 let maybe_save save net =
   match save with
   | None -> ()
-  | Some path ->
-      Io.save_file path net;
-      Format.printf "design written to %s@." path
+  | Some path -> (
+      match Io.save_file path net with
+      | () -> Format.printf "design written to %s@." path
+      | exception Sys_error e -> or_die (Error e))
 
 (* Commands --------------------------------------------------------- *)
 
@@ -456,6 +458,132 @@ let tables_cmd =
     Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
           $ input_arg $ switch_arg)
 
+let batch_cmd =
+  let jobs_file_arg =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"JOBS.json"
+             ~doc:"Job file (schema noc-jobs/1; see docs/SERVICE.md).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "domains" ]
+             ~doc:"Worker domains. 1 runs jobs inline; more spreads them \
+                   over a domain pool without changing any result.")
+  in
+  let telemetry_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+             ~doc:"Append one JSON line per event (job submitted / started / \
+                   finished, batch summary) to $(docv).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 1024
+         & info [ "cache-size" ]
+             ~doc:"Capacity of the content-addressed result cache; 0 disables \
+                   caching.")
+  in
+  let timeout_arg =
+    Arg.(value
+         & opt (some float) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-job wall budget. Jobs over budget are reported as \
+                   timed-out and their metrics withheld (running jobs are \
+                   never interrupted mid-flight).")
+  in
+  let fail_fast_arg =
+    Arg.(value & flag
+         & info [ "fail-fast" ]
+             ~doc:"After the first failure or timeout, cancel jobs that have \
+                   not started yet.")
+  in
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  let print_result (r : Noc_service.Batch.job_result) =
+    let open Noc_service in
+    let status, detail =
+      match r.Batch.outcome.Outcome.status with
+      | Outcome.Done ->
+          let metric name =
+            Option.map
+              (fun v -> Printf.sprintf "%s %g" name v)
+              (Outcome.metric r.Batch.outcome name)
+          in
+          ( "ok",
+            String.concat ", "
+              (List.filter_map metric [ "vcs_added"; "iterations"; "power_mw" ])
+          )
+      | Outcome.Failed msg -> ("FAILED", msg)
+      | Outcome.Timed_out -> ("TIMED OUT", "")
+      | Outcome.Cancelled -> ("cancelled", "")
+    in
+    Format.printf "[%d] %-9s %-28s %8.1f ms%s%s@." r.Batch.index status
+      (Job.label r.Batch.job)
+      r.Batch.outcome.Outcome.wall_ms
+      (if r.Batch.cache_hit then "  (cache hit)" else "")
+      (if detail = "" then "" else "  " ^ detail)
+  in
+  let run () jobs_file domains telemetry cache_size timeout_ms fail_fast =
+    let open Noc_service in
+    if domains < 1 then or_die (Error "--domains must be at least 1");
+    if cache_size < 0 then or_die (Error "--cache-size must be >= 0");
+    let text =
+      or_die
+        (Result.map_error
+           (fun e -> Printf.sprintf "cannot read job file: %s" e)
+           (read_file jobs_file))
+    in
+    let jobs =
+      or_die
+        (Result.map_error
+           (fun e -> Printf.sprintf "%s: %s" jobs_file e)
+           (Job.list_of_json text))
+    in
+    let sink =
+      match telemetry with
+      | None -> Telemetry.null
+      | Some path -> (
+          try Telemetry.to_file path
+          with Sys_error e -> or_die (Error e))
+    in
+    let config =
+      {
+        Batch.domains;
+        cache =
+          (if cache_size = 0 then None
+           else Some (Result_cache.create ~capacity:cache_size));
+        telemetry = sink;
+        timeout_ms;
+        fail_fast;
+      }
+    in
+    let _, summary = Batch.run ~on_result:print_result config jobs in
+    Format.printf "@.%a@." Batch.pp_summary summary;
+    if summary.Batch.succeeded <> summary.Batch.total then exit 2
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a job file through the multicore batch service"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a noc-jobs/1 file, runs every job through a pool of \
+              worker domains with a content-addressed result cache, streams \
+              one line per job in submission order, and prints a summary. \
+              Results are bit-identical for any $(b,--domains) setting.";
+           `P "Exits 1 on an unusable job file, 2 when any job fails.";
+         ])
+    Term.(const run $ logs_term $ jobs_file_arg $ domains_arg $ telemetry_arg
+          $ cache_arg $ timeout_arg $ fail_fast_arg)
+
 let example_cmd =
   let run () = Format.printf "%t@." Noc_experiments.Ring_example.narrate in
   Cmd.v
@@ -472,7 +600,7 @@ let () =
       [
         list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
         analyze_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd; compare_cmd;
-        simulate_cmd; example_cmd;
+        simulate_cmd; batch_cmd; example_cmd;
       ]
   in
   exit (Cmd.eval group)

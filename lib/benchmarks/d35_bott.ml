@@ -10,7 +10,6 @@ let n_processors = 32
 let memories = [| 32; 33; 34 |]
 
 let build () =
-  let rng = Rng.make 3535 in
   let traffic = Traffic.create ~n_cores in
   let add src dst bandwidth =
     ignore
@@ -27,12 +26,25 @@ let build () =
   for p = 0 to n_processors - 2 do
     add p (p + 1) 40.
   done;
-  (* A handful of long-range control flows. *)
-  for _ = 1 to 12 do
-    let src = Rng.int rng n_processors in
-    let dst = Rng.int rng n_processors in
-    if src <> dst then add src dst (10. +. float_of_int (Rng.int rng 4) *. 10.)
-  done;
+  (* A handful of long-range control flows.  The generator state is
+     threaded explicitly; note the bandwidth draw only happens on the
+     src <> dst branch, matching the historical stream exactly. *)
+  let rec cross rng remaining =
+    if remaining > 0 then begin
+      let src, rng = Rng.int rng n_processors in
+      let dst, rng = Rng.int rng n_processors in
+      let rng =
+        if src <> dst then begin
+          let quantum, rng = Rng.int rng 4 in
+          add src dst (10. +. (float_of_int quantum *. 10.));
+          rng
+        end
+        else rng
+      in
+      cross rng (remaining - 1)
+    end
+  in
+  cross (Rng.make 3535) 12;
   traffic
 
 let spec =

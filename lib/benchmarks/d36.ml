@@ -10,19 +10,26 @@ open Noc_model
 let n_cores = 36
 
 let build_traffic k () =
-  let rng = Rng.make (4242 + k) in
   let traffic = Traffic.create ~n_cores in
-  for src = 0 to n_cores - 1 do
-    let dests = Rng.sample_distinct rng n_cores ~exclude:src ~count:k in
-    List.iter
-      (fun dst ->
-        (* Quantized 25..200 MB/s: realistic inter-core streams. *)
-        let bandwidth = 25. *. float_of_int (1 + Rng.int rng 8) in
-        ignore
-          (Traffic.add_flow traffic ~src:(Ids.Core.of_int src)
-             ~dst:(Ids.Core.of_int dst) ~bandwidth))
-      dests
-  done;
+  let rec sources rng src =
+    if src < n_cores then begin
+      let dests, rng = Rng.sample_distinct rng n_cores ~exclude:src ~count:k in
+      let rng =
+        List.fold_left
+          (fun rng dst ->
+            (* Quantized 25..200 MB/s: realistic inter-core streams. *)
+            let quantum, rng = Rng.int rng 8 in
+            let bandwidth = 25. *. float_of_int (1 + quantum) in
+            ignore
+              (Traffic.add_flow traffic ~src:(Ids.Core.of_int src)
+                 ~dst:(Ids.Core.of_int dst) ~bandwidth);
+            rng)
+          rng dests
+      in
+      sources rng (src + 1)
+    end
+  in
+  sources (Rng.make (4242 + k)) 0;
   traffic
 
 let make k =

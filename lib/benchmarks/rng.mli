@@ -1,27 +1,36 @@
 (** Tiny deterministic pseudo-random generator (SplitMix64), so every
     benchmark instantiation is bit-identical across runs and platforms.
-    Not for cryptography; for reproducible workload synthesis only. *)
+    Not for cryptography; for reproducible workload synthesis only.
+
+    The state is an {e immutable value}: each operation returns the
+    drawn result together with the successor state, and callers thread
+    that state explicitly.  There is no hidden mutation anywhere, so
+    the module is domain-safe by construction — benchmark builds can
+    run concurrently on a {!Noc_pool.Pool} without sharing anything.
+    The streams are bit-identical to the historical in-place
+    implementation. *)
 
 type t
+(** An immutable generator state. *)
 
 val make : int -> t
-(** Seeded generator; equal seeds give equal streams. *)
+(** Seeded state; equal seeds give equal streams. *)
 
-val next : t -> int64
-(** Next raw 64-bit value. *)
+val next : t -> int64 * t
+(** Next raw 64-bit value and the successor state. *)
 
-val int : t -> int -> int
+val int : t -> int -> int * t
 (** [int t bound] is uniform in [0, bound).
     @raise Invalid_argument when [bound <= 0]. *)
 
-val float : t -> float -> float
+val float : t -> float -> float * t
 (** [float t x] is uniform in [0, x). *)
 
-val pick : t -> 'a array -> 'a
+val pick : t -> 'a array -> 'a * t
 (** Uniform element of a non-empty array.
     @raise Invalid_argument on an empty array. *)
 
-val sample_distinct : t -> int -> exclude:int -> count:int -> int list
+val sample_distinct : t -> int -> exclude:int -> count:int -> int list * t
 (** [sample_distinct t bound ~exclude ~count] draws [count] distinct
     values from [0, bound) \ {exclude}, in draw order.
     @raise Invalid_argument when fewer than [count] values exist. *)

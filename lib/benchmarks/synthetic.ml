@@ -5,18 +5,26 @@ let core = Ids.Core.of_int
 let uniform ~n_cores ~flows_per_core ~seed =
   if flows_per_core >= n_cores then
     invalid_arg "Synthetic.uniform: flows_per_core >= n_cores";
-  let rng = Rng.make seed in
   let traffic = Traffic.create ~n_cores in
-  for src = 0 to n_cores - 1 do
-    let dests =
-      Rng.sample_distinct rng n_cores ~exclude:src ~count:flows_per_core
-    in
-    List.iter
-      (fun dst ->
-        let bandwidth = 50. *. float_of_int (1 + Rng.int rng 4) in
-        ignore (Traffic.add_flow traffic ~src:(core src) ~dst:(core dst) ~bandwidth))
-      dests
-  done;
+  let rec sources rng src =
+    if src < n_cores then begin
+      let dests, rng =
+        Rng.sample_distinct rng n_cores ~exclude:src ~count:flows_per_core
+      in
+      let rng =
+        List.fold_left
+          (fun rng dst ->
+            let quantum, rng = Rng.int rng 4 in
+            let bandwidth = 50. *. float_of_int (1 + quantum) in
+            ignore
+              (Traffic.add_flow traffic ~src:(core src) ~dst:(core dst) ~bandwidth);
+            rng)
+          rng dests
+      in
+      sources rng (src + 1)
+    end
+  in
+  sources (Rng.make seed) 0;
   traffic
 
 let transpose ~n_cores ~bandwidth =

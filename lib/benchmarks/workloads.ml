@@ -6,26 +6,38 @@ let bandwidth_proportional net ~packet_length ~duration ~capacity_mbps ~seed =
     invalid_arg "Workloads.bandwidth_proportional: packet_length < 1";
   if capacity_mbps <= 0. then
     invalid_arg "Workloads.bandwidth_proportional: capacity <= 0";
-  let rng = Rng.make seed in
-  let next_id = ref 0 in
-  let packets_for (f : Traffic.flow) =
+  (* Generator state and packet ids are threaded explicitly through the
+     per-flow/per-packet recursion; nothing outlives the call. *)
+  let packets_for rng next_id (f : Traffic.flow) =
     match Network.route net f.Traffic.id with
-    | [] -> []
+    | [] -> ([], rng, next_id)
     | route ->
         let flits =
           f.Traffic.bandwidth /. capacity_mbps *. float_of_int duration
         in
         let n = max 1 (int_of_float (flits /. float_of_int packet_length)) in
         let interval = max 1 (duration / n) in
-        List.init n (fun j ->
-            let jitter = Rng.int rng (max 1 (interval / 2)) in
-            let id = !next_id in
-            incr next_id;
-            Noc_sim.Packet.make ~id ~flow:f.Traffic.id ~route
-              ~length:packet_length
-              ~inject_at:(min (duration - 1) ((j * interval) + jitter)))
-    in
-  List.concat_map packets_for (Traffic.flows (Network.traffic net))
+        let rec gen rng next_id j acc =
+          if j = n then (List.rev acc, rng, next_id)
+          else begin
+            let jitter, rng = Rng.int rng (max 1 (interval / 2)) in
+            let p =
+              Noc_sim.Packet.make ~id:next_id ~flow:f.Traffic.id ~route
+                ~length:packet_length
+                ~inject_at:(min (duration - 1) ((j * interval) + jitter))
+            in
+            gen rng (next_id + 1) (j + 1) (p :: acc)
+          end
+        in
+        gen rng next_id 0 []
+  in
+  let rec all rng next_id acc = function
+    | [] -> List.concat (List.rev acc)
+    | f :: rest ->
+        let ps, rng, next_id = packets_for rng next_id f in
+        all rng next_id (ps :: acc) rest
+  in
+  all (Rng.make seed) 0 [] (Traffic.flows (Network.traffic net))
 
 let offered_load net ~capacity_mbps =
   let flows =

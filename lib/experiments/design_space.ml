@@ -20,8 +20,8 @@ let mark_pareto points =
 
 let pareto_front points = List.filter (fun p -> p.pareto) (mark_pareto points)
 
-let explore ?(switch_counts = [ 8; 11; 14; 17; 20 ]) ?(degrees = [ 3; 4; 5 ])
-    (spec : Noc_benchmarks.Spec.t) =
+let explore ?(domains = 1) ?(switch_counts = [ 8; 11; 14; 17; 20 ])
+    ?(degrees = [ 3; 4; 5 ]) (spec : Noc_benchmarks.Spec.t) =
   let counts =
     List.filter (fun n -> n <= spec.Noc_benchmarks.Spec.n_cores) switch_counts
   in
@@ -50,18 +50,26 @@ let explore ?(switch_counts = [ 8; 11; 14; 17; 20 ]) ?(degrees = [ 3; 4; 5 ])
       pareto = false;
     }
   in
-  let points =
+  (* The grid is materialized up front and each cell evaluated
+     independently (fresh traffic, private network), so cells can run
+     on pool workers; order preservation keeps the point list — and
+     therefore the Pareto marking — identical for any [domains]. *)
+  let grid =
     List.concat_map
       (fun n ->
         List.concat_map
           (fun d ->
-            List.map (evaluate n d)
+            List.map
+              (fun mapper -> (n, d, mapper))
               [
                 ("greedy", Noc_synth.Custom.Greedy_affinity);
                 ("min-cut", Noc_synth.Custom.Min_cut);
               ])
           degrees)
       counts
+  in
+  let points =
+    Noc_pool.Pool.run ~domains (fun (n, d, mapper) -> evaluate n d mapper) grid
   in
   mark_pareto points
 

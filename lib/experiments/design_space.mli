@@ -15,13 +15,16 @@ type point = {
 }
 
 val explore :
+  ?domains:int ->
   ?switch_counts:int list ->
   ?degrees:int list ->
   Noc_benchmarks.Spec.t ->
   point list
 (** Every combination, deadlock-removed and priced.  Defaults:
     switch counts [[8; 11; 14; 17; 20]] (clipped to the core count),
-    degrees [[3; 4; 5]].  Deterministic. *)
+    degrees [[3; 4; 5]].  Deterministic: grid cells are independent,
+    so [domains > 1] evaluates them on a {!Noc_pool.Pool} without
+    changing the result ([1], the default, stays sequential). *)
 
 val pareto_front : point list -> point list
 (** The non-dominated subset (minimizing all three objectives). *)

@@ -1,0 +1,85 @@
+type task = unit -> unit
+
+type t = {
+  queue : task Bounded_queue.t;
+  workers : unit Domain.t array;
+  mutable shut_down : bool;
+}
+
+let default_queue_capacity = 256
+
+let worker_loop queue () =
+  let rec loop () =
+    match Bounded_queue.pop queue with
+    | None -> ()
+    | Some task ->
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?(queue_capacity = default_queue_capacity) ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let queue = Bounded_queue.create ~capacity:queue_capacity in
+  let workers = Array.init domains (fun _ -> Domain.spawn (worker_loop queue)) in
+  { queue; workers; shut_down = false }
+
+let domains t = Array.length t.workers
+
+let queue_depth t = Bounded_queue.length t.queue
+
+let shutdown t =
+  if not t.shut_down then begin
+    t.shut_down <- true;
+    Bounded_queue.close t.queue;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool ?queue_capacity ~domains f =
+  let t = create ?queue_capacity ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let submit t task =
+  if t.shut_down then invalid_arg "Pool.submit: pool is shut down";
+  Bounded_queue.push t.queue task
+
+(* Order-preserving parallel map.  Tasks store into a slot array; the
+   caller blocks until every slot is filled, then re-raises the first
+   exception (by item index) if any task failed.  Submission happens on
+   the calling thread, so a full queue applies backpressure here rather
+   than growing without bound. *)
+let map t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    for i = 0 to n - 1 do
+      submit t (fun () ->
+          let r = try Ok (f items.(i)) with e -> Error e in
+          Mutex.lock mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock mutex)
+    done;
+    Mutex.lock mutex;
+    while !remaining > 0 do
+      Condition.wait all_done mutex
+    done;
+    Mutex.unlock mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let run ?queue_capacity ~domains f xs =
+  if domains <= 1 then List.map f xs
+  else with_pool ?queue_capacity ~domains (fun t -> map t f xs)

@@ -1,0 +1,200 @@
+(* The batch engine: submit a job list through the domain pool, consult
+   the content-addressed cache first, emit telemetry along the way, and
+   hand results back in submission order regardless of completion
+   order.  The per-job work (Runner.execute) is deterministic and
+   isolated, so the only ordering the engine must impose is on the
+   result list and the [on_result] stream — both follow submission
+   order by construction. *)
+
+type config = {
+  domains : int;
+  cache : Result_cache.t option;
+  telemetry : Telemetry.sink;
+  timeout_ms : float option;
+  fail_fast : bool;
+}
+
+let default_config =
+  {
+    domains = 1;
+    cache = None;
+    telemetry = Telemetry.null;
+    timeout_ms = None;
+    fail_fast = false;
+  }
+
+type job_result = {
+  index : int;
+  job : Job.t;
+  outcome : Outcome.t;
+  cache_hit : bool;
+}
+
+type summary = {
+  total : int;
+  succeeded : int;
+  failed : int;
+  timed_out : int;
+  cancelled : int;
+  cache_hits : int;
+  wall_ms : float;
+  domains : int;
+}
+
+let classify_timeout config ~cache_hit (outcome : Outcome.t) =
+  (* OCaml computations cannot be interrupted, so the budget is
+     enforced by classification: a run that came back over budget is
+     reported as timed out and its metrics are withheld.  Cache hits
+     are exempt — their stored wall time belongs to the original run. *)
+  match config.timeout_ms with
+  | Some limit
+    when (not cache_hit)
+         && outcome.Outcome.wall_ms > limit
+         && outcome.Outcome.status = Outcome.Done ->
+      Outcome.timed_out ~wall_ms:outcome.Outcome.wall_ms
+  | _ -> outcome
+
+let run ?(on_result = fun _ -> ()) (config : config) jobs =
+  if config.domains < 1 then invalid_arg "Batch.run: domains < 1";
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let t0 = Unix.gettimeofday () in
+  config.telemetry.Telemetry.emit
+    (Telemetry.batch_started ~jobs:n ~domains:config.domains
+       ~cache_capacity:
+         (match config.cache with
+         | None -> 0
+         | Some cache -> Result_cache.capacity cache));
+  let results = Array.make n None in
+  let mutex = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  let next_to_stream = ref 0 in
+  let cancelled = Atomic.make false in
+  let record index r =
+    Mutex.lock mutex;
+    results.(index) <- Some r;
+    decr remaining;
+    (* Stream the completed prefix, in submission order. *)
+    while
+      !next_to_stream < n
+      &&
+      match results.(!next_to_stream) with
+      | Some r ->
+          on_result r;
+          incr next_to_stream;
+          true
+      | None -> false
+    do
+      ()
+    done;
+    if !remaining = 0 then Condition.signal all_done;
+    Mutex.unlock mutex
+  in
+  let process index =
+    let job = jobs.(index) in
+    if Atomic.get cancelled then begin
+      let r = { index; job; outcome = Outcome.cancelled; cache_hit = false } in
+      config.telemetry.Telemetry.emit
+        (Telemetry.job_finished ~index ~job ~outcome:r.outcome ~cache_hit:false);
+      record index r
+    end
+    else begin
+      config.telemetry.Telemetry.emit (Telemetry.job_started ~index ~job);
+      let hash = Job.hash job in
+      let outcome, cache_hit =
+        match config.cache with
+        | None -> (Runner.execute job, false)
+        | Some cache -> (
+            let lookup_t0 = Unix.gettimeofday () in
+            match Result_cache.find cache hash with
+            | Some cached ->
+                (* Metrics are the original run's; the wall time is the
+                   (near-zero) lookup time of this run. *)
+                let wall_ms = 1000. *. (Unix.gettimeofday () -. lookup_t0) in
+                ({ cached with Outcome.wall_ms }, true)
+            | None ->
+                let outcome = Runner.execute job in
+                if Outcome.is_done outcome then Result_cache.store cache hash outcome;
+                (outcome, false))
+      in
+      let outcome = classify_timeout config ~cache_hit outcome in
+      (match outcome.Outcome.status with
+      | Outcome.Failed _ | Outcome.Timed_out ->
+          if config.fail_fast then Atomic.set cancelled true
+      | Outcome.Done | Outcome.Cancelled -> ());
+      config.telemetry.Telemetry.emit
+        (Telemetry.job_finished ~index ~job ~outcome ~cache_hit);
+      record index { index; job; outcome; cache_hit }
+    end
+  in
+  (if config.domains = 1 then
+     (* Sequential arm: no domain is spawned at all — this is the
+        reference trajectory the differential tests compare against. *)
+     for index = 0 to n - 1 do
+       config.telemetry.Telemetry.emit
+         (Telemetry.job_submitted ~index ~job:jobs.(index) ~queue_depth:0);
+       process index
+     done
+   else
+     Noc_pool.Pool.with_pool ~domains:config.domains (fun pool ->
+         for index = 0 to n - 1 do
+           config.telemetry.Telemetry.emit
+             (Telemetry.job_submitted ~index ~job:jobs.(index)
+                ~queue_depth:(Noc_pool.Pool.queue_depth pool));
+           Noc_pool.Pool.submit pool (fun () -> process index)
+         done;
+         Mutex.lock mutex;
+         while !remaining > 0 do
+           Condition.wait all_done mutex
+         done;
+         Mutex.unlock mutex));
+  let results =
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  in
+  let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  let count f = List.length (List.filter f results) in
+  let summary =
+    {
+      total = n;
+      succeeded = count (fun r -> r.outcome.Outcome.status = Outcome.Done);
+      failed =
+        count (fun r ->
+            match r.outcome.Outcome.status with
+            | Outcome.Failed _ -> true
+            | _ -> false);
+      timed_out = count (fun r -> r.outcome.Outcome.status = Outcome.Timed_out);
+      cancelled = count (fun r -> r.outcome.Outcome.status = Outcome.Cancelled);
+      cache_hits = count (fun r -> r.cache_hit);
+      wall_ms;
+      domains = config.domains;
+    }
+  in
+  let cache_stats =
+    match config.cache with
+    | Some cache -> Result_cache.stats cache
+    | None ->
+        {
+          Result_cache.hits = summary.cache_hits;
+          misses = summary.total - summary.cache_hits - summary.cancelled;
+          evictions = 0;
+          entries = 0;
+        }
+  in
+  config.telemetry.Telemetry.emit
+    (Telemetry.batch_finished ~wall_ms ~succeeded:summary.succeeded
+       ~failed:summary.failed ~cancelled:summary.cancelled ~cache_stats);
+  config.telemetry.Telemetry.close ();
+  (results, summary)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d job%s on %d domain%s in %.1f ms: %d ok, %d failed, %d timed out, %d \
+     cancelled, %d cache hit%s"
+    s.total
+    (if s.total = 1 then "" else "s")
+    s.domains
+    (if s.domains = 1 then "" else "s")
+    s.wall_ms s.succeeded s.failed s.timed_out s.cancelled s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")

@@ -1,0 +1,122 @@
+(* Pure job execution: Job.t -> metrics.  Everything here is a
+   deterministic function of the job alone — the design is synthesized
+   or parsed fresh, the solver mutates only that private copy, and no
+   module-global state is touched — so the same job returns the same
+   metrics on any domain, in any order, on any machine.  That property
+   is what the batch differential test pins down. *)
+
+open Noc_model
+
+let ( let* ) = Result.bind
+
+let build_network = function
+  | Job.Inline text -> Io.load text
+  | Job.Benchmark { name; n_switches; max_degree } -> (
+      match Noc_benchmarks.Registry.find name with
+      | None ->
+          Error
+            (Printf.sprintf "unknown benchmark %S (try: %s)" name
+               (String.concat ", " Noc_benchmarks.Registry.names))
+      | Some spec ->
+          let traffic = spec.Noc_benchmarks.Spec.build () in
+          if n_switches < 1 then Error "switches must be >= 1"
+          else if n_switches > Traffic.n_cores traffic then
+            Error
+              (Printf.sprintf "%s has %d cores; switch count must not exceed that"
+                 name (Traffic.n_cores traffic))
+          else
+            let options =
+              {
+                Noc_synth.Custom.default_options with
+                Noc_synth.Custom.max_out_degree = max_degree;
+                max_in_degree = max_degree;
+              }
+            in
+            Noc_synth.Custom.synthesize ~options traffic ~n_switches)
+
+let power_metrics net =
+  let report = Noc_power.Report.of_network net in
+  [
+    ("power_mw", report.Noc_power.Report.total_power_mw);
+    ("area_mm2", report.Noc_power.Report.total_area_mm2);
+  ]
+
+let shape_metrics net =
+  let topo = Network.topology net in
+  [
+    ("n_switches", float_of_int (Topology.n_switches topo));
+    ("n_links", float_of_int (Topology.n_links topo));
+    ("total_vcs", float_of_int (Topology.total_vcs topo));
+  ]
+
+let run_removal ~heuristic ~directions ~resource net =
+  let report = Noc_deadlock.Removal.run ~heuristic ~directions ~resource net in
+  if not report.Noc_deadlock.Removal.deadlock_free then
+    Error "removal hit its iteration cap"
+  else
+    Ok
+      ([
+         ("iterations", float_of_int report.Noc_deadlock.Removal.iterations);
+         ("vcs_added", float_of_int report.Noc_deadlock.Removal.vcs_added);
+       ]
+      @ shape_metrics net @ power_metrics net)
+
+let run_ordering ~strategy net =
+  let report = Noc_deadlock.Resource_ordering.apply ~strategy net in
+  Ok
+    ([
+       ("vcs_added", float_of_int report.Noc_deadlock.Resource_ordering.vcs_added);
+       ( "classes_used",
+         float_of_int report.Noc_deadlock.Resource_ordering.classes_used );
+     ]
+    @ shape_metrics net @ power_metrics net)
+
+let run_sweep (job : Job.t) =
+  match job.Job.design with
+  | Job.Inline _ -> Error "sweep jobs need a registry benchmark, not an inline design"
+  | Job.Benchmark { name; n_switches; max_degree = _ } -> (
+      match Noc_benchmarks.Registry.find name with
+      | None -> Error (Printf.sprintf "unknown benchmark %S" name)
+      | Some spec ->
+          let p = Noc_experiments.Sweep.evaluate spec ~n_switches in
+          let v prefix (variant : Noc_experiments.Sweep.variant) =
+            [
+              (prefix ^ "_vcs_added", float_of_int variant.Noc_experiments.Sweep.vcs_added);
+              (prefix ^ "_power_mw", variant.Noc_experiments.Sweep.power_mw);
+              (prefix ^ "_area_mm2", variant.Noc_experiments.Sweep.area_mm2);
+            ]
+          in
+          Ok
+            ([
+               ("n_flows", float_of_int p.Noc_experiments.Sweep.n_flows);
+               ( "initially_deadlock_free",
+                 if p.Noc_experiments.Sweep.initially_deadlock_free then 1. else 0. );
+               ( "removal_iterations",
+                 float_of_int p.Noc_experiments.Sweep.removal_iterations );
+             ]
+            @ v "baseline" p.Noc_experiments.Sweep.baseline
+            @ v "removal" p.Noc_experiments.Sweep.removal
+            @ v "ordering" p.Noc_experiments.Sweep.ordering
+            @ v "ordering_hop" p.Noc_experiments.Sweep.ordering_hop))
+
+let metrics (job : Job.t) =
+  match job.Job.method_ with
+  | Job.Sweep -> run_sweep job
+  | Job.Removal { heuristic; directions; resource } ->
+      let* net = build_network job.Job.design in
+      run_removal ~heuristic ~directions ~resource net
+  | Job.Resource_ordering { strategy } ->
+      let* net = build_network job.Job.design in
+      run_ordering ~strategy net
+
+let execute job =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    try metrics job with
+    | Failure msg -> Error msg
+    | Invalid_argument msg -> Error msg
+  in
+  let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  match result with
+  | Ok metrics -> Outcome.done_ ~wall_ms metrics
+  | Error msg -> Outcome.failed ~wall_ms msg

@@ -1,0 +1,12 @@
+(** Deterministic job execution.
+
+    [execute job] synthesizes or parses the job's design privately,
+    applies the requested method, and returns the outcome.  It never
+    raises: solver and loader errors become [Outcome.Failed].  Because
+    nothing escapes the call and no global state is read or written,
+    [execute] is safe to run on any {!Noc_pool.Pool} worker and its
+    deterministic payload ({!Outcome.result_hash}) is independent of
+    domain count and scheduling. *)
+
+val execute : Job.t -> Outcome.t
+(** The wall time of the run is recorded in [wall_ms]. *)

@@ -1,0 +1,125 @@
+(* Structured JSON-lines telemetry.  Events are plain Json objects with
+   a fixed envelope (ts, event) and are pushed through a pluggable
+   sink; sinks serialize concurrent emits internally, so workers on any
+   domain can log without coordination.  Telemetry is observability,
+   not results: timestamps and durations in here are free to vary
+   between runs while result hashes stay fixed. *)
+
+type sink = { emit : Json.t -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let line v = Json.to_string v
+
+let to_channel oc =
+  let mutex = Mutex.create () in
+  {
+    emit =
+      (fun v ->
+        let s = line v in
+        Mutex.lock mutex;
+        output_string oc s;
+        output_char oc '\n';
+        Mutex.unlock mutex);
+    close =
+      (fun () ->
+        Mutex.lock mutex;
+        flush oc;
+        Mutex.unlock mutex);
+  }
+
+let to_file path =
+  let oc = open_out path in
+  let inner = to_channel oc in
+  { inner with close = (fun () -> inner.close (); close_out oc) }
+
+(* In-memory sink, newest last; for tests and the bench. *)
+let memory () =
+  let mutex = Mutex.create () in
+  let events = ref [] in
+  let sink =
+    {
+      emit =
+        (fun v ->
+          Mutex.lock mutex;
+          events := v :: !events;
+          Mutex.unlock mutex);
+      close = (fun () -> ());
+    }
+  in
+  let contents () =
+    Mutex.lock mutex;
+    let evs = List.rev !events in
+    Mutex.unlock mutex;
+    evs
+  in
+  (sink, contents)
+
+let tee a b =
+  {
+    emit = (fun v -> a.emit v; b.emit v);
+    close = (fun () -> a.close (); b.close ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Event constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+let event name fields =
+  Json.Obj (("ts", Json.Num (now ())) :: ("event", Json.Str name) :: fields)
+
+let job_fields ~index ~job extra =
+  ("index", Json.Num (float_of_int index))
+  :: ("job", Json.Str (Job.short_hash job))
+  :: ("label", Json.Str (Job.label job))
+  :: extra
+
+let batch_started ~jobs ~domains ~cache_capacity =
+  event "batch_started"
+    [
+      ("jobs", Json.Num (float_of_int jobs));
+      ("domains", Json.Num (float_of_int domains));
+      ("cache_capacity", Json.Num (float_of_int cache_capacity));
+    ]
+
+let job_submitted ~index ~job ~queue_depth =
+  event "job_submitted"
+    (job_fields ~index ~job [ ("queue_depth", Json.Num (float_of_int queue_depth)) ])
+
+let job_started ~index ~job =
+  event "job_started"
+    (job_fields ~index ~job
+       [ ("domain", Json.Num (float_of_int (Domain.self () :> int))) ])
+
+let job_finished ~index ~job ~(outcome : Outcome.t) ~cache_hit =
+  let status =
+    match outcome.Outcome.status with
+    | Outcome.Done -> "done"
+    | Outcome.Failed _ -> "failed"
+    | Outcome.Timed_out -> "timed-out"
+    | Outcome.Cancelled -> "cancelled"
+  in
+  event "job_finished"
+    (job_fields ~index ~job
+       ([
+          ("status", Json.Str status);
+          ("wall_ms", Json.Num outcome.Outcome.wall_ms);
+          ("cache_hit", Json.Bool cache_hit);
+        ]
+       @ List.map
+           (fun (k, v) -> (k, Json.Num v))
+           outcome.Outcome.metrics))
+
+let batch_finished ~wall_ms ~succeeded ~failed ~cancelled ~cache_stats =
+  event "batch_finished"
+    [
+      ("wall_ms", Json.Num wall_ms);
+      ("succeeded", Json.Num (float_of_int succeeded));
+      ("failed", Json.Num (float_of_int failed));
+      ("cancelled", Json.Num (float_of_int cancelled));
+      ("cache_hits", Json.Num (float_of_int cache_stats.Result_cache.hits));
+      ("cache_misses", Json.Num (float_of_int cache_stats.Result_cache.misses));
+      ("cache_hit_rate", Json.Num (Result_cache.hit_rate cache_stats));
+    ]

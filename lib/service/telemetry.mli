@@ -1,0 +1,41 @@
+(** Structured JSON-lines telemetry for the batch service.
+
+    Every event is one JSON object per line with a fixed envelope
+    ([ts], [event]) plus event-specific fields.  Sinks are pluggable
+    and internally serialized, so worker domains emit without any
+    coordination.  Telemetry is observability, not results: nothing in
+    it participates in result hashing. *)
+
+type sink = { emit : Json.t -> unit; close : unit -> unit }
+
+val null : sink
+val to_channel : out_channel -> sink
+(** Mutex-serialized writer; [close] flushes but does not close the
+    channel (the caller owns it). *)
+
+val to_file : string -> sink
+(** Opens [path] for writing; [close] flushes and closes.
+    @raise Sys_error when the file cannot be created. *)
+
+val memory : unit -> sink * (unit -> Json.t list)
+(** In-memory sink and an accessor returning events oldest-first. *)
+
+val tee : sink -> sink -> sink
+
+val line : Json.t -> string
+(** The JSONL rendering of one event (no trailing newline). *)
+
+(** Event constructors.  [index] is the job's position in its batch. *)
+
+val batch_started : jobs:int -> domains:int -> cache_capacity:int -> Json.t
+val job_submitted : index:int -> job:Job.t -> queue_depth:int -> Json.t
+val job_started : index:int -> job:Job.t -> Json.t
+val job_finished :
+  index:int -> job:Job.t -> outcome:Outcome.t -> cache_hit:bool -> Json.t
+val batch_finished :
+  wall_ms:float ->
+  succeeded:int ->
+  failed:int ->
+  cancelled:int ->
+  cache_stats:Result_cache.stats ->
+  Json.t

@@ -1,0 +1,38 @@
+The batch service streams one line per job in submission order and a
+summary; wall times are scrubbed because they vary run to run.
+
+  $ noc_tool batch jobs.json --telemetry tel.jsonl | sed -E 's/ +[0-9.]+ ms/ <ms>/g; s/ +\(cache hit\)//'
+  [0] ok        removal D26_media@14 <ms>  vcs_added 0, iterations 0, power_mw 33.3796
+  [1] ok        ordering D26_media@14 <ms>  vcs_added 5, power_mw 35.3156
+  [2] ok        removal D26_media@14 <ms>  vcs_added 0, iterations 0, power_mw 33.3796
+  
+  3 jobs on 1 domain in <ms>: 3 ok, 0 failed, 0 timed out, 0 cancelled, 1 cache hit
+
+The same batch on 2 domains produces the same deterministic columns.
+
+The cache-hit count is scrubbed here: whether job 2 hits the cache
+depends on whether job 0 finished first, which is scheduler-dependent
+with more than one domain.
+
+  $ noc_tool batch jobs.json -j 2 | sed -E 's/ +[0-9.]+ ms/ <ms>/g; s/ +\(cache hit\)//; s/[0-9]+ cache hits?/N cache hits/'
+  [0] ok        removal D26_media@14 <ms>  vcs_added 0, iterations 0, power_mw 33.3796
+  [1] ok        ordering D26_media@14 <ms>  vcs_added 5, power_mw 35.3156
+  [2] ok        removal D26_media@14 <ms>  vcs_added 0, iterations 0, power_mw 33.3796
+  
+  3 jobs on 2 domains in <ms>: 3 ok, 0 failed, 0 timed out, 0 cancelled, N cache hits
+
+
+Telemetry is JSON lines with a fixed envelope.
+
+  $ sed -E 's/"ts":[0-9.]+/"ts":T/; s/"(wall_ms|ts)":[0-9.e+-]+/"\1":T/g' tel.jsonl | cut -c1-60
+  {"ts":T,"event":"batch_started","jobs":3,"domains":1,"cache_
+  {"ts":T,"event":"job_submitted","index":0,"job":"e3f92e46","
+  {"ts":T,"event":"job_started","index":0,"job":"e3f92e46","la
+  {"ts":T,"event":"job_finished","index":0,"job":"e3f92e46","l
+  {"ts":T,"event":"job_submitted","index":1,"job":"409dd6eb","
+  {"ts":T,"event":"job_started","index":1,"job":"409dd6eb","la
+  {"ts":T,"event":"job_finished","index":1,"job":"409dd6eb","l
+  {"ts":T,"event":"job_submitted","index":2,"job":"e3f92e46","
+  {"ts":T,"event":"job_started","index":2,"job":"e3f92e46","la
+  {"ts":T,"event":"job_finished","index":2,"job":"e3f92e46","l
+  {"ts":T,"event":"batch_finished","wall_ms":T,"succeeded":3,"

@@ -1,0 +1,56 @@
+Malformed or missing inputs exit with a clear error, not a backtrace.
+
+A job file that does not exist:
+
+  $ noc_tool batch does-not-exist.json
+  error: cannot read job file: does-not-exist.json: No such file or directory
+  [1]
+
+A file that is not JSON:
+
+  $ echo 'not json' > bad.json
+  $ noc_tool batch bad.json
+  error: bad.json: expected null at offset 0
+  [1]
+
+A structurally valid file with a broken job:
+
+  $ cat > badjob.json <<'EOF'
+  > {"schema": "noc-jobs/1",
+  >  "jobs": [{"design": {"benchmark": "D26_media"}, "method": "removal"}]}
+  > EOF
+  $ noc_tool batch badjob.json
+  error: badjob.json: job 0: design: missing integer field "switches"
+  [1]
+
+A job that fails at run time is reported, and the batch exits 2:
+
+  $ cat > failing.json <<'EOF'
+  > {"schema": "noc-jobs/1",
+  >  "jobs": [{"design": {"benchmark": "nope", "switches": 3}, "method": "removal"}]}
+  > EOF
+  $ noc_tool batch failing.json | sed -E 's/ +[0-9.]+ ms/ <ms>/g'
+  [0] FAILED    removal nope@3 <ms>  unknown benchmark "nope" (try: D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd)
+  
+  1 job on 1 domain in <ms>: 0 ok, 1 failed, 0 timed out, 0 cancelled, 0 cache hits
+
+  $ noc_tool batch failing.json > /dev/null
+  [2]
+
+A design file that does not exist:
+
+  $ noc_tool remove -i does-not-exist.noc
+  error: does-not-exist.noc: No such file or directory
+  [1]
+
+Zero switches is rejected up front:
+
+  $ noc_tool synth -b D26_media -s 0
+  error: switch count must be at least 1
+  [1]
+
+Saving to an unwritable path is a clean error:
+
+  $ noc_tool synth -b D26_media -s 8 -o /nonexistent-dir/out.noc
+  error: /nonexistent-dir/out.noc: No such file or directory
+  [1]

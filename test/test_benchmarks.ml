@@ -9,54 +9,65 @@ let int_c = Alcotest.int
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* [stream n f t]: draw [n] values with [f], threading the pure state. *)
+let stream n f t =
+  let rec go t acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let v, t = f t in
+      go t (v :: acc) (remaining - 1)
+  in
+  go t [] n
+
 let test_rng_deterministic () =
-  let a = Rng.make 42 and b = Rng.make 42 in
-  let xs = List.init 20 (fun _ -> Rng.next a) in
-  let ys = List.init 20 (fun _ -> Rng.next b) in
+  let xs = stream 20 Rng.next (Rng.make 42) in
+  let ys = stream 20 Rng.next (Rng.make 42) in
   check bool_c "same stream" true (xs = ys)
 
+let test_rng_pure_state () =
+  (* The state is a value: drawing from it twice gives the same answer,
+     and never perturbs an earlier state. *)
+  let t = Rng.make 42 in
+  let a, t' = Rng.next t in
+  let b, _ = Rng.next t in
+  check bool_c "replayable" true (a = b);
+  let c, _ = Rng.next t' in
+  check bool_c "successor advances" false (a = c)
+
 let test_rng_seed_sensitivity () =
-  let a = Rng.make 1 and b = Rng.make 2 in
-  check bool_c "different streams" false (Rng.next a = Rng.next b)
+  let a, _ = Rng.next (Rng.make 1) and b, _ = Rng.next (Rng.make 2) in
+  check bool_c "different streams" false (a = b)
 
 let test_rng_int_bounds () =
-  let r = Rng.make 7 in
-  for _ = 1 to 1000 do
-    let v = Rng.int r 13 in
-    check bool_c "in range" true (v >= 0 && v < 13)
-  done
+  List.iter
+    (fun v -> check bool_c "in range" true (v >= 0 && v < 13))
+    (stream 1000 (fun t -> Rng.int t 13) (Rng.make 7))
 
 let test_rng_int_invalid () =
-  let r = Rng.make 7 in
   Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
-    (fun () -> ignore (Rng.int r 0))
+    (fun () -> ignore (Rng.int (Rng.make 7) 0))
 
 let test_rng_float_bounds () =
-  let r = Rng.make 9 in
-  for _ = 1 to 1000 do
-    let v = Rng.float r 2.5 in
-    check bool_c "in range" true (v >= 0. && v < 2.5)
-  done
+  List.iter
+    (fun v -> check bool_c "in range" true (v >= 0. && v < 2.5))
+    (stream 1000 (fun t -> Rng.float t 2.5) (Rng.make 9))
 
 let test_rng_sample_distinct () =
-  let r = Rng.make 11 in
-  let xs = Rng.sample_distinct r 10 ~exclude:3 ~count:9 in
+  let xs, _ = Rng.sample_distinct (Rng.make 11) 10 ~exclude:3 ~count:9 in
   check int_c "count" 9 (List.length xs);
   check int_c "distinct" 9 (List.length (List.sort_uniq compare xs));
   check bool_c "exclusion respected" false (List.mem 3 xs)
 
 let test_rng_sample_too_many () =
-  let r = Rng.make 11 in
   Alcotest.check_raises "too many"
     (Invalid_argument "Rng.sample_distinct: not enough values") (fun () ->
-      ignore (Rng.sample_distinct r 5 ~exclude:0 ~count:5))
+      ignore (Rng.sample_distinct (Rng.make 11) 5 ~exclude:0 ~count:5))
 
 let test_rng_pick () =
-  let r = Rng.make 3 in
   let arr = [| "a"; "b"; "c" |] in
-  for _ = 1 to 50 do
-    check bool_c "picks member" true (Array.mem (Rng.pick r arr) arr)
-  done
+  List.iter
+    (fun v -> check bool_c "picks member" true (Array.mem v arr))
+    (stream 50 (fun t -> Rng.pick t arr) (Rng.make 3))
 
 (* ------------------------------------------------------------------ *)
 (* Registry and specs                                                  *)
@@ -349,6 +360,7 @@ let () =
       ( "rng",
         [
           tc "deterministic" test_rng_deterministic;
+          tc "pure state" test_rng_pure_state;
           tc "seed sensitivity" test_rng_seed_sensitivity;
           tc "int bounds" test_rng_int_bounds;
           tc "int invalid" test_rng_int_invalid;

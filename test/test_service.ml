@@ -1,0 +1,437 @@
+open Noc_service
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json: the hand-written printer/parser round-trips                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Finite floats only: canonical JSON has no encoding for nan/inf. *)
+let finite_float_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map
+          (fun (a, b) -> float_of_int a /. float_of_int (1 + abs b))
+          (pair (int_range (-10_000) 10_000) (int_range 0 997));
+        oneofl [ 0.; -0.; 1e-12; 1.5e300; -2.25 ];
+      ])
+
+let key_gen = QCheck.Gen.(string_size ~gen:printable (int_bound 12))
+
+let json_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) finite_float_gen;
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_bound 20));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun xs -> Json.Arr xs) (list_size (int_bound 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4) (pair key_gen (self (depth - 1)))) );
+          ])
+    3
+
+let arbitrary_json =
+  QCheck.make ~print:(fun v -> Json.to_string v) json_gen
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json.of_string inverts to_string" ~count:500
+    arbitrary_json (fun v -> Json.of_string (Json.to_string v) = Ok v)
+
+let prop_json_pretty_roundtrip =
+  QCheck.Test.make ~name:"Json.of_string inverts to_string_pretty" ~count:500
+    arbitrary_json (fun v -> Json.of_string (Json.to_string_pretty v) = Ok v)
+
+(* ------------------------------------------------------------------ *)
+(* Job: canonical serialization round-trips, hash stable               *)
+(* ------------------------------------------------------------------ *)
+
+let job_gen =
+  let open QCheck.Gen in
+  let design_gen =
+    oneof
+      [
+        (let* name =
+           oneof
+             [
+               oneofl [ "D26_media"; "D36_8"; "D35_bott"; "not-a-benchmark" ];
+               string_size ~gen:printable (int_range 1 16);
+             ]
+         in
+         let* n_switches = int_range 1 64 in
+         let* max_degree = int_range 1 8 in
+         return (Job.Benchmark { name; n_switches; max_degree }));
+        map
+          (fun text -> Job.Inline text)
+          (string_size ~gen:printable (int_bound 80));
+      ]
+  in
+  let method_gen =
+    oneof
+      [
+        (let* heuristic =
+           oneofl
+             [
+               Noc_deadlock.Removal.Smallest_cycle_first;
+               Noc_deadlock.Removal.Any_cycle_first;
+             ]
+         in
+         let* directions =
+           oneofl
+             [
+               [ Noc_deadlock.Cost_table.Forward; Noc_deadlock.Cost_table.Backward ];
+               [ Noc_deadlock.Cost_table.Forward ];
+               [ Noc_deadlock.Cost_table.Backward ];
+             ]
+         in
+         let* resource =
+           oneofl
+             [
+               Noc_deadlock.Break_cycle.Virtual_channel;
+               Noc_deadlock.Break_cycle.Physical_link;
+             ]
+         in
+         return (Job.Removal { heuristic; directions; resource }));
+        map
+          (fun strategy -> Job.Resource_ordering { strategy })
+          (oneofl
+             [
+               Noc_deadlock.Resource_ordering.Greedy_ordered;
+               Noc_deadlock.Resource_ordering.Hop_index;
+             ]);
+        return Job.Sweep;
+      ]
+  in
+  let* design = design_gen in
+  let* method_ = method_gen in
+  return { Job.design; method_ }
+
+let arbitrary_job = QCheck.make ~print:Job.canonical job_gen
+
+let prop_job_roundtrip =
+  QCheck.Test.make ~name:"Job.of_json inverts to_json" ~count:500 arbitrary_job
+    (fun job -> Job.of_json (Job.to_json job) = Ok job)
+
+let prop_job_roundtrip_via_text =
+  QCheck.Test.make ~name:"Job round-trips through canonical text" ~count:500
+    arbitrary_job (fun job ->
+      match Json.of_string (Job.canonical job) with
+      | Error _ -> false
+      | Ok v -> Job.of_json v = Ok job)
+
+let prop_job_hash_stable =
+  QCheck.Test.make ~name:"Job.hash is stable across encode/decode" ~count:500
+    arbitrary_job (fun job ->
+      match Job.of_json (Job.to_json job) with
+      | Error _ -> false
+      | Ok decoded -> Job.hash decoded = Job.hash job)
+
+let prop_job_file_roundtrip =
+  QCheck.Test.make ~name:"Job file list round-trips (pretty form)" ~count:100
+    QCheck.(make QCheck.Gen.(list_size (int_bound 5) job_gen))
+    (fun jobs ->
+      Job.list_of_json (Json.to_string_pretty (Job.list_to_json jobs)) = Ok jobs)
+
+let test_job_defaults_fill_in () =
+  (* Omitted optional fields decode to the documented defaults and the
+     result re-encodes canonically — so a terse hand-written job file
+     and its fully-explicit form have the same content hash. *)
+  let terse =
+    {|{"design": {"benchmark": "D26_media", "switches": 14}, "method": "removal"}|}
+  in
+  let explicit =
+    {
+      Job.design =
+        Job.Benchmark
+          { name = "D26_media"; n_switches = 14; max_degree = Job.default_max_degree };
+      method_ = Job.removal_defaults;
+    }
+  in
+  match Result.bind (Json.of_string terse) Job.of_json with
+  | Error e -> Alcotest.failf "terse job did not parse: %s" e
+  | Ok decoded ->
+      check bool_c "defaults applied" true (decoded = explicit);
+      check string_c "same content hash" (Job.hash explicit) (Job.hash decoded)
+
+let test_job_file_rejects_bad_schema () =
+  let bad = {|{"schema": "noc-jobs/999", "jobs": []}|} in
+  match Job.list_of_json bad with
+  | Ok _ -> Alcotest.fail "accepted an unsupported schema"
+  | Error e ->
+      let contains ~needle haystack =
+        let n = String.length needle and h = String.length haystack in
+        let rec scan i =
+          i + n <= h && (String.sub haystack i n = needle || scan (i + 1))
+        in
+        n = 0 || scan 0
+      in
+      check bool_c "error names the schema" true (contains ~needle:"noc-jobs" e)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_outcome_hash_ignores_wall_time () =
+  let metrics = [ ("vcs_added", 3.); ("power_mw", 35.25) ] in
+  let a = Outcome.done_ ~wall_ms:1.0 metrics in
+  let b = Outcome.done_ ~wall_ms:999.0 metrics in
+  check string_c "wall time excluded" (Outcome.result_hash a) (Outcome.result_hash b);
+  let c = Outcome.done_ ~wall_ms:1.0 [ ("vcs_added", 4.); ("power_mw", 35.25) ] in
+  check bool_c "metrics included" false
+    (Outcome.result_hash a = Outcome.result_hash c)
+
+let test_outcome_roundtrip () =
+  List.iter
+    (fun outcome ->
+      match Outcome.of_json (Outcome.to_json outcome) with
+      | Ok decoded -> check bool_c "round-trips" true (decoded = outcome)
+      | Error e -> Alcotest.failf "outcome did not round-trip: %s" e)
+    [
+      Outcome.done_ ~wall_ms:1.5 [ ("a", 1.); ("b", -2.25) ];
+      Outcome.failed ~wall_ms:0.5 "boom";
+      Outcome.timed_out ~wall_ms:7.;
+      Outcome.cancelled;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool: order preservation and error propagation                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  check bool_c "3 domains = sequential" true
+    (Noc_pool.Pool.run ~domains:3 (fun x -> x * x) xs = expected);
+  check bool_c "1 domain = sequential" true
+    (Noc_pool.Pool.run ~domains:1 (fun x -> x * x) xs = expected)
+
+let test_pool_reraises () =
+  Alcotest.check_raises "first failing index wins" (Failure "item 3") (fun () ->
+      ignore
+        (Noc_pool.Pool.run ~domains:2
+           (fun x -> if x >= 3 then failwith (Printf.sprintf "item %d" x) else x)
+           (List.init 10 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_lru_eviction () =
+  let cache = Result_cache.create ~capacity:2 in
+  let outcome k = Outcome.done_ [ ("k", float_of_int k) ] in
+  Result_cache.store cache "a" (outcome 1);
+  Result_cache.store cache "b" (outcome 2);
+  ignore (Result_cache.find cache "a");
+  Result_cache.store cache "c" (outcome 3);
+  check bool_c "recently-used survives" true (Result_cache.find cache "a" <> None);
+  check bool_c "least-recently-used evicted" true (Result_cache.find cache "b" = None);
+  let stats = Result_cache.stats cache in
+  check int_c "one eviction" 1 stats.Result_cache.evictions;
+  check int_c "two entries" 2 stats.Result_cache.entries
+
+(* ------------------------------------------------------------------ *)
+(* Batch engine                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let registry_jobs () =
+  (* One removal and one ordering job per registry benchmark: full
+     registry coverage, at a switch count clipped to the core count. *)
+  List.concat_map
+    (fun spec ->
+      let design =
+        Job.Benchmark
+          {
+            name = spec.Noc_benchmarks.Spec.name;
+            n_switches = min 10 spec.Noc_benchmarks.Spec.n_cores;
+            max_degree = Job.default_max_degree;
+          }
+      in
+      [
+        { Job.design; method_ = Job.removal_defaults };
+        {
+          Job.design;
+          method_ =
+            Job.Resource_ordering
+              { strategy = Noc_deadlock.Resource_ordering.Hop_index };
+        };
+      ])
+    Noc_benchmarks.Registry.all
+
+let run_batch ?cache ~domains jobs =
+  Batch.run { Batch.default_config with Batch.domains; cache } jobs
+
+let deterministic_payload (r : Batch.job_result) =
+  ( r.Batch.index,
+    Job.hash r.Batch.job,
+    r.Batch.outcome.Outcome.status,
+    r.Batch.outcome.Outcome.metrics,
+    Outcome.result_hash r.Batch.outcome )
+
+let test_batch_differential_4_domains () =
+  (* The determinism contract of the whole subsystem: a 4-domain batch
+     over the full benchmark registry is bit-identical — same order,
+     same statuses, same metric lists, same result hashes — to the
+     sequential run.  Wall times are the only field allowed to vary. *)
+  let jobs = registry_jobs () in
+  let sequential, seq_summary = run_batch ~domains:1 jobs in
+  let parallel, par_summary = run_batch ~domains:4 jobs in
+  check int_c "all jobs succeeded sequentially"
+    (List.length jobs) seq_summary.Batch.succeeded;
+  check int_c "all jobs succeeded in parallel"
+    (List.length jobs) par_summary.Batch.succeeded;
+  check bool_c "bit-identical to sequential execution" true
+    (List.map deterministic_payload sequential
+    = List.map deterministic_payload parallel)
+
+let test_batch_streams_in_submission_order () =
+  let jobs = registry_jobs () in
+  let streamed = ref [] in
+  let on_result (r : Batch.job_result) = streamed := r.Batch.index :: !streamed in
+  let _ = Batch.run ~on_result { Batch.default_config with Batch.domains = 4 } jobs in
+  check bool_c "on_result follows submission order" true
+    (List.rev !streamed = List.init (List.length jobs) Fun.id)
+
+let test_batch_warm_replay_all_hits () =
+  let jobs = registry_jobs () in
+  let cache = Result_cache.create ~capacity:64 in
+  let cold, _ = run_batch ~cache ~domains:1 jobs in
+  Result_cache.reset_counters cache;
+  let warm, warm_summary = run_batch ~cache ~domains:1 jobs in
+  check int_c "every job a cache hit"
+    (List.length jobs) warm_summary.Batch.cache_hits;
+  check bool_c "100% hit rate" true
+    (Result_cache.hit_rate (Result_cache.stats cache) = 1.0);
+  check bool_c "replay results identical" true
+    (List.map deterministic_payload cold = List.map deterministic_payload warm)
+
+let test_batch_fail_fast_cancels () =
+  let bad =
+    {
+      Job.design = Job.Benchmark { name = "nope"; n_switches = 3; max_degree = 4 };
+      method_ = Job.removal_defaults;
+    }
+  in
+  let ok = List.hd (registry_jobs ()) in
+  let results, summary =
+    Batch.run
+      { Batch.default_config with Batch.fail_fast = true }
+      [ bad; ok; ok ]
+  in
+  check int_c "one failure" 1 summary.Batch.failed;
+  check int_c "rest cancelled" 2 summary.Batch.cancelled;
+  check bool_c "cancelled jobs carry no metrics" true
+    (List.for_all
+       (fun (r : Batch.job_result) ->
+         r.Batch.index = 0 || r.Batch.outcome.Outcome.metrics = [])
+       results)
+
+let test_batch_timeout_classification () =
+  let ok = List.hd (registry_jobs ()) in
+  let _, summary =
+    Batch.run
+      { Batch.default_config with Batch.timeout_ms = Some 0. }
+      [ ok ]
+  in
+  check int_c "over-budget job classified timed out" 1 summary.Batch.timed_out
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_stream_shape () =
+  let sink, events = Telemetry.memory () in
+  let jobs = [ List.hd (registry_jobs ()) ] in
+  let cache = Result_cache.create ~capacity:4 in
+  let _ =
+    Batch.run
+      { Batch.default_config with Batch.telemetry = sink; cache = Some cache }
+      jobs
+  in
+  let names =
+    List.map
+      (fun e -> Json.to_str (Json.field "event" e))
+      (events ())
+  in
+  check bool_c "event sequence" true
+    (names
+    = [
+        "batch_started"; "job_submitted"; "job_started"; "job_finished";
+        "batch_finished";
+      ]);
+  List.iter
+    (fun e ->
+      (* Every event is one parseable JSONL line with the envelope. *)
+      check bool_c "has a timestamp" true (Json.member "ts" e <> None);
+      match Json.of_string (Telemetry.line e) with
+      | Ok round -> check bool_c "line parses back" true (round = e)
+      | Error msg -> Alcotest.failf "telemetry line does not parse: %s" msg)
+    (events ())
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_json_roundtrip;
+      prop_json_pretty_roundtrip;
+      prop_job_roundtrip;
+      prop_job_roundtrip_via_text;
+      prop_job_hash_stable;
+      prop_job_file_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "noc_service"
+    [
+      ("properties", qcheck_cases);
+      ( "job",
+        [
+          Alcotest.test_case "defaults fill in" `Quick test_job_defaults_fill_in;
+          Alcotest.test_case "bad schema rejected" `Quick
+            test_job_file_rejects_bad_schema;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "hash ignores wall time" `Quick
+            test_outcome_hash_ignores_wall_time;
+          Alcotest.test_case "round-trip" `Quick test_outcome_roundtrip;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
+          Alcotest.test_case "re-raises" `Quick test_pool_reraises;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction ] );
+      ( "batch",
+        [
+          Alcotest.test_case "4-domain differential" `Quick
+            test_batch_differential_4_domains;
+          Alcotest.test_case "streams in order" `Quick
+            test_batch_streams_in_submission_order;
+          Alcotest.test_case "warm replay" `Quick test_batch_warm_replay_all_hits;
+          Alcotest.test_case "fail fast" `Quick test_batch_fail_fast_cancels;
+          Alcotest.test_case "timeout classification" `Quick
+            test_batch_timeout_classification;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "stream shape" `Quick test_telemetry_stream_shape ] );
+    ]
