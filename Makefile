@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt clean-tree bench bench-gate ci clean
+.PHONY: all build test fmt lint clean-tree bench bench-gate ci clean
 
 all: build
 
@@ -21,6 +21,16 @@ fmt:
 	else \
 	  echo "fmt: ocamlformat not installed, skipping"; \
 	fi
+
+# The static-analysis gate: every registry benchmark and the shared
+# job files must lint clean at error level; writes lint.sarif
+# (gitignored) as the machine-readable report.
+lint: build
+	$(DUNE) exec bin/noc_tool.exe -- lint --all-benchmarks
+	$(DUNE) exec bin/noc_tool.exe -- lint test/cli/registry_jobs.json \
+	  --format=json > /dev/null
+	$(DUNE) exec bin/noc_tool.exe -- lint --all-benchmarks \
+	  --format=sarif -o lint.sarif
 
 clean-tree:
 	@if git ls-files _build | grep -q .; then \
@@ -50,8 +60,8 @@ bench-gate: bench
 	$(DUNE) exec bench/check_regression.exe -- \
 	  bench/baseline/BENCH_service.json BENCH_service.json
 
-ci: build test fmt clean-tree bench-gate
+ci: build test fmt lint clean-tree bench-gate
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_removal.json BENCH_service.json
+	rm -f BENCH_removal.json BENCH_service.json lint.sarif

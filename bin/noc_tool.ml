@@ -1,13 +1,15 @@
 (* noc_tool: command-line front end for the deadlock-removal flow.
 
    Subcommands: list, synth, remove, ordering, updown, duato, optimal,
-   harden, analyze, dot, tables, compare, simulate, batch, example.  Every
-   command works on a named benchmark synthesized at a chosen switch
+   harden, analyze, lint, dot, tables, compare, simulate, batch, example.
+   Every command works on a named benchmark synthesized at a chosen switch
    count — or on a design file via --input — so results are
    reproducible from the shell. *)
 
 open Cmdliner
 open Noc_model
+
+let version = "1.0.0"
 
 let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -458,6 +460,161 @@ let tables_cmd =
     Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
           $ input_arg $ switch_arg)
 
+let lint_cmd =
+  let files_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE"
+             ~doc:"Inputs to lint: noc-design files and/or noc-jobs/1 job \
+                   files (classified by content).  With no $(docv), the \
+                   benchmark named by $(b,--benchmark) is synthesized and \
+                   linted.")
+  in
+  let format_arg =
+    let choice = Arg.enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ] in
+    Arg.(value & opt choice `Text
+         & info [ "format" ]
+             ~doc:"Output format: $(b,text), $(b,json) (noc-lint/1) or \
+                   $(b,sarif) (SARIF 2.1.0).")
+  in
+  let fail_on_arg =
+    let choice =
+      Arg.enum
+        [
+          ("error", Diag_code.Error);
+          ("warning", Diag_code.Warning);
+          ("info", Diag_code.Info);
+        ]
+    in
+    Arg.(value & opt choice Diag_code.Error
+         & info [ "fail-on" ]
+             ~doc:"Exit 2 when any finding at or above this severity exists: \
+                   $(b,error) (default), $(b,warning) or $(b,info).")
+  in
+  let all_benchmarks_arg =
+    Arg.(value & flag
+         & info [ "all-benchmarks" ]
+             ~doc:"Lint every registry benchmark (synthesized at the default \
+                   switch count); ignores $(docv) and $(b,--benchmark).")
+  in
+  let capacity_arg =
+    Arg.(value & opt float Noc_analysis.Passes.default_capacity_mbps
+         & info [ "capacity" ]
+             ~doc:"Link capacity in MB/s for the bandwidth pass.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  (* A design file's first significant line is its format tag; anything
+     else is handed to the jobs pass (which reports unusable JSON with a
+     stable code instead of a hard error). *)
+  let is_design_text text =
+    let lines = String.split_on_char '\n' text in
+    let significant l =
+      let l = String.trim l in
+      l <> "" && not (String.length l > 0 && l.[0] = '#')
+    in
+    match List.find_opt significant lines with
+    | Some l -> String.length (String.trim l) >= 10
+                && String.sub (String.trim l) 0 10 = "noc-design"
+    | None -> false
+  in
+  let run () files format fail_on all_benchmarks name n_switches degree
+      capacity output =
+    let passes = Noc_service.Lint.all_passes ~capacity_mbps:capacity () in
+    let benchmark_target spec =
+      let n_cores = spec.Noc_benchmarks.Spec.n_cores in
+      let n = min 14 n_cores in
+      let _, net =
+        or_die (synthesize spec.Noc_benchmarks.Spec.name n degree)
+      in
+      ( Printf.sprintf "%s@%d" spec.Noc_benchmarks.Spec.name n,
+        Noc_analysis.Pass.Design net )
+    in
+    let targets =
+      if all_benchmarks then
+        List.map benchmark_target Noc_benchmarks.Registry.all
+      else if files = [] then
+        let spec = or_die (lookup_benchmark name) in
+        let _, net = or_die (synthesize name n_switches degree) in
+        ignore spec;
+        [ (Printf.sprintf "%s@%d" name n_switches, Noc_analysis.Pass.Design net) ]
+      else
+        List.map
+          (fun path ->
+            let text =
+              or_die
+                (Result.map_error
+                   (fun e -> Printf.sprintf "cannot read %s: %s" path e)
+                   (read_file path))
+            in
+            if is_design_text text then
+              match Io.load text with
+              | Ok net -> (path, Noc_analysis.Pass.Design net)
+              | Error e ->
+                  or_die (Error (Printf.sprintf "%s: %s" path e))
+            else (path, Noc_analysis.Pass.Job_file { path; text }))
+          files
+    in
+    let reports =
+      List.map
+        (fun (label, target) ->
+          Noc_analysis.Engine.analyze ~passes ~label target)
+        targets
+    in
+    let rendered =
+      match format with
+      | `Text -> Format.asprintf "%a" Noc_analysis.Render.text reports
+      | `Json ->
+          Noc_json.Json.to_string_pretty
+            (Noc_analysis.Render.json ~version reports)
+          ^ "\n"
+      | `Sarif ->
+          Noc_json.Json.to_string_pretty
+            (Noc_analysis.Render.sarif ~version reports)
+          ^ "\n"
+    in
+    (match output with
+    | None -> print_string rendered
+    | Some path -> (
+        try
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc rendered)
+        with Sys_error e -> or_die (Error e)));
+    if Noc_analysis.Engine.count_at_least ~floor:fail_on reports > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze designs and job files (stable diagnostic codes)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the multi-pass static analyzer over NoC designs and \
+              noc-jobs/1 job files: route/topology well-formedness, dead \
+              channels and VCs, CDG cycle witnesses, certificate rechecks, \
+              Duato escape coverage, bandwidth feasibility and job-file \
+              sanity.  Every finding carries a stable NOC-*-NNN code (see \
+              docs/ANALYSIS.md).";
+           `P
+             "Exits 0 when no finding reaches the $(b,--fail-on) severity, \
+              2 when one does, 1 on unusable inputs.";
+         ])
+    Term.(const run $ logs_term $ files_arg $ format_arg $ fail_on_arg
+          $ all_benchmarks_arg $ benchmark_arg $ switches_arg $ degree_arg
+          $ capacity_arg $ output_arg)
+
 let batch_cmd =
   let jobs_file_arg =
     Arg.(required
@@ -498,6 +655,13 @@ let batch_cmd =
              ~doc:"After the first failure or timeout, cancel jobs that have \
                    not started yet.")
   in
+  let no_lint_arg =
+    Arg.(value & flag
+         & info [ "no-lint" ]
+             ~doc:"Skip the submission-time lint gate (jobs with error-level \
+                   static findings are normally rejected before reaching a \
+                   worker domain).")
+  in
   let read_file path =
     try
       let ic = open_in_bin path in
@@ -530,7 +694,8 @@ let batch_cmd =
       (if r.Batch.cache_hit then "  (cache hit)" else "")
       (if detail = "" then "" else "  " ^ detail)
   in
-  let run () jobs_file domains telemetry cache_size timeout_ms fail_fast =
+  let run () jobs_file domains telemetry cache_size timeout_ms fail_fast
+      no_lint =
     let open Noc_service in
     if domains < 1 then or_die (Error "--domains must be at least 1");
     if cache_size < 0 then or_die (Error "--cache-size must be >= 0");
@@ -562,6 +727,7 @@ let batch_cmd =
         telemetry = sink;
         timeout_ms;
         fail_fast;
+        lint = not no_lint;
       }
     in
     let _, summary = Batch.run ~on_result:print_result config jobs in
@@ -582,7 +748,7 @@ let batch_cmd =
            `P "Exits 1 on an unusable job file, 2 when any job fails.";
          ])
     Term.(const run $ logs_term $ jobs_file_arg $ domains_arg $ telemetry_arg
-          $ cache_arg $ timeout_arg $ fail_fast_arg)
+          $ cache_arg $ timeout_arg $ fail_fast_arg $ no_lint_arg)
 
 let example_cmd =
   let run () = Format.printf "%t@." Noc_experiments.Ring_example.narrate in
@@ -592,15 +758,15 @@ let example_cmd =
 
 let () =
   let info =
-    Cmd.info "noc_tool" ~version:"1.0.0"
+    Cmd.info "noc_tool" ~version
       ~doc:"Deadlock removal for wormhole NoCs (DATE 2010 reproduction)"
   in
   let group =
     Cmd.group info
       [
         list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
-        analyze_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd; compare_cmd;
-        simulate_cmd; batch_cmd; example_cmd;
+        analyze_cmd; lint_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd;
+        compare_cmd; simulate_cmd; batch_cmd; example_cmd;
       ]
   in
   exit (Cmd.eval group)

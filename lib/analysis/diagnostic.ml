@@ -1,0 +1,59 @@
+open Noc_model
+
+type location =
+  | Design
+  | Switch of Ids.Switch.t
+  | Link of Ids.Link.t
+  | Channel of Channel.t
+  | Flow of Ids.Flow.t
+  | Job of { path : string; index : int option }
+
+let location_path = function
+  | Design -> "design"
+  | Switch s -> Printf.sprintf "switch/%d" (Ids.Switch.to_int s)
+  | Link l -> Printf.sprintf "link/%d" (Ids.Link.to_int l)
+  | Channel c ->
+      Printf.sprintf "channel/%d.%d" (Ids.Link.to_int (Channel.link c))
+        (Channel.vc c)
+  | Flow f -> Printf.sprintf "flow/%d" (Ids.Flow.to_int f)
+  | Job { path; index } -> (
+      match index with
+      | None -> path
+      | Some i -> Printf.sprintf "%s#%d" path i)
+
+type t = {
+  code : Diag_code.t;
+  severity : Diag_code.severity;
+  location : location;
+  message : string;
+  fix : string option;
+}
+
+let v ?severity ?fix code location message =
+  let severity =
+    match severity with Some s -> s | None -> code.Diag_code.severity
+  in
+  { code; severity; location; message; fix }
+
+let severity d = d.severity
+
+let compare a b =
+  let by_severity =
+    compare
+      (Diag_code.severity_rank b.severity)
+      (Diag_code.severity_rank a.severity)
+  in
+  if by_severity <> 0 then by_severity
+  else
+    let by_code = String.compare a.code.Diag_code.code b.code.Diag_code.code in
+    if by_code <> 0 then by_code
+    else
+      let by_loc = String.compare (location_path a.location) (location_path b.location) in
+      if by_loc <> 0 then by_loc else String.compare a.message b.message
+
+let pp ppf d =
+  Format.fprintf ppf "%s %a %s: %s" d.code.Diag_code.code Diag_code.pp_severity
+    d.severity (location_path d.location) d.message;
+  match d.fix with
+  | None -> ()
+  | Some fix -> Format.fprintf ppf " (fix: %s)" fix

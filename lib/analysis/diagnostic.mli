@@ -1,0 +1,48 @@
+(** A single structured finding of a static-analysis pass.
+
+    Every diagnostic names a stable code from the shared
+    {!Noc_model.Diag_code} table, a severity, the network element (or
+    job-file entry) it is anchored to, a human message, and optionally
+    a suggested fix.  Diagnostics are pure data; rendering to text,
+    JSON or SARIF lives in {!Render}. *)
+
+open Noc_model
+
+type location =
+  | Design  (** The design (or file) as a whole. *)
+  | Switch of Ids.Switch.t
+  | Link of Ids.Link.t
+  | Channel of Channel.t
+  | Flow of Ids.Flow.t
+  | Job of { path : string; index : int option }
+      (** A job file, optionally one job entry in it. *)
+
+val location_path : location -> string
+(** Stable element path, e.g. ["flow/3"], ["channel/5.1"],
+    ["jobs.json#2"]. *)
+
+type t = {
+  code : Diag_code.t;
+  severity : Diag_code.severity;
+      (** Usually [code.severity]; passes may downgrade in context. *)
+  location : location;
+  message : string;
+  fix : string option;  (** A suggested remediation, when one is known. *)
+}
+
+val v :
+  ?severity:Diag_code.severity ->
+  ?fix:string ->
+  Diag_code.t ->
+  location ->
+  string ->
+  t
+(** [v code location message] — severity defaults to the code's. *)
+
+val severity : t -> Diag_code.severity
+
+val compare : t -> t -> int
+(** Most severe first, then code, then location path, then message. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [CODE severity location: message (fix: ...)]. *)

@@ -1,0 +1,49 @@
+open Noc_model
+
+type report = {
+  label : string;
+  passes_run : string list;
+  diagnostics : Diagnostic.t list;
+}
+
+let analyze ~passes ~label target =
+  let applicable = List.filter (fun p -> Pass.applies p target) passes in
+  let diagnostics =
+    List.concat_map
+      (fun (p : Pass.t) ->
+        try p.Pass.run target
+        with
+        | Failure msg | Invalid_argument msg ->
+          raise
+            (Failure (Printf.sprintf "pass %s failed on %s: %s" p.Pass.name label msg)))
+      applicable
+  in
+  {
+    label;
+    passes_run = List.map (fun (p : Pass.t) -> p.Pass.name) applicable;
+    diagnostics = List.sort Diagnostic.compare diagnostics;
+  }
+
+let worst report =
+  match report.diagnostics with [] -> None | d :: _ -> Some (Diagnostic.severity d)
+
+let count_at_least ~floor reports =
+  List.fold_left
+    (fun acc r ->
+      acc
+      + List.length
+          (List.filter
+             (fun d -> Diag_code.severity_at_least ~floor (Diagnostic.severity d))
+             r.diagnostics))
+    0 reports
+
+let totals reports =
+  let count s =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + List.length
+            (List.filter (fun d -> Diagnostic.severity d = s) r.diagnostics))
+      0 reports
+  in
+  (count Diag_code.Error, count Diag_code.Warning, count Diag_code.Info)

@@ -1,0 +1,26 @@
+(** The pass driver: run every applicable pass over a target and
+    collect the findings, most severe first. *)
+
+open Noc_model
+
+type report = {
+  label : string;  (** What was analyzed, e.g. ["D26_media@14"] or a path. *)
+  passes_run : string list;  (** Names of the passes that applied. *)
+  diagnostics : Diagnostic.t list;  (** Sorted by {!Diagnostic.compare}. *)
+}
+
+val analyze : passes:Pass.t list -> label:string -> Pass.target -> report
+(** Runs the passes whose scope matches the target.  A pass that raises
+    [Failure]/[Invalid_argument] aborts the analysis with a [Failure]
+    naming the pass — lint passes are expected to guard themselves
+    (see {!Passes.when_routes_valid}-style gating). *)
+
+val worst : report -> Diag_code.severity option
+(** Severity of the most severe finding; [None] when clean. *)
+
+val count_at_least : floor:Diag_code.severity -> report list -> int
+(** Findings at or above [floor] across reports — the [--fail-on]
+    gate's count. *)
+
+val totals : report list -> int * int * int
+(** [(errors, warnings, infos)] across reports. *)

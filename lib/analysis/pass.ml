@@ -1,0 +1,25 @@
+open Noc_model
+
+type target =
+  | Design of Network.t
+  | Job_file of { path : string; text : string }
+
+type scope = Design_scope | Job_scope
+
+type t = {
+  name : string;
+  prefix : string;
+  scope : scope;
+  severity_floor : Diag_code.severity;
+  doc : string;
+  run : target -> Diagnostic.t list;
+}
+
+let applies pass target =
+  match (pass.scope, target) with
+  | Design_scope, Design _ | Job_scope, Job_file _ -> true
+  | Design_scope, Job_file _ | Job_scope, Design _ -> false
+
+let pp ppf p =
+  Format.fprintf ppf "%s (%s-*, up to %a)" p.name p.prefix
+    Diag_code.pp_severity p.severity_floor

@@ -1,0 +1,35 @@
+(** An analysis pass: a named, self-describing check that inspects one
+    target and returns structured {!Diagnostic.t} findings.
+
+    Passes are registered in {!Registry} (design passes) and extended
+    by higher layers (the service contributes the job-file pass); the
+    {!Engine} runs whichever passes apply to a target. *)
+
+open Noc_model
+
+type target =
+  | Design of Network.t  (** A complete NoC design. *)
+  | Job_file of { path : string; text : string }
+      (** A noc-jobs/1 batch file, as raw text plus its display path. *)
+
+type scope = Design_scope | Job_scope
+
+type t = {
+  name : string;  (** Registry name, e.g. ["routes"]. *)
+  prefix : string;
+      (** Stable code prefix; every diagnostic the pass emits uses it,
+          e.g. ["NOC-ROUTE"]. *)
+  scope : scope;
+  severity_floor : Diag_code.severity;
+      (** The most severe diagnostic this pass can emit.  An engine
+          that only needs an exit code may skip passes whose floor is
+          below the failure threshold. *)
+  doc : string;  (** One-line description for catalogs and [--help]. *)
+  run : target -> Diagnostic.t list;
+      (** Must return [[]] on targets outside the pass's scope. *)
+}
+
+val applies : t -> target -> bool
+(** Scope/target agreement. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,319 @@
+(* The eight design-level passes.  Each is deliberately small: it maps
+   one existing analysis (Validate, Cdg/Verify, Duato, Bandwidth) into
+   structured diagnostics with stable codes, so the linter never owns
+   algorithmic logic of its own — it owns the reporting contract. *)
+
+open Noc_model
+
+let design_only run = function
+  | Pass.Design net -> run net
+  | Pass.Job_file _ -> []
+
+(* Passes that interpret routes (CDG construction, escape coverage,
+   bandwidth accounting) are only meaningful — and only safe — on
+   designs whose routes are structurally well-formed; broken routes are
+   the routes pass's finding, not theirs. *)
+let when_routes_valid f net = if Validate.check net = [] then f net else []
+
+(* 1. routes ------------------------------------------------------- *)
+
+let fix_of_code (code : Diag_code.t) =
+  if code == Diag_code.route_missing then
+    Some "route the flow (Noc_model.Routing.route_all) or drop it"
+  else None
+
+let routes =
+  {
+    Pass.name = "routes";
+    prefix = "NOC-ROUTE";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Error;
+    doc = "every flow's route exists and follows the physical topology";
+    run =
+      design_only (fun net ->
+          List.map
+            (fun (i : Validate.issue) ->
+              let location =
+                match i.Validate.flow with
+                | Some f -> Diagnostic.Flow f
+                | None -> Diagnostic.Design
+              in
+              Diagnostic.v ?fix:(fix_of_code i.Validate.code) i.Validate.code
+                location i.Validate.message)
+            (Validate.check net));
+  }
+
+(* 2. connectivity ------------------------------------------------- *)
+
+let connectivity =
+  {
+    Pass.name = "connectivity";
+    prefix = "NOC-TOPO";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Error;
+    doc = "the topology is connected and no switch is isolated";
+    run =
+      design_only (fun net ->
+          let topo = Network.topology net in
+          let isolated =
+            List.filter_map
+              (fun s ->
+                let s = Ids.Switch.of_int s in
+                if Topology.degree topo s = 0 then
+                  Some
+                    (Diagnostic.v Diag_code.topo_isolated_switch
+                       (Diagnostic.Switch s) "switch has no attached links"
+                       ~fix:"connect the switch or drop it from the design")
+                else None)
+              (List.init (Topology.n_switches topo) Fun.id)
+          in
+          let disconnected =
+            if Topology.is_connected topo then []
+            else
+              [
+                Diagnostic.v Diag_code.topo_disconnected Diagnostic.Design
+                  "topology is not (weakly) connected";
+              ]
+          in
+          disconnected @ isolated);
+  }
+
+(* 3. dead channels ------------------------------------------------ *)
+
+let used_channels net =
+  let used = Channel.Table.create 64 in
+  List.iter
+    (fun (_, route) -> List.iter (fun c -> Channel.Table.replace used c ()) route)
+    (Network.routes net);
+  used
+
+let dead_channels =
+  {
+    Pass.name = "dead-channels";
+    prefix = "NOC-CHAN";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Warning;
+    doc = "every physical link carries at least one routed flow";
+    run =
+      design_only (fun net ->
+          let topo = Network.topology net in
+          let used = used_channels net in
+          List.filter_map
+            (fun (l : Topology.link) ->
+              let vcs = Topology.vc_count topo l.Topology.id in
+              let any_used =
+                List.exists
+                  (fun v ->
+                    Channel.Table.mem used (Channel.make l.Topology.id v))
+                  (List.init vcs Fun.id)
+              in
+              if any_used then None
+              else
+                Some
+                  (Diagnostic.v Diag_code.chan_dead_link
+                     (Diagnostic.Link l.Topology.id)
+                     (Format.asprintf
+                        "link %a (%a -> %a) carries no routed flow"
+                        Ids.Link.pp l.Topology.id Ids.Switch.pp l.Topology.src
+                        Ids.Switch.pp l.Topology.dst)
+                     ~fix:"remove the link or route traffic over it"))
+            (Topology.links topo));
+  }
+
+(* 4. dead VCs ----------------------------------------------------- *)
+
+let dead_vcs =
+  {
+    Pass.name = "dead-vcs";
+    prefix = "NOC-VC";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Warning;
+    doc = "every allocated VC of a live link is used by some route";
+    run =
+      design_only (fun net ->
+          let topo = Network.topology net in
+          let used = used_channels net in
+          List.concat_map
+            (fun (l : Topology.link) ->
+              let vcs = Topology.vc_count topo l.Topology.id in
+              let channel v = Channel.make l.Topology.id v in
+              let live =
+                List.exists
+                  (fun v -> Channel.Table.mem used (channel v))
+                  (List.init vcs Fun.id)
+              in
+              if not live then
+                (* A fully dead link is NOC-CHAN-001's finding. *)
+                []
+              else
+                List.filter_map
+                  (fun v ->
+                    if Channel.Table.mem used (channel v) then None
+                    else
+                      Some
+                        (Diagnostic.v Diag_code.vc_dead
+                           (Diagnostic.Channel (channel v))
+                           (Format.asprintf
+                              "VC %d of link %a is allocated but unused" v
+                              Ids.Link.pp l.Topology.id)
+                           ~fix:
+                             "rebalance flows over the link's VCs or drop \
+                              the VC"))
+                  (List.init vcs Fun.id))
+            (Topology.links topo));
+  }
+
+(* 5. CDG cycle witness -------------------------------------------- *)
+
+let pp_cycle ppf cycle =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+    Channel.pp ppf cycle
+
+let cdg_cycle =
+  {
+    Pass.name = "cdg-cycle";
+    prefix = "NOC-CYCLE";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Warning;
+    doc = "the channel dependency graph is acyclic (deadlock freedom)";
+    run =
+      design_only
+        (when_routes_valid (fun net ->
+             let cert = Noc_deadlock.Verify.certify net in
+             match cert.Noc_deadlock.Verify.sample_cycle with
+             | None -> []
+             | Some cycle ->
+                 [
+                   Diagnostic.v Diag_code.cycle_witness
+                     (Diagnostic.Channel (List.hd cycle))
+                     (Format.asprintf
+                        "CDG cycle of %d channels: %a (design can deadlock)"
+                        (List.length cycle) pp_cycle cycle)
+                     ~fix:"run `noc_tool remove` to break the cycles";
+                 ]));
+  }
+
+(* 6. certificate-numbering recheck -------------------------------- *)
+
+let recheck_numbering net numbering =
+  if Noc_deadlock.Verify.check_numbering net numbering then []
+  else
+    [
+      Diagnostic.v Diag_code.cert_numbering_rejected Diagnostic.Design
+        "the deadlock-freedom certificate's channel numbering fails the \
+         independent linear-time recheck"
+        ~fix:"rebuild the certificate (Noc_deadlock.Verify.certify)";
+    ]
+
+let certificate =
+  {
+    Pass.name = "certificate";
+    prefix = "NOC-CERT";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Error;
+    doc =
+      "an acyclic verdict's numbering witness passes the independent recheck";
+    run =
+      design_only
+        (when_routes_valid (fun net ->
+             match (Noc_deadlock.Verify.certify net).Noc_deadlock.Verify.numbering with
+             | None -> []
+             | Some numbering -> recheck_numbering net numbering));
+  }
+
+(* 7. escape-channel coverage (Duato baseline) --------------------- *)
+
+let escape =
+  {
+    Pass.name = "escape";
+    prefix = "NOC-ESC";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Warning;
+    doc =
+      "the VC0 escape set satisfies Duato's condition for the static routes";
+    run =
+      design_only
+        (when_routes_valid (fun net ->
+             let rf = Routing_function.of_static_routes net in
+             let verdict =
+               Noc_deadlock.Duato.check net rf ~escape:(fun c ->
+                   Channel.vc c = 0)
+             in
+             let disconnected =
+               match verdict.Noc_deadlock.Duato.connectivity_failure with
+               | None -> []
+               | Some why ->
+                   [
+                     Diagnostic.v Diag_code.escape_disconnected
+                       Diagnostic.Design
+                       (Printf.sprintf
+                          "VC0 escape set is not connected for the static \
+                           routing function: %s"
+                          why)
+                       ~fix:
+                         "keep at least one VC0 path per flow when \
+                          rebalancing VCs";
+                   ]
+             in
+             let cyclic =
+               match verdict.Noc_deadlock.Duato.extended_cdg_cycle with
+               | None -> []
+               | Some cycle ->
+                   [
+                     Diagnostic.v Diag_code.escape_cyclic
+                       (Diagnostic.Channel (List.hd cycle))
+                       (Format.asprintf
+                          "extended CDG of the VC0 escape set is cyclic: %a"
+                          pp_cycle cycle)
+                       ~fix:"run `noc_tool remove` to break the cycles";
+                   ]
+             in
+             disconnected @ cyclic));
+  }
+
+(* 8. bandwidth ---------------------------------------------------- *)
+
+let default_capacity_mbps = 4000.
+
+let bandwidth ~capacity_mbps =
+  {
+    Pass.name = "bandwidth";
+    prefix = "NOC-BW";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Warning;
+    doc =
+      Printf.sprintf
+        "no link is oversubscribed at %g MB/s capacity (90%%+ is noted)"
+        capacity_mbps;
+    run =
+      design_only
+        (when_routes_valid (fun net ->
+             let report = Bandwidth.analyze ~capacity_mbps net in
+             List.filter_map
+               (fun (u : Bandwidth.link_usage) ->
+                 if u.Bandwidth.utilization > 1.0 then
+                   Some
+                     (Diagnostic.v Diag_code.bw_oversubscribed
+                        (Diagnostic.Link u.Bandwidth.link)
+                        (Format.asprintf
+                           "link %a carries %.1f MB/s, %.0f%% of its %g MB/s \
+                            capacity"
+                           Ids.Link.pp u.Bandwidth.link u.Bandwidth.load_mbps
+                           (100. *. u.Bandwidth.utilization)
+                           capacity_mbps)
+                        ~fix:
+                          "reroute flows off the link or raise the link \
+                           capacity")
+                 else if u.Bandwidth.utilization >= 0.9 then
+                   Some
+                     (Diagnostic.v Diag_code.bw_near_saturation
+                        (Diagnostic.Link u.Bandwidth.link)
+                        (Format.asprintf
+                           "link %a is at %.0f%% of its %g MB/s capacity"
+                           Ids.Link.pp u.Bandwidth.link
+                           (100. *. u.Bandwidth.utilization)
+                           capacity_mbps))
+                 else None)
+               report.Bandwidth.usages));
+  }

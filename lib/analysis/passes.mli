@@ -1,0 +1,43 @@
+(** The built-in design-level passes.  See docs/ANALYSIS.md for the
+    full catalog of codes each pass can emit. *)
+
+open Noc_model
+
+val routes : Pass.t
+(** [NOC-ROUTE-001..004]: every flow's route exists and follows the
+    topology (via {!Noc_model.Validate}). *)
+
+val connectivity : Pass.t
+(** [NOC-TOPO-001..002]: the topology is weakly connected; no switch is
+    isolated. *)
+
+val dead_channels : Pass.t
+(** [NOC-CHAN-001]: links no route crosses (wasted hardware). *)
+
+val dead_vcs : Pass.t
+(** [NOC-VC-001]: allocated VCs of live links that no route uses. *)
+
+val cdg_cycle : Pass.t
+(** [NOC-CYCLE-001]: a smallest CDG cycle witness (via
+    {!Noc_deadlock.Verify.certify}). *)
+
+val certificate : Pass.t
+(** [NOC-CERT-001]: an acyclic certificate's numbering must pass
+    {!Noc_deadlock.Verify.check_numbering}. *)
+
+val recheck_numbering :
+  Network.t -> (Channel.t * int) list -> Diagnostic.t list
+(** The certificate pass's core, exposed so a corrupted numbering can
+    be exercised directly (the pass itself rechecks the numbering it
+    just computed, which only fails on an internal inconsistency). *)
+
+val escape : Pass.t
+(** [NOC-ESC-001..002]: Duato-baseline escape coverage of the VC0
+    channels for the static routing function. *)
+
+val default_capacity_mbps : float
+(** [4000.], matching [noc_tool analyze]'s default. *)
+
+val bandwidth : capacity_mbps:float -> Pass.t
+(** [NOC-BW-001..002]: per-link oversubscription (and near-saturation)
+    at the given capacity, via {!Noc_model.Bandwidth}. *)

@@ -1,0 +1,13 @@
+let design_passes ?(capacity_mbps = Passes.default_capacity_mbps) () =
+  [
+    Passes.routes;
+    Passes.connectivity;
+    Passes.dead_channels;
+    Passes.dead_vcs;
+    Passes.cdg_cycle;
+    Passes.certificate;
+    Passes.escape;
+    Passes.bandwidth ~capacity_mbps;
+  ]
+
+let names = List.map (fun p -> p.Pass.name) (design_passes ())

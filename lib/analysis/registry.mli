@@ -1,0 +1,10 @@
+(** The built-in pass registry.  Higher layers append their own passes
+    (the service contributes the job-file pass) before handing the list
+    to {!Engine.analyze}. *)
+
+val design_passes : ?capacity_mbps:float -> unit -> Pass.t list
+(** The eight design passes, catalog order.  [capacity_mbps]
+    parameterizes the bandwidth pass (default
+    {!Passes.default_capacity_mbps}). *)
+
+val names : string list

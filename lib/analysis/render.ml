@@ -1,0 +1,180 @@
+(* Rendering of lint reports: human text, machine JSON (noc-lint/1) and
+   SARIF 2.1.0.  The JSON forms are built on the shared Noc_json values
+   so they print canonically (stable field order, lossless floats). *)
+
+open Noc_model
+module Json = Noc_json.Json
+
+let tool_name = "noc_tool lint"
+
+(* Text ------------------------------------------------------------ *)
+
+let text ppf reports =
+  List.iter
+    (fun (r : Engine.report) ->
+      match r.Engine.diagnostics with
+      | [] -> Format.fprintf ppf "%s: clean@." r.Engine.label
+      | ds ->
+          Format.fprintf ppf "%s: %d finding%s@." r.Engine.label (List.length ds)
+            (if List.length ds = 1 then "" else "s");
+          List.iter (fun d -> Format.fprintf ppf "  %a@." Diagnostic.pp d) ds)
+    reports;
+  let errors, warnings, infos = Engine.totals reports in
+  Format.fprintf ppf "%d target%s: %d error%s, %d warning%s, %d info@."
+    (List.length reports)
+    (if List.length reports = 1 then "" else "s")
+    errors
+    (if errors = 1 then "" else "s")
+    warnings
+    (if warnings = 1 then "" else "s")
+    infos
+
+(* JSON (noc-lint/1) ------------------------------------------------ *)
+
+let diagnostic_to_json (d : Diagnostic.t) =
+  Json.Obj
+    ([
+       ("code", Json.Str d.Diagnostic.code.Diag_code.code);
+       ( "severity",
+         Json.Str (Diag_code.severity_to_string d.Diagnostic.severity) );
+       ("location", Json.Str (Diagnostic.location_path d.Diagnostic.location));
+       ("message", Json.Str d.Diagnostic.message);
+     ]
+    @
+    match d.Diagnostic.fix with
+    | None -> []
+    | Some fix -> [ ("fix", Json.Str fix) ])
+
+let report_to_json (r : Engine.report) =
+  Json.Obj
+    [
+      ("target", Json.Str r.Engine.label);
+      ("passes", Json.Arr (List.map (fun n -> Json.Str n) r.Engine.passes_run));
+      ( "diagnostics",
+        Json.Arr (List.map diagnostic_to_json r.Engine.diagnostics) );
+    ]
+
+let json ~version reports =
+  let errors, warnings, infos = Engine.totals reports in
+  Json.Obj
+    [
+      ("schema", Json.Str "noc-lint/1");
+      ( "tool",
+        Json.Obj
+          [ ("name", Json.Str tool_name); ("version", Json.Str version) ] );
+      ("reports", Json.Arr (List.map report_to_json reports));
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Num (float_of_int errors));
+            ("warnings", Json.Num (float_of_int warnings));
+            ("infos", Json.Num (float_of_int infos));
+          ] );
+    ]
+
+(* SARIF 2.1.0 ------------------------------------------------------ *)
+
+let sarif_level = function
+  | Diag_code.Error -> "error"
+  | Diag_code.Warning -> "warning"
+  | Diag_code.Info -> "note"
+
+let rule_to_json (c : Diag_code.t) =
+  Json.Obj
+    [
+      ("id", Json.Str c.Diag_code.code);
+      ( "shortDescription",
+        Json.Obj [ ("text", Json.Str c.Diag_code.summary) ] );
+      ( "defaultConfiguration",
+        Json.Obj [ ("level", Json.Str (sarif_level c.Diag_code.severity)) ] );
+    ]
+
+let result_to_json ~label (d : Diagnostic.t) =
+  let location =
+    match d.Diagnostic.location with
+    | Diagnostic.Job { path; index } ->
+        Json.Obj
+          ([
+             ( "physicalLocation",
+               Json.Obj
+                 [
+                   ( "artifactLocation",
+                     Json.Obj [ ("uri", Json.Str path) ] );
+                 ] );
+           ]
+          @
+          match index with
+          | None -> []
+          | Some i ->
+              [
+                ( "logicalLocations",
+                  Json.Arr
+                    [
+                      Json.Obj
+                        [
+                          ( "fullyQualifiedName",
+                            Json.Str (Printf.sprintf "job/%d" i) );
+                        ];
+                    ] );
+              ])
+    | loc ->
+        Json.Obj
+          [
+            ( "logicalLocations",
+              Json.Arr
+                [
+                  Json.Obj
+                    [
+                      ( "fullyQualifiedName",
+                        Json.Str
+                          (label ^ "/" ^ Diagnostic.location_path loc) );
+                    ];
+                ] );
+          ]
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.Str d.Diagnostic.code.Diag_code.code);
+      ("level", Json.Str (sarif_level d.Diagnostic.severity));
+      ("message", Json.Obj [ ("text", Json.Str d.Diagnostic.message) ]);
+      ("locations", Json.Arr [ location ]);
+    ]
+
+let sarif ~version reports =
+  let results =
+    List.concat_map
+      (fun (r : Engine.report) ->
+        List.map (result_to_json ~label:r.Engine.label) r.Engine.diagnostics)
+      reports
+  in
+  Json.Obj
+    [
+      ( "$schema",
+        Json.Str
+          "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json"
+      );
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.Str tool_name);
+                            ("version", Json.Str version);
+                            ( "informationUri",
+                              Json.Str
+                                "https://github.com/noc-deadlock-removal" );
+                            ( "rules",
+                              Json.Arr (List.map rule_to_json Diag_code.all) );
+                          ] );
+                    ] );
+                ("results", Json.Arr results);
+              ];
+          ] );
+    ]

@@ -1,0 +1,17 @@
+(** Lint output renderers: human text, machine JSON ([noc-lint/1]) and
+    SARIF 2.1.0 (single run, rules = the whole {!Noc_model.Diag_code}
+    table, one result per diagnostic). *)
+
+val tool_name : string
+(** ["noc_tool lint"], the SARIF driver name. *)
+
+val text : Format.formatter -> Engine.report list -> unit
+(** Per-target findings plus a one-line totals summary. *)
+
+val json : version:string -> Engine.report list -> Noc_json.Json.t
+(** The [noc-lint/1] document: tool, per-target reports, totals. *)
+
+val sarif : version:string -> Engine.report list -> Noc_json.Json.t
+(** A SARIF 2.1.0 log.  Network-element findings become logical
+    locations ([<target>/<element-path>]); job-file findings carry the
+    file as a physical artifact location. *)

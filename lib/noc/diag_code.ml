@@ -1,0 +1,191 @@
+(* The one shared table of stable diagnostic codes.  It lives in
+   noc_model — below every layer that emits diagnostics — so the
+   validator, the static-analysis passes and the service's job vetting
+   all name their findings from a single place, and no code string is
+   ever duplicated at a use site. *)
+
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+let severity_at_least ~floor s = severity_rank s >= severity_rank floor
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+
+type t = { code : string; severity : severity; summary : string }
+
+(* Route well-formedness (pass: routes). *)
+let route_missing =
+  {
+    code = "NOC-ROUTE-001";
+    severity = Error;
+    summary = "flow between distinct switches has no route";
+  }
+
+let route_broken =
+  {
+    code = "NOC-ROUTE-002";
+    severity = Error;
+    summary = "route does not follow the topology (endpoints or continuity)";
+  }
+
+let route_bad_vc =
+  {
+    code = "NOC-ROUTE-003";
+    severity = Error;
+    summary = "route uses a VC index outside the link's VC count";
+  }
+
+let route_revisit =
+  {
+    code = "NOC-ROUTE-004";
+    severity = Error;
+    summary = "route revisits a channel (routes must be simple)";
+  }
+
+(* Topology shape (pass: connectivity). *)
+let topo_disconnected =
+  {
+    code = "NOC-TOPO-001";
+    severity = Error;
+    summary = "topology is not (weakly) connected";
+  }
+
+let topo_isolated_switch =
+  {
+    code = "NOC-TOPO-002";
+    severity = Warning;
+    summary = "switch has no attached links";
+  }
+
+(* Dead hardware (passes: dead-channels, dead-vcs). *)
+let chan_dead_link =
+  {
+    code = "NOC-CHAN-001";
+    severity = Warning;
+    summary = "no route crosses any VC of the link (dead channel)";
+  }
+
+let vc_dead =
+  {
+    code = "NOC-VC-001";
+    severity = Warning;
+    summary = "VC is allocated but no route uses it (dead VC)";
+  }
+
+(* Deadlock structure (passes: cdg-cycle, certificate). *)
+let cycle_witness =
+  {
+    code = "NOC-CYCLE-001";
+    severity = Warning;
+    summary = "channel dependency graph has a cycle (design can deadlock)";
+  }
+
+let cert_numbering_rejected =
+  {
+    code = "NOC-CERT-001";
+    severity = Error;
+    summary = "certificate numbering rejected by the independent recheck";
+  }
+
+(* Escape-channel coverage for the Duato baseline (pass: escape). *)
+let escape_disconnected =
+  {
+    code = "NOC-ESC-001";
+    severity = Warning;
+    summary = "VC0 escape set is not connected for the static routing function";
+  }
+
+let escape_cyclic =
+  {
+    code = "NOC-ESC-002";
+    severity = Warning;
+    summary = "extended dependency graph of the VC0 escape set is cyclic";
+  }
+
+(* Bandwidth feasibility (pass: bandwidth). *)
+let bw_oversubscribed =
+  {
+    code = "NOC-BW-001";
+    severity = Warning;
+    summary = "link load exceeds its capacity (oversubscribed)";
+  }
+
+let bw_near_saturation =
+  {
+    code = "NOC-BW-002";
+    severity = Info;
+    summary = "link load above 90% of its capacity";
+  }
+
+(* Job files (pass: jobs, in the service layer). *)
+let job_file_unparsable =
+  {
+    code = "NOC-JOB-001";
+    severity = Error;
+    summary = "job file is not valid JSON or has the wrong schema tag";
+  }
+
+let job_malformed =
+  {
+    code = "NOC-JOB-002";
+    severity = Error;
+    summary = "job entry is malformed";
+  }
+
+let job_duplicate =
+  {
+    code = "NOC-JOB-003";
+    severity = Warning;
+    summary = "job file repeats a job (identical content hash)";
+  }
+
+let job_bad_design =
+  {
+    code = "NOC-JOB-004";
+    severity = Error;
+    summary = "job names an unknown benchmark or an impossible switch count";
+  }
+
+let job_hash_unstable =
+  {
+    code = "NOC-JOB-005";
+    severity = Error;
+    summary = "canonical encoding round-trip changes the job's content hash";
+  }
+
+let all =
+  [
+    route_missing;
+    route_broken;
+    route_bad_vc;
+    route_revisit;
+    topo_disconnected;
+    topo_isolated_switch;
+    chan_dead_link;
+    vc_dead;
+    cycle_witness;
+    cert_numbering_rejected;
+    escape_disconnected;
+    escape_cyclic;
+    bw_oversubscribed;
+    bw_near_saturation;
+    job_file_unparsable;
+    job_malformed;
+    job_duplicate;
+    job_bad_design;
+    job_hash_unstable;
+  ]
+
+let find code = List.find_opt (fun t -> String.equal t.code code) all
+let pp ppf t = Format.fprintf ppf "%s [%a]" t.code pp_severity t.severity

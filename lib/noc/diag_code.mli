@@ -1,0 +1,75 @@
+(** The shared table of stable diagnostic codes.
+
+    Every machine-readable finding in the toolchain — {!Validate}
+    issues, the [noc_analysis] lint passes, the service's job vetting —
+    carries one of these codes.  Codes are stable identifiers of the
+    form [NOC-<AREA>-<NNN>]: once published they never change meaning,
+    new findings get new numbers, and docs/ANALYSIS.md documents each
+    one.  Keeping the table here, below every emitting layer, is what
+    guarantees a single source of truth (no duplicated strings). *)
+
+type severity = Error | Warning | Info
+
+val severity_rank : severity -> int
+(** [Error] = 2, [Warning] = 1, [Info] = 0. *)
+
+val severity_at_least : floor:severity -> severity -> bool
+(** [true] iff the severity is at least as severe as [floor]. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val pp_severity : Format.formatter -> severity -> unit
+
+type t = {
+  code : string;  (** Stable id, e.g. ["NOC-ROUTE-003"]. *)
+  severity : severity;  (** Default severity of findings with this code. *)
+  summary : string;  (** One-line description for catalogs. *)
+}
+
+(** {1 Route well-formedness} *)
+
+val route_missing : t
+val route_broken : t
+val route_bad_vc : t
+val route_revisit : t
+
+(** {1 Topology shape} *)
+
+val topo_disconnected : t
+val topo_isolated_switch : t
+
+(** {1 Dead hardware} *)
+
+val chan_dead_link : t
+val vc_dead : t
+
+(** {1 Deadlock structure} *)
+
+val cycle_witness : t
+val cert_numbering_rejected : t
+
+(** {1 Escape-channel coverage (Duato baseline)} *)
+
+val escape_disconnected : t
+val escape_cyclic : t
+
+(** {1 Bandwidth feasibility} *)
+
+val bw_oversubscribed : t
+val bw_near_saturation : t
+
+(** {1 Job files (noc-jobs/1)} *)
+
+val job_file_unparsable : t
+val job_malformed : t
+val job_duplicate : t
+val job_bad_design : t
+val job_hash_unstable : t
+
+val all : t list
+(** Every code, catalog order. *)
+
+val find : string -> t option
+(** Lookup by code string. *)
+
+val pp : Format.formatter -> t -> unit

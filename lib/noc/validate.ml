@@ -1,16 +1,30 @@
-type issue = { flow : Ids.Flow.t option; message : string }
+type issue = {
+  flow : Ids.Flow.t option;
+  code : Diag_code.t;
+  message : string;
+}
 
 let check net =
   let topo = Network.topology net in
   let check_flow (f : Traffic.flow) =
     let src, dst = Network.endpoints net f.Traffic.id in
     let r = Network.route net f.Traffic.id in
-    if r = [] && not (Ids.Switch.equal src dst) then
-      Some { flow = Some f.Traffic.id; message = "flow has no route" }
-    else
-      match Route.check topo ~src ~dst r with
-      | Ok () -> None
-      | Error message -> Some { flow = Some f.Traffic.id; message }
+    match Route.check_detailed topo ~src ~dst r with
+    | Ok () -> None
+    | Error (Route.Missing_route _) ->
+        Some
+          {
+            flow = Some f.Traffic.id;
+            code = Diag_code.route_missing;
+            message = "flow has no route";
+          }
+    | Error e ->
+        Some
+          {
+            flow = Some f.Traffic.id;
+            code = Route.error_code e;
+            message = Route.error_message e;
+          }
   in
   List.filter_map check_flow (Traffic.flows (Network.traffic net))
 
@@ -51,5 +65,7 @@ let switch_paths_equivalent ~before ~after =
 
 let pp_issue ppf i =
   match i.flow with
-  | Some f -> Format.fprintf ppf "%a: %s" Ids.Flow.pp f i.message
-  | None -> Format.pp_print_string ppf i.message
+  | Some f ->
+      Format.fprintf ppf "%s %a: %s" i.code.Diag_code.code Ids.Flow.pp f
+        i.message
+  | None -> Format.fprintf ppf "%s %s" i.code.Diag_code.code i.message

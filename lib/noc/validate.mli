@@ -3,7 +3,11 @@
     well-formed design that routes every flow) and heavily exercised by
     the property-based tests. *)
 
-type issue = { flow : Ids.Flow.t option; message : string }
+type issue = {
+  flow : Ids.Flow.t option;
+  code : Diag_code.t;  (** Stable diagnostic code from the shared table. *)
+  message : string;
+}
 
 val check : Network.t -> issue list
 (** All violations found: per-flow route problems (via {!Route.check})

@@ -12,6 +12,7 @@ type config = {
   telemetry : Telemetry.sink;
   timeout_ms : float option;
   fail_fast : bool;
+  lint : bool;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     telemetry = Telemetry.null;
     timeout_ms = None;
     fail_fast = false;
+    lint = true;
   }
 
 type job_result = {
@@ -59,6 +61,17 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let t0 = Unix.gettimeofday () in
+  (* The lint gate: error-level static findings keep a job out of the
+     pool entirely.  Vetting happens here, in the submitting domain, so
+     a rejected job never occupies a worker. *)
+  let vetoed =
+    if config.lint then
+      Array.map
+        (fun job ->
+          match Lint.vet_job job with Ok () -> None | Error msg -> Some msg)
+        jobs
+    else Array.make n None
+  in
   config.telemetry.Telemetry.emit
     (Telemetry.batch_started ~jobs:n ~domains:config.domains
        ~cache_capacity:
@@ -128,13 +141,25 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
       record index { index; job; outcome; cache_hit }
     end
   in
+  (* A vetoed job is finished on the spot: failed outcome, telemetry,
+     fail-fast semantics — but no worker ever sees it. *)
+  let reject index msg =
+    let job = jobs.(index) in
+    let outcome = Outcome.failed ~wall_ms:0. msg in
+    if config.fail_fast then Atomic.set cancelled true;
+    config.telemetry.Telemetry.emit
+      (Telemetry.job_finished ~index ~job ~outcome ~cache_hit:false);
+    record index { index; job; outcome; cache_hit = false }
+  in
   (if config.domains = 1 then
      (* Sequential arm: no domain is spawned at all — this is the
         reference trajectory the differential tests compare against. *)
      for index = 0 to n - 1 do
        config.telemetry.Telemetry.emit
          (Telemetry.job_submitted ~index ~job:jobs.(index) ~queue_depth:0);
-       process index
+       match vetoed.(index) with
+       | Some msg -> reject index msg
+       | None -> process index
      done
    else
      Noc_pool.Pool.with_pool ~domains:config.domains (fun pool ->
@@ -142,7 +167,9 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
            config.telemetry.Telemetry.emit
              (Telemetry.job_submitted ~index ~job:jobs.(index)
                 ~queue_depth:(Noc_pool.Pool.queue_depth pool));
-           Noc_pool.Pool.submit pool (fun () -> process index)
+           match vetoed.(index) with
+           | Some msg -> reject index msg
+           | None -> Noc_pool.Pool.submit pool (fun () -> process index)
          done;
          Mutex.lock mutex;
          while !remaining > 0 do

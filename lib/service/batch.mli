@@ -20,10 +20,16 @@ type config = {
   fail_fast : bool;
       (** After a failure or timeout, mark not-yet-started jobs
           [Cancelled] instead of running them. *)
+  lint : bool;
+      (** Vet every job with {!Lint.vet_job} at submission time; a job
+          with any error-level static finding is reported as [Failed]
+          ("rejected by lint: ...") without ever reaching a worker
+          domain. *)
 }
 
 val default_config : config
-(** 1 domain, no cache, null telemetry, no timeout, no fail-fast. *)
+(** 1 domain, no cache, null telemetry, no timeout, no fail-fast,
+    lint on. *)
 
 type job_result = {
   index : int;

@@ -23,19 +23,29 @@ A structurally valid file with a broken job:
   error: badjob.json: job 0: design: missing integer field "switches"
   [1]
 
-A job that fails at run time is reported, and the batch exits 2:
+A job naming an unknown benchmark is rejected by the submission-time
+lint gate (it never reaches a worker), and the batch exits 2:
 
   $ cat > failing.json <<'EOF'
   > {"schema": "noc-jobs/1",
   >  "jobs": [{"design": {"benchmark": "nope", "switches": 3}, "method": "removal"}]}
   > EOF
   $ noc_tool batch failing.json | sed -E 's/ +[0-9.]+ ms/ <ms>/g'
+  [0] FAILED    removal nope@3 <ms>  rejected by lint: NOC-JOB-004 unknown benchmark "nope" (try: D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd)
+  
+  1 job on 1 domain in <ms>: 0 ok, 1 failed, 0 timed out, 0 cancelled, 0 cache hits
+
+
+  $ noc_tool batch failing.json > /dev/null
+  [2]
+
+With --no-lint the same job reaches the runner and fails there instead:
+
+  $ noc_tool batch failing.json --no-lint | sed -E 's/ +[0-9.]+ ms/ <ms>/g'
   [0] FAILED    removal nope@3 <ms>  unknown benchmark "nope" (try: D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd)
   
   1 job on 1 domain in <ms>: 0 ok, 1 failed, 0 timed out, 0 cancelled, 0 cache hits
 
-  $ noc_tool batch failing.json > /dev/null
-  [2]
 
 A design file that does not exist:
 

@@ -1,0 +1,158 @@
+The lint subcommand: the multi-pass static analyzer with stable codes.
+
+The paper's running example as a design file: four switches in a ring,
+one VC per link, and the four flows whose CDG has exactly one cycle.
+
+  $ cat > ring.noc <<'EOF'
+  > noc-design 1
+  > switches 4
+  > cores 4
+  > link 0 0 1 1
+  > link 1 1 2 1
+  > link 2 2 3 1
+  > link 3 3 0 1
+  > core 0 0
+  > core 1 1
+  > core 2 2
+  > core 3 3
+  > flow 0 0 3 100
+  > flow 1 2 0 100
+  > flow 2 3 1 100
+  > flow 3 0 2 100
+  > route 0 0:0 1:0 2:0
+  > route 1 2:0 3:0
+  > route 2 3:0 0:0
+  > route 3 0:0 1:0
+  > EOF
+
+The deadlock potential is reported as warnings (the removal tool is
+the fix, not a design error), so the default error-level gate passes:
+
+  $ noc_tool lint ring.noc
+  ring.noc: 2 findings
+    NOC-CYCLE-001 warning channel/0.0: CDG cycle of 4 channels: L0 -> L1 -> L2 -> L3 (design can deadlock) (fix: run `noc_tool remove` to break the cycles)
+    NOC-ESC-002 warning channel/0.0: extended CDG of the VC0 escape set is cyclic: L0 -> L1 -> L2 -> L3 (fix: run `noc_tool remove` to break the cycles)
+  1 target: 0 errors, 2 warnings, 0 info
+
+Tightening the gate to warnings fails the same report:
+
+  $ noc_tool lint ring.noc --fail-on=warning -o report.txt
+  [2]
+
+The bandwidth pass notes near-saturated links at info severity when
+the capacity is tight (L0 carries three 100 MB/s flows):
+
+  $ noc_tool lint ring.noc --capacity 320
+  ring.noc: 3 findings
+    NOC-CYCLE-001 warning channel/0.0: CDG cycle of 4 channels: L0 -> L1 -> L2 -> L3 (design can deadlock) (fix: run `noc_tool remove` to break the cycles)
+    NOC-ESC-002 warning channel/0.0: extended CDG of the VC0 escape set is cyclic: L0 -> L1 -> L2 -> L3 (fix: run `noc_tool remove` to break the cycles)
+    NOC-BW-002 info link/0: link L0 is at 94% of its 320 MB/s capacity
+  1 target: 0 errors, 2 warnings, 1 info
+
+Machine output is the noc-lint/1 JSON document:
+
+  $ noc_tool lint ring.noc --format=json
+  {
+    "schema": "noc-lint/1",
+    "tool": {
+      "name": "noc_tool lint",
+      "version": "1.0.0"
+    },
+    "reports": [
+      {
+        "target": "ring.noc",
+        "passes": [
+          "routes",
+          "connectivity",
+          "dead-channels",
+          "dead-vcs",
+          "cdg-cycle",
+          "certificate",
+          "escape",
+          "bandwidth"
+        ],
+        "diagnostics": [
+          {
+            "code": "NOC-CYCLE-001",
+            "severity": "warning",
+            "location": "channel/0.0",
+            "message": "CDG cycle of 4 channels: L0 -> L1 -> L2 -> L3 (design can deadlock)",
+            "fix": "run `noc_tool remove` to break the cycles"
+          },
+          {
+            "code": "NOC-ESC-002",
+            "severity": "warning",
+            "location": "channel/0.0",
+            "message": "extended CDG of the VC0 escape set is cyclic: L0 -> L1 -> L2 -> L3",
+            "fix": "run `noc_tool remove` to break the cycles"
+          }
+        ]
+      }
+    ],
+    "summary": {
+      "errors": 0,
+      "warnings": 2,
+      "infos": 0
+    }
+  }
+
+A design whose routes are structurally broken does not even load: the
+loader rejects it citing the same stable code, and an unusable input
+exits 1 (error-level findings on loadable targets exit 2, below):
+
+  $ sed 's/route 0 0:0/route 0 0:5/' ring.noc > broken.noc
+  $ noc_tool lint broken.noc
+  error: broken.noc: invalid design: NOC-ROUTE-003 F0: channel L0'5 uses VC 5 but link has only 1
+  [1]
+
+Job files are recognized by content and linted with the NOC-JOB pass;
+the shared fixture's third job repeats its first:
+
+  $ noc_tool lint jobs.json
+  jobs.json: 1 finding
+    NOC-JOB-003 warning jobs.json#2: job 2 repeats job 0 (hash e3f92e46); the second run will only exercise the cache (fix: drop the duplicate entry)
+  1 target: 0 errors, 1 warning, 0 info
+
+  $ noc_tool lint jobs.json --fail-on=warning -o report.txt
+  [2]
+
+SARIF output: a single run whose rules table is the whole published
+catalog, one result per finding:
+
+  $ noc_tool lint ring.noc jobs.json --format=sarif -o lint.sarif
+  $ grep -o '"version": "2.1.0"' lint.sarif
+  "version": "2.1.0"
+  $ grep -c '"id": "NOC-' lint.sarif
+  19
+  $ grep -c '"ruleId"' lint.sarif
+  3
+
+Unusable inputs have stable codes too — a file that is not JSON (and
+not a design) is a NOC-JOB-001 error:
+
+  $ echo 'not json' > bad.json
+  $ noc_tool lint bad.json
+  bad.json: 1 finding
+    NOC-JOB-001 error bad.json: expected null at offset 0
+  1 target: 1 error, 0 warnings, 0 info
+  [2]
+
+A file that is not there at all is a plain CLI error:
+
+  $ noc_tool lint missing.json
+  error: cannot read missing.json: missing.json: No such file or directory
+  [1]
+
+With no files the named benchmark is synthesized and linted; the
+registry designs are all clean at error level:
+
+  $ noc_tool lint -b D26_media -s 8
+  D26_media@8: clean
+  1 target: 0 errors, 0 warnings, 0 info
+
+The full-registry job file that CI's race-detection smoke batches is
+itself lint-clean — the same gate Batch applies before the pool:
+
+  $ noc_tool lint registry_jobs.json
+  registry_jobs.json: clean
+  1 target: 0 errors, 0 warnings, 0 info
