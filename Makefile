@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt lint clean-tree bench bench-gate ci clean
+.PHONY: all build test fmt lint trace clean-tree bench bench-gate ci clean
 
 all: build
 
@@ -31,6 +31,22 @@ lint: build
 	  --format=json > /dev/null
 	$(DUNE) exec bin/noc_tool.exe -- lint --all-benchmarks \
 	  --format=sarif -o lint.sarif
+
+# The tracing smoke test: a Chrome trace must be parseable JSON with
+# balanced begin/end events, and a generated noc-trace/1 stream must
+# lint clean (NOC-TRC-*).  Writes trace.json (gitignored).
+trace: build
+	$(DUNE) exec bin/noc_tool.exe -- trace -b D36_8 --format chrome -o trace.json
+	@b="$$(grep -c '"ph": "B"' trace.json)"; \
+	e="$$(grep -c '"ph": "E"' trace.json)"; \
+	if [ "$$b" -eq 0 ] || [ "$$b" -ne "$$e" ]; then \
+	  echo "trace: unbalanced span events ($$b begin / $$e end)"; \
+	  exit 1; \
+	fi; \
+	echo "trace: $$b spans, begin/end balanced"
+	$(DUNE) exec bin/noc_tool.exe -- trace -b D36_8 --format jsonl -o trace.jsonl
+	$(DUNE) exec bin/noc_tool.exe -- lint trace.jsonl
+	@rm -f trace.jsonl
 
 clean-tree:
 	@if git ls-files _build | grep -q .; then \
@@ -60,8 +76,8 @@ bench-gate: bench
 	$(DUNE) exec bench/check_regression.exe -- \
 	  bench/baseline/BENCH_service.json BENCH_service.json
 
-ci: build test fmt lint clean-tree bench-gate
+ci: build test fmt lint trace clean-tree bench-gate
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_removal.json BENCH_service.json lint.sarif
+	rm -f BENCH_removal.json BENCH_service.json lint.sarif trace.json trace.jsonl

@@ -355,6 +355,19 @@ let time_min_ms reps base f =
   done;
   (1000. *. !best, Option.get !result)
 
+(* Per-phase attribution: one extra run of the incremental arm under
+   the span tracer, on its own copy, after the timing arms — so the
+   measured numbers above are from untraced runs and the phase shares
+   come from the very same algorithm trajectory (it is deterministic). *)
+let phase_attribution base =
+  let collector = Noc_obs.Trace.create () in
+  Noc_obs.Trace.install collector;
+  let net = Noc_model.Network.copy base in
+  ignore
+    (Fun.protect ~finally:Noc_obs.Trace.uninstall (fun () ->
+         Noc_deadlock.Removal.run net));
+  Noc_obs.Export.phase_totals_ms collector
+
 let removal_entries () =
   let points =
     [
@@ -394,6 +407,7 @@ let removal_entries () =
             vcs_added = inc.Noc_deadlock.Removal.vcs_added;
             incremental_ms;
             rebuild_ms;
+            phases = phase_attribution base;
           })
         switch_counts)
     points

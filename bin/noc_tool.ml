@@ -98,6 +98,77 @@ let maybe_save save net =
       | () -> Format.printf "design written to %s@." path
       | exception Sys_error e -> or_die (Error e))
 
+(* Tracing ----------------------------------------------------------- *)
+
+type trace_format = Chrome | Jsonl | Summary
+
+let trace_format_arg =
+  let doc =
+    "Trace output format: $(b,chrome) (trace-event JSON, loadable in \
+     Perfetto or chrome://tracing), $(b,jsonl) (the noc-trace/1 stream, \
+     lintable with $(b,noc_tool lint)), or $(b,summary) (per-phase \
+     wall-time table)."
+  in
+  Arg.(value
+       & opt
+           (enum [ ("chrome", Chrome); ("jsonl", Jsonl); ("summary", Summary) ])
+           Chrome
+       & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let write_trace ~format ~output collector =
+  let metrics = Noc_obs.Metrics.snapshot () in
+  let with_out f =
+    match output with
+    | None -> f stdout
+    | Some path -> (
+        match open_out path with
+        | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+        | exception Sys_error e -> or_die (Error e))
+  in
+  match format with
+  | Summary ->
+      with_out (fun oc ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Format.fprintf ppf "%a@."
+            (Noc_obs.Export.pp_summary ~metrics)
+            collector)
+  | Chrome ->
+      with_out (fun oc ->
+          output_string oc
+            (Noc_json.Json.to_string_pretty
+               (Noc_obs.Export.chrome ~metrics collector));
+          output_char oc '\n')
+  | Jsonl ->
+      with_out (fun oc ->
+          List.iter
+            (fun l ->
+              output_string oc (Noc_obs.Sink.line l);
+              output_char oc '\n')
+            (Noc_obs.Export.jsonl ~metrics collector))
+
+let trace_file_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a span trace of this run and write it to $(docv) as \
+                 a noc-trace/1 JSONL stream (lintable with \
+                 $(b,noc_tool lint)).")
+
+(* [--trace FILE] support for existing commands: collect spans around
+   [f] and drop a noc-trace/1 stream at [path].  Metrics are reset so
+   the stream describes this run alone. *)
+let with_tracing trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let collector = Noc_obs.Trace.create () in
+      Noc_obs.Metrics.reset ();
+      Noc_obs.Trace.install collector;
+      let result = Fun.protect ~finally:Noc_obs.Trace.uninstall f in
+      write_trace ~format:Jsonl ~output:(Some path) collector;
+      Format.printf "trace written to %s@." path;
+      result
+
 (* Commands --------------------------------------------------------- *)
 
 let list_cmd =
@@ -203,14 +274,15 @@ let validate_cdg_arg =
 
 let remove_cmd =
   let run () name n_switches degree heuristic directions resource reroute
-      balance no_incremental validate_cdg input save =
+      balance no_incremental validate_cdg trace input save =
     let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
     if reroute then
       Format.printf "%a@.@." Noc_deadlock.Reroute.pp_report
         (Noc_deadlock.Reroute.run net);
     let report =
-      Noc_deadlock.Removal.run ~heuristic ~directions ~resource
-        ~incremental:(not no_incremental) ~validate:validate_cdg net
+      with_tracing trace (fun () ->
+          Noc_deadlock.Removal.run ~heuristic ~directions ~resource
+            ~incremental:(not no_incremental) ~validate:validate_cdg net)
     in
     Format.printf "%a@.@." Noc_deadlock.Removal.pp_report report;
     if balance && report.Noc_deadlock.Removal.deadlock_free then
@@ -226,8 +298,8 @@ let remove_cmd =
     (Cmd.info "remove" ~doc:"Remove deadlocks from a design, verify, and price")
     Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
           $ heuristic_arg $ directions_arg $ resource_arg $ reroute_first_arg
-          $ balance_arg $ no_incremental_arg $ validate_cdg_arg $ input_arg
-          $ save_arg)
+          $ balance_arg $ no_incremental_arg $ validate_cdg_arg
+          $ trace_file_arg $ input_arg $ save_arg)
 
 let optimal_cmd =
   let budget_arg =
@@ -464,10 +536,10 @@ let lint_cmd =
   let files_arg =
     Arg.(value & pos_all string []
          & info [] ~docv:"FILE"
-             ~doc:"Inputs to lint: noc-design files and/or noc-jobs/1 job \
-                   files (classified by content).  With no $(docv), the \
-                   benchmark named by $(b,--benchmark) is synthesized and \
-                   linted.")
+             ~doc:"Inputs to lint: noc-design files, noc-jobs/1 job files \
+                   and/or noc-trace/1 trace streams (classified by \
+                   content).  With no $(docv), the benchmark named by \
+                   $(b,--benchmark) is synthesized and linted.")
   in
   let format_arg =
     let choice = Arg.enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ] in
@@ -528,6 +600,19 @@ let lint_cmd =
                 && String.sub (String.trim l) 0 10 = "noc-design"
     | None -> false
   in
+  (* Trace streams announce themselves on the first line; a substring
+     check (rather than a JSON parse) keeps corrupted trace files
+     classified as traces, so the NOC-TRC pass gets to report them. *)
+  let is_trace_text text =
+    let first = match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    let pat = "noc-trace/" in
+    let n = String.length first and m = String.length pat in
+    let rec scan i = i + m <= n && (String.sub first i m = pat || scan (i + 1)) in
+    scan 0
+  in
   let run () files format fail_on all_benchmarks name n_switches degree
       capacity output =
     let passes = Noc_service.Lint.all_passes ~capacity_mbps:capacity () in
@@ -562,6 +647,8 @@ let lint_cmd =
               | Ok net -> (path, Noc_analysis.Pass.Design net)
               | Error e ->
                   or_die (Error (Printf.sprintf "%s: %s" path e))
+            else if is_trace_text text then
+              (path, Noc_analysis.Pass.Trace_file { path; text })
             else (path, Noc_analysis.Pass.Job_file { path; text }))
           files
     in
@@ -695,7 +782,7 @@ let batch_cmd =
       (if detail = "" then "" else "  " ^ detail)
   in
   let run () jobs_file domains telemetry cache_size timeout_ms fail_fast
-      no_lint =
+      no_lint trace =
     let open Noc_service in
     if domains < 1 then or_die (Error "--domains must be at least 1");
     if cache_size < 0 then or_die (Error "--cache-size must be >= 0");
@@ -730,7 +817,10 @@ let batch_cmd =
         lint = not no_lint;
       }
     in
-    let _, summary = Batch.run ~on_result:print_result config jobs in
+    let _, summary =
+      with_tracing trace (fun () ->
+          Batch.run ~on_result:print_result config jobs)
+    in
     Format.printf "@.%a@." Batch.pp_summary summary;
     if summary.Batch.succeeded <> summary.Batch.total then exit 2
   in
@@ -748,7 +838,55 @@ let batch_cmd =
            `P "Exits 1 on an unusable job file, 2 when any job fails.";
          ])
     Term.(const run $ logs_term $ jobs_file_arg $ domains_arg $ telemetry_arg
-          $ cache_arg $ timeout_arg $ fail_fast_arg $ no_lint_arg)
+          $ cache_arg $ timeout_arg $ fail_fast_arg $ no_lint_arg
+          $ trace_file_arg)
+
+let trace_cmd =
+  let output_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let run () name n_switches degree format output input =
+    let net = or_die (obtain_network ~input ~name ~n_switches ~degree) in
+    let collector = Noc_obs.Trace.create () in
+    Noc_obs.Metrics.reset ();
+    Noc_obs.Trace.install collector;
+    let report =
+      Fun.protect ~finally:Noc_obs.Trace.uninstall (fun () ->
+          Noc_deadlock.Removal.run net)
+    in
+    write_trace ~format ~output collector;
+    match output with
+    | Some path ->
+        Format.printf "trace written to %s (%d iterations, %d VCs added)@."
+          path report.Noc_deadlock.Removal.iterations
+          report.Noc_deadlock.Removal.vcs_added
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run deadlock removal under the span tracer and export the trace"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Synthesizes (or loads) a design, runs the removal algorithm \
+              with tracing enabled, and exports the spans: one \
+              $(b,removal.iteration) span per broken cycle, carrying its \
+              cycle length, candidate-edge count, chosen direction, cost \
+              and VCs added, with the cycle search, cost tables, break and \
+              CDG update nested underneath.";
+           `P
+             "$(b,--format chrome) loads directly into Perfetto \
+              (ui.perfetto.dev) or chrome://tracing; $(b,--format jsonl) \
+              emits the noc-trace/1 stream checked by the NOC-TRC lint \
+              pass; $(b,--format summary) prints a per-phase wall-time \
+              table.";
+         ])
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ trace_format_arg $ output_arg $ input_arg)
 
 let example_cmd =
   let run () = Format.printf "%t@." Noc_experiments.Ring_example.narrate in
@@ -766,7 +904,7 @@ let () =
       [
         list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
         analyze_cmd; lint_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd;
-        compare_cmd; simulate_cmd; batch_cmd; example_cmd;
+        compare_cmd; simulate_cmd; batch_cmd; trace_cmd; example_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -7,6 +7,7 @@ type location =
   | Channel of Channel.t
   | Flow of Ids.Flow.t
   | Job of { path : string; index : int option }
+  | File of { path : string; line : int option }
 
 let location_path = function
   | Design -> "design"
@@ -20,6 +21,10 @@ let location_path = function
       match index with
       | None -> path
       | Some i -> Printf.sprintf "%s#%d" path i)
+  | File { path; line } -> (
+      match line with
+      | None -> path
+      | Some l -> Printf.sprintf "%s:%d" path l)
 
 type t = {
   code : Diag_code.t;

@@ -16,6 +16,9 @@ type location =
   | Flow of Ids.Flow.t
   | Job of { path : string; index : int option }
       (** A job file, optionally one job entry in it. *)
+  | File of { path : string; line : int option }
+      (** A plain file, optionally one (1-based) line in it — trace
+          streams and other non-design artefacts. *)
 
 val location_path : location -> string
 (** Stable element path, e.g. ["flow/3"], ["channel/5.1"],

@@ -3,8 +3,9 @@ open Noc_model
 type target =
   | Design of Network.t
   | Job_file of { path : string; text : string }
+  | Trace_file of { path : string; text : string }
 
-type scope = Design_scope | Job_scope
+type scope = Design_scope | Job_scope | Trace_scope
 
 type t = {
   name : string;
@@ -17,8 +18,13 @@ type t = {
 
 let applies pass target =
   match (pass.scope, target) with
-  | Design_scope, Design _ | Job_scope, Job_file _ -> true
-  | Design_scope, Job_file _ | Job_scope, Design _ -> false
+  | Design_scope, Design _ | Job_scope, Job_file _ | Trace_scope, Trace_file _
+    ->
+      true
+  | Design_scope, (Job_file _ | Trace_file _)
+  | Job_scope, (Design _ | Trace_file _)
+  | Trace_scope, (Design _ | Job_file _) ->
+      false
 
 let pp ppf p =
   Format.fprintf ppf "%s (%s-*, up to %a)" p.name p.prefix

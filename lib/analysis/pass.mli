@@ -11,8 +11,11 @@ type target =
   | Design of Network.t  (** A complete NoC design. *)
   | Job_file of { path : string; text : string }
       (** A noc-jobs/1 batch file, as raw text plus its display path. *)
+  | Trace_file of { path : string; text : string }
+      (** A noc-trace/1 span-trace stream, as raw text plus its display
+          path. *)
 
-type scope = Design_scope | Job_scope
+type scope = Design_scope | Job_scope | Trace_scope
 
 type t = {
   name : string;  (** Registry name, e.g. ["routes"]. *)

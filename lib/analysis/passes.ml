@@ -7,7 +7,7 @@ open Noc_model
 
 let design_only run = function
   | Pass.Design net -> run net
-  | Pass.Job_file _ -> []
+  | Pass.Job_file _ | Pass.Trace_file _ -> []
 
 (* Passes that interpret routes (CDG construction, escape coverage,
    bandwidth accounting) are only meaningful — and only safe — on

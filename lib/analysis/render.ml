@@ -117,6 +117,25 @@ let result_to_json ~label (d : Diagnostic.t) =
                         ];
                     ] );
               ])
+    | Diagnostic.File { path; line } ->
+        Json.Obj
+          [
+            ( "physicalLocation",
+              Json.Obj
+                ([
+                   ( "artifactLocation",
+                     Json.Obj [ ("uri", Json.Str path) ] );
+                 ]
+                @
+                match line with
+                | None -> []
+                | Some l ->
+                    [
+                      ( "region",
+                        Json.Obj [ ("startLine", Json.Num (float_of_int l)) ]
+                      );
+                    ]) );
+          ]
     | loc ->
         Json.Obj
           [

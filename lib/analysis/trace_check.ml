@@ -1,0 +1,186 @@
+(* The noc-trace/1 file pass: structural validation of an exported
+   span-trace stream.  The exporter upholds three invariants by
+   construction — a schema header, per-domain monotone timestamps, and
+   well-parenthesized span nesting — so any violation means the file
+   was truncated, hand-edited, or produced by a broken writer, and
+   downstream consumers (Perfetto conversion, phase attribution) would
+   silently mis-attribute time.  The pass re-checks all three from the
+   raw text alone. *)
+
+module Json = Noc_json.Json
+
+let schema = "noc-trace/1"
+
+let diag ~path ~line code msg =
+  Diagnostic.v code (Diagnostic.File { path; line = Some line }) msg
+
+(* One parsed span event; metric lines carry no domain and take no part
+   in the balance/monotonicity checks. *)
+type event =
+  | Span_begin of { name : string; ts : float; domain : int }
+  | Span_end of { name : string; ts : float; domain : int }
+  | Metric
+  | Other of string
+
+let classify_line json =
+  match Json.member "event" json with
+  | Some (Json.Str kind) -> (
+      let name () =
+        match Json.member "name" json with
+        | Some (Json.Str s) -> Ok s
+        | _ -> Error "missing \"name\""
+      in
+      let ts () =
+        match Json.member "ts" json with
+        | Some (Json.Num f) -> Ok f
+        | _ -> Error "missing numeric \"ts\""
+      in
+      let domain () =
+        match Json.member "domain" json with
+        | Some (Json.Num f) -> Ok (int_of_float f)
+        | _ -> Error "missing numeric \"domain\""
+      in
+      let span make =
+        match (name (), ts (), domain ()) with
+        | Ok name, Ok ts, Ok domain -> Ok (make ~name ~ts ~domain)
+        | (Error e, _, _ | _, Error e, _ | _, _, Error e) ->
+            Error (Printf.sprintf "%s event %s" kind e)
+      in
+      match kind with
+      | "span_begin" ->
+          span (fun ~name ~ts ~domain -> Span_begin { name; ts; domain })
+      | "span_end" ->
+          span (fun ~name ~ts ~domain -> Span_end { name; ts; domain })
+      | "metric" -> Ok Metric
+      | other -> Ok (Other other))
+  | Some _ | None -> Error "line has no \"event\" field"
+
+let check_header ~path line_no text =
+  match Json.of_string text with
+  | Error e ->
+      Error
+        (diag ~path ~line:line_no Noc_model.Diag_code.trace_unparsable
+           (Printf.sprintf "header line is not JSON: %s" e))
+  | Ok json -> (
+      match Json.member "schema" json with
+      | Some (Json.Str s) when String.equal s schema -> Ok ()
+      | Some (Json.Str s) ->
+          Error
+            (diag ~path ~line:line_no Noc_model.Diag_code.trace_unparsable
+               (Printf.sprintf "unsupported schema %S (want %S)" s schema))
+      | Some _ | None ->
+          Error
+            (diag ~path ~line:line_no Noc_model.Diag_code.trace_unparsable
+               "header line has no \"schema\" field"))
+
+let check ~path text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
+  in
+  match lines with
+  | [] ->
+      [
+        Diagnostic.v Noc_model.Diag_code.trace_unparsable
+          (Diagnostic.File { path; line = None })
+          "file is empty (a noc-trace/1 stream starts with a schema header)";
+      ]
+  | (header_no, header) :: body -> (
+      match check_header ~path header_no header with
+      | Error d -> [ d ]
+      | Ok () ->
+          let diags = ref [] in
+          let add d = diags := d :: !diags in
+          (* Per-domain open-span stack (for balance) and last
+             timestamp (for monotonicity); each entry on the stack
+             remembers its begin line for the report. *)
+          let stacks : (int, (string * int) list ref) Hashtbl.t =
+            Hashtbl.create 4
+          in
+          let last_ts : (int, float) Hashtbl.t = Hashtbl.create 4 in
+          let stack domain =
+            match Hashtbl.find_opt stacks domain with
+            | Some s -> s
+            | None ->
+                let s = ref [] in
+                Hashtbl.replace stacks domain s;
+                s
+          in
+          let check_ts line domain ts =
+            (match Hashtbl.find_opt last_ts domain with
+            | Some prev when ts < prev ->
+                add
+                  (diag ~path ~line Noc_model.Diag_code.trace_nonmonotonic
+                     (Printf.sprintf
+                        "domain %d timestamp goes backwards (%.0f after %.0f)"
+                        domain ts prev))
+            | Some _ | None -> ());
+            Hashtbl.replace last_ts domain ts
+          in
+          List.iter
+            (fun (line, text) ->
+              match Json.of_string text with
+              | Error e ->
+                  add
+                    (diag ~path ~line Noc_model.Diag_code.trace_unparsable
+                       (Printf.sprintf "line is not JSON: %s" e))
+              | Ok json -> (
+                  match classify_line json with
+                  | Error msg ->
+                      add
+                        (diag ~path ~line Noc_model.Diag_code.trace_unparsable
+                           msg)
+                  | Ok (Other _) | Ok Metric -> ()
+                  | Ok (Span_begin { name; ts; domain }) ->
+                      check_ts line domain ts;
+                      let s = stack domain in
+                      s := (name, line) :: !s
+                  | Ok (Span_end { name; ts; domain }) -> (
+                      check_ts line domain ts;
+                      let s = stack domain in
+                      match !s with
+                      | (top, _) :: rest when String.equal top name ->
+                          s := rest
+                      | (top, top_line) :: _ ->
+                          add
+                            (diag ~path ~line
+                               Noc_model.Diag_code.trace_unbalanced
+                               (Printf.sprintf
+                                  "span_end %S does not match the open span \
+                                   %S (begun at line %d) on domain %d"
+                                  name top top_line domain))
+                      | [] ->
+                          add
+                            (diag ~path ~line
+                               Noc_model.Diag_code.trace_unbalanced
+                               (Printf.sprintf
+                                  "span_end %S with no open span on domain %d"
+                                  name domain)))))
+            body;
+          Hashtbl.iter
+            (fun domain s ->
+              List.iter
+                (fun (name, line) ->
+                  add
+                    (diag ~path ~line Noc_model.Diag_code.trace_unbalanced
+                       (Printf.sprintf
+                          "span %S on domain %d is never closed" name domain)))
+                !s)
+            stacks;
+          List.rev !diags)
+
+let pass =
+  {
+    Pass.name = "traces";
+    prefix = "NOC-TRC";
+    scope = Pass.Trace_scope;
+    severity_floor = Noc_model.Diag_code.Error;
+    doc =
+      "noc-trace/1 streams parse, balance their spans, and keep per-domain \
+       timestamps monotone";
+    run =
+      (function
+      | Pass.Design _ | Pass.Job_file _ -> []
+      | Pass.Trace_file { path; text } -> check ~path text);
+  }

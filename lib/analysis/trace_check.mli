@@ -1,0 +1,14 @@
+(** The [noc-trace/1] trace-file pass ([NOC-TRC-001..003]).
+
+    Validates an exported span-trace stream from its raw text: the
+    schema header and line shape ([NOC-TRC-001], error), LIFO balance
+    of [span_begin]/[span_end] per domain ([NOC-TRC-002], error), and
+    per-domain timestamp monotonicity ([NOC-TRC-003], warning).  The
+    exporter guarantees all three by construction, so any finding
+    means truncation, hand-editing, or a broken writer. *)
+
+val check : path:string -> string -> Diagnostic.t list
+(** The pass's core, on raw file text; [path] only labels locations. *)
+
+val pass : Pass.t
+(** The pass, scoped to {!Pass.Trace_file} targets. *)

@@ -13,6 +13,13 @@ type change = {
 let apply_at ?(resource = Virtual_channel) net (table : Cost_table.t) col =
   let k = Array.length table.Cost_table.cycle in
   if col < 0 || col >= k then invalid_arg "Break_cycle.apply_at: bad column";
+  Noc_obs.Trace.with_span "break_cycle.apply"
+    ~attrs:
+      [
+        ("column", Noc_obs.Trace.Int col);
+        ("cost", Noc_obs.Trace.Int table.Cost_table.max_costs.(col));
+      ]
+  @@ fun _sp ->
   let topo = Network.topology net in
   let broken = Cost_table.dependency table col in
   (* One shared duplicate per original channel: the first flow that

@@ -102,6 +102,9 @@ let finish direction ~cycle ~flows ~routes ~k ~n_rows costs =
 
 let both net cycle_list =
   if cycle_list = [] then invalid_arg "Cost_table: empty cycle";
+  Noc_obs.Trace.with_span "cost_table.both"
+    ~attrs:[ ("cycle_len", Noc_obs.Trace.Int (List.length cycle_list)) ]
+  @@ fun _sp ->
   let cycle = Array.of_list cycle_list in
   let k = Array.length cycle in
   let col_of = Channel.Table.create (2 * k) in

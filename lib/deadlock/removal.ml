@@ -58,45 +58,103 @@ let hint_channels (change : Break_cycle.change) =
   let src, dst = change.broken in
   src :: dst :: change.added_channels
 
+module Trace = Noc_obs.Trace
+
+(* Incremental CDG maintenance versus full rebuilds is the perf story
+   of this module; the counters expose the split in every trace. *)
+let cdg_incremental = Noc_obs.Metrics.counter "removal.cdg_incremental"
+let cdg_rebuild = Noc_obs.Metrics.counter "removal.cdg_rebuild"
+let cycles_broken = Noc_obs.Metrics.counter "removal.cycles_broken"
+
+let direction_label = function
+  | Cost_table.Forward -> "forward"
+  | Cost_table.Backward -> "backward"
+
 let run ?(max_iterations = 10_000) ?(heuristic = Smallest_cycle_first)
     ?(directions = [ Cost_table.Forward; Cost_table.Backward ])
     ?(resource = Break_cycle.Virtual_channel) ?(incremental = true)
     ?(validate = false) net =
+  Trace.with_span "removal.run" @@ fun run_sp ->
   let before = Topology.total_vcs (Network.topology net) in
   let reference = not incremental in
+  let finish_run report =
+    Trace.add_attr run_sp "iterations" (Trace.Int report.iterations);
+    Trace.add_attr run_sp "vcs_added" (Trace.Int report.vcs_added);
+    Trace.add_attr run_sp "deadlock_free" (Trace.Bool report.deadlock_free);
+    report
+  in
+  (* One span per removal iteration, carrying the decision the paper's
+     Algorithm 1 makes there: cycle length, candidate edges priced,
+     chosen direction, its cost, and the VCs the break added.  The
+     recursion happens outside the span so iterations are siblings
+     under [removal.run], not a nest [max_iterations] deep. *)
+  let iteration iter cdg cycle =
+    Trace.with_span "removal.iteration"
+      ~attrs:
+        [
+          ("iter", Trace.Int (iter + 1));
+          ("cycle_len", Trace.Int (List.length cycle));
+        ]
+    @@ fun it_sp ->
+    let table =
+      Trace.with_span "removal.cost_tables" (fun _ ->
+          pick_table ~reference net directions cycle)
+    in
+    let change =
+      Trace.with_span "removal.break" (fun _ ->
+          Break_cycle.apply ~resource net table)
+    in
+    Noc_obs.Metrics.incr cycles_broken;
+    Trace.add_attr it_sp "candidate_edges"
+      (Trace.Int (Array.length table.Cost_table.max_costs));
+    Trace.add_attr it_sp "direction"
+      (Trace.Str (direction_label change.Break_cycle.direction));
+    Trace.add_attr it_sp "cost" (Trace.Int table.Cost_table.best_cost);
+    Trace.add_attr it_sp "vcs_added"
+      (Trace.Int (List.length change.Break_cycle.added_channels));
+    Logs.debug (fun m ->
+        m "removal: iteration %d, cycle length %d, %a" (iter + 1)
+          (List.length cycle) Break_cycle.pp_change change);
+    let cdg, hint =
+      Trace.with_span "removal.cdg_update" (fun _ ->
+          if incremental then begin
+            Noc_obs.Metrics.incr cdg_incremental;
+            Cdg.apply_change cdg (Break_cycle.cdg_change change);
+            if validate && not (Cdg.equal cdg (Cdg.build net)) then
+              failwith "Removal.run: incremental CDG diverged from fresh build";
+            (cdg, hint_channels change)
+          end
+          else begin
+            Noc_obs.Metrics.incr cdg_rebuild;
+            (Cdg.build net, [])
+          end)
+    in
+    (change, cdg, hint)
+  in
   let rec loop iter changes cdg hint =
-    match find_cycle ~hint ~reference heuristic cdg with
+    match
+      Trace.with_span "removal.find_cycle" (fun _ ->
+          find_cycle ~hint ~reference heuristic cdg)
+    with
     | None ->
-        {
-          iterations = iter;
-          vcs_added = Topology.total_vcs (Network.topology net) - before;
-          changes = List.rev changes;
-          deadlock_free = true;
-        }
-    | Some cycle ->
-        if iter >= max_iterations then
+        finish_run
           {
             iterations = iter;
             vcs_added = Topology.total_vcs (Network.topology net) - before;
             changes = List.rev changes;
-            deadlock_free = false;
+            deadlock_free = true;
           }
+    | Some cycle ->
+        if iter >= max_iterations then
+          finish_run
+            {
+              iterations = iter;
+              vcs_added = Topology.total_vcs (Network.topology net) - before;
+              changes = List.rev changes;
+              deadlock_free = false;
+            }
         else begin
-          let table = pick_table ~reference net directions cycle in
-          let change = Break_cycle.apply ~resource net table in
-          Logs.debug (fun m ->
-              m "removal: iteration %d, cycle length %d, %a" (iter + 1)
-                (List.length cycle) Break_cycle.pp_change change);
-          let cdg, hint =
-            if incremental then begin
-              Cdg.apply_change cdg (Break_cycle.cdg_change change);
-              if validate && not (Cdg.equal cdg (Cdg.build net)) then
-                failwith
-                  "Removal.run: incremental CDG diverged from fresh build";
-              (cdg, hint_channels change)
-            end
-            else (Cdg.build net, [])
-          in
+          let change, cdg, hint = iteration iter cdg cycle in
           loop (iter + 1) (change :: changes) cdg hint
         end
   in

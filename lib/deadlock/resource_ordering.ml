@@ -47,17 +47,26 @@ let apply_greedy_ordered net =
   !classes
 
 let apply ?(strategy = Greedy_ordered) net =
+  Noc_obs.Trace.with_span "resource_ordering.apply"
+    ~attrs:
+      [
+        ( "strategy",
+          Noc_obs.Trace.Str
+            (match strategy with
+            | Hop_index -> "hop-index"
+            | Greedy_ordered -> "greedy-ordered") );
+      ]
+  @@ fun sp ->
   let before = Topology.total_vcs (Network.topology net) in
   let classes_used =
     match strategy with
     | Hop_index -> apply_hop_index net
     | Greedy_ordered -> apply_greedy_ordered net
   in
-  {
-    strategy;
-    vcs_added = Topology.total_vcs (Network.topology net) - before;
-    classes_used;
-  }
+  let vcs_added = Topology.total_vcs (Network.topology net) - before in
+  Noc_obs.Trace.add_attr sp "vcs_added" (Noc_obs.Trace.Int vcs_added);
+  Noc_obs.Trace.add_attr sp "classes_used" (Noc_obs.Trace.Int classes_used);
+  { strategy; vcs_added; classes_used }
 
 let pp_report ppf r =
   let name =

@@ -21,6 +21,10 @@ type entry = {
   vcs_added : int;
   incremental_ms : float;
   rebuild_ms : float;
+  phases : (string * float) list;
+      (* Per-span-name wall ms from one traced run of the incremental
+         arm; [] when the producing harness did not trace (older
+         reports).  Attribution only — the gate never compares it. *)
 }
 
 let schema = "bench-removal/1"
@@ -54,13 +58,23 @@ let to_json entries =
   Buffer.add_string b "  \"entries\": [\n";
   List.iteri
     (fun i e ->
+      let phases =
+        if e.phases = [] then ""
+        else
+          Printf.sprintf ", \"phases\": {%s}"
+            (String.concat ", "
+               (List.map
+                  (fun (name, ms) ->
+                    Printf.sprintf "\"%s\": %.6f" (escape name) ms)
+                  e.phases))
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"benchmark\": \"%s\", \"n_switches\": %d, \"iterations\": \
             %d, \"vcs_added\": %d, \"incremental_ms\": %.6f, \"rebuild_ms\": \
-            %.6f}%s\n"
+            %.6f%s}%s\n"
            (escape e.benchmark) e.n_switches e.iterations e.vcs_added
-           e.incremental_ms e.rebuild_ms
+           e.incremental_ms e.rebuild_ms phases
            (if i = List.length entries - 1 then "" else ",")))
     entries;
   Buffer.add_string b "  ]\n}\n";
@@ -243,6 +257,18 @@ let of_json text =
                            int_of_float (as_num (field "vcs_added" item));
                          incremental_ms = as_num (field "incremental_ms" item);
                          rebuild_ms = as_num (field "rebuild_ms" item);
+                         (* Optional: absent in pre-tracing reports. *)
+                         phases =
+                           (match item with
+                           | Obj fields -> (
+                               match List.assoc_opt "phases" fields with
+                               | Some (Obj ps) ->
+                                   List.map (fun (k, v) -> (k, as_num v)) ps
+                               | Some _ ->
+                                   raise
+                                     (Parse_error "\"phases\" is not an object")
+                               | None -> [])
+                           | _ -> []);
                        })
                      items)
               with Parse_error msg -> Error msg)

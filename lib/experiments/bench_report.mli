@@ -18,6 +18,12 @@ type entry = {
   vcs_added : int;
   incremental_ms : float;
   rebuild_ms : float;
+  phases : (string * float) list;
+      (** Per-phase wall-time attribution (span name, total ms) from
+          one traced run of the incremental arm — [cdg.build],
+          [removal.find_cycle], [removal.cost_tables], ...  Empty when
+          the producing harness did not trace; the CI gate never
+          compares it (it is timing, hence machine-dependent). *)
 }
 
 val speedup : entry -> float

@@ -139,7 +139,14 @@ let insert_channels t channels =
   t.channel_of_vertex <- out;
   !first_changed
 
+(* Rebuild-vs-incremental is the central perf trade of the incremental
+   CDG work; the counters make the split visible in every trace. *)
+let builds_total = Noc_obs.Metrics.counter "cdg.builds"
+let applies_total = Noc_obs.Metrics.counter "cdg.apply_changes"
+
 let build net =
+  Noc_obs.Trace.with_span "cdg.build" @@ fun sp ->
+  Noc_obs.Metrics.incr builds_total;
   let topo = Network.topology net in
   let channels = Array.of_list (Topology.channels topo) in
   (* [Topology.channels] already yields [Channel.compare] order; the
@@ -169,9 +176,18 @@ let build net =
     }
   in
   refresh t;
+  Noc_obs.Trace.add_attr sp "channels" (Noc_obs.Trace.Int n);
   t
 
 let apply_change t { new_channels; reroutes } =
+  Noc_obs.Trace.with_span "cdg.apply_change"
+    ~attrs:
+      [
+        ("new_channels", Noc_obs.Trace.Int (List.length new_channels));
+        ("reroutes", Noc_obs.Trace.Int (List.length reroutes));
+      ]
+  @@ fun _sp ->
+  Noc_obs.Metrics.incr applies_total;
   (* Collect the dependencies whose contributor lists may change, and
      their keys as of now, before touching anything: [edge_order] can
      then be patched pair-by-pair instead of being rebuilt. *)

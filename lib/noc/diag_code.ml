@@ -164,6 +164,28 @@ let job_hash_unstable =
     summary = "canonical encoding round-trip changes the job's content hash";
   }
 
+(* Trace streams (pass: traces, in the service layer). *)
+let trace_unparsable =
+  {
+    code = "NOC-TRC-001";
+    severity = Error;
+    summary = "trace file is not a noc-trace/1 stream";
+  }
+
+let trace_unbalanced =
+  {
+    code = "NOC-TRC-002";
+    severity = Error;
+    summary = "span events are not balanced within a domain";
+  }
+
+let trace_nonmonotonic =
+  {
+    code = "NOC-TRC-003";
+    severity = Warning;
+    summary = "timestamps are not monotone within a domain";
+  }
+
 let all =
   [
     route_missing;
@@ -185,6 +207,9 @@ let all =
     job_duplicate;
     job_bad_design;
     job_hash_unstable;
+    trace_unparsable;
+    trace_unbalanced;
+    trace_nonmonotonic;
   ]
 
 let find code = List.find_opt (fun t -> String.equal t.code code) all

@@ -66,6 +66,12 @@ val job_duplicate : t
 val job_bad_design : t
 val job_hash_unstable : t
 
+(** {1 Trace streams (noc-trace/1)} *)
+
+val trace_unparsable : t
+val trace_unbalanced : t
+val trace_nonmonotonic : t
+
 val all : t list
 (** Every code, catalog order. *)
 

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "noc_obs_monotonic_ns"
+
+let ms_between ~start_ns ~stop_ns =
+  Int64.to_float (Int64.sub stop_ns start_ns) /. 1e6

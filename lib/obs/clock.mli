@@ -1,0 +1,13 @@
+(** Monotonic time source for spans and histograms.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] (C stub, no extra
+    dependency): unaffected by wall-clock adjustments, so a span's
+    [stop - start] is always a real elapsed duration.  The origin is
+    unspecified (typically boot time); only differences are
+    meaningful. *)
+
+val now_ns : unit -> int64
+(** Current monotonic time in nanoseconds. *)
+
+val ms_between : start_ns:int64 -> stop_ns:int64 -> float
+(** [stop - start] in (fractional) milliseconds. *)

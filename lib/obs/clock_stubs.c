@@ -1,0 +1,14 @@
+/* Monotonic clock for the tracing layer.  CLOCK_MONOTONIC is POSIX
+   and immune to wall-clock adjustments (NTP slews, manual resets),
+   which is what span durations need; Unix.gettimeofday is neither. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value noc_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec);
+}

@@ -1,0 +1,198 @@
+module Json = Noc_json.Json
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; level : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int Atomic.t array;  (* length = Array.length bounds + 1 (overflow) *)
+  sum : float Atomic.t;
+  total : int Atomic.t;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+(* The process-wide registry.  The mutex guards only registration;
+   recording goes straight to the instrument's atomics. *)
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make match_existing =
+  Mutex.lock registry_mutex;
+  let result =
+    match Hashtbl.find_opt registry name with
+    | Some existing -> (
+        match match_existing existing with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (Printf.sprintf "Metrics: %S is already a %s" name
+                 (kind_name existing)))
+    | None ->
+        let i, v = make () in
+        Hashtbl.replace registry name i;
+        Ok v
+  in
+  Mutex.unlock registry_mutex;
+  match result with Ok v -> v | Error msg -> invalid_arg msg
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; cell = Atomic.make 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.cell
+
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; level = Atomic.make 0. } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.level v
+
+let default_buckets =
+  [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let histogram ?(buckets = default_buckets) name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Metrics.histogram: empty bucket list";
+  for i = 1 to n - 1 do
+    if buckets.(i - 1) >= buckets.(i) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done;
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          bounds = Array.copy buckets;
+          counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+          total = Atomic.make 0;
+        }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+(* Lock-free float accumulation: retry the CAS until no other domain
+   raced the cell. *)
+let rec atomic_add_float cell v =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. v)) then
+    atomic_add_float cell v
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  Atomic.incr h.counts.(bucket 0);
+  Atomic.incr h.total;
+  atomic_add_float h.sum v
+
+type metric =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      buckets : (float * int) list;
+      overflow : int;
+      count : int;
+      sum : float;
+    }
+
+let metric_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let instruments = Hashtbl.fold (fun _ i acc -> i :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  instruments
+  |> List.map (function
+       | C c -> Counter { name = c.c_name; value = Atomic.get c.cell }
+       | G g -> Gauge { name = g.g_name; value = Atomic.get g.level }
+       | H h ->
+           let n = Array.length h.bounds in
+           Histogram
+             {
+               name = h.h_name;
+               buckets =
+                 List.init n (fun i ->
+                     (h.bounds.(i), Atomic.get h.counts.(i)));
+               overflow = Atomic.get h.counts.(n);
+               count = Atomic.get h.total;
+               sum = Atomic.get h.sum;
+             })
+  |> List.sort (fun a b -> compare (metric_name a) (metric_name b))
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> Atomic.set c.cell 0
+      | G g -> Atomic.set g.level 0.
+      | H h ->
+          Array.iter (fun cell -> Atomic.set cell 0) h.counts;
+          Atomic.set h.sum 0.;
+          Atomic.set h.total 0)
+    registry;
+  Mutex.unlock registry_mutex
+
+let to_json = function
+  | Counter { name; value } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "counter");
+          ("name", Json.Str name);
+          ("value", Json.Num (float_of_int value));
+        ]
+  | Gauge { name; value } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "gauge");
+          ("name", Json.Str name);
+          ("value", Json.Num value);
+        ]
+  | Histogram { name; buckets; overflow; count; sum } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "histogram");
+          ("name", Json.Str name);
+          ( "buckets",
+            Json.Arr
+              (List.map
+                 (fun (le, n) ->
+                   Json.Obj
+                     [
+                       ("le", Json.Num le); ("count", Json.Num (float_of_int n));
+                     ])
+                 buckets) );
+          ("overflow", Json.Num (float_of_int overflow));
+          ("count", Json.Num (float_of_int count));
+          ("sum", Json.Num sum);
+        ]
+
+let pp ppf metrics =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Format.fprintf ppf "@,";
+      match m with
+      | Counter { name; value } ->
+          Format.fprintf ppf "%-32s %d" name value
+      | Gauge { name; value } -> Format.fprintf ppf "%-32s %g" name value
+      | Histogram { name; count; sum; _ } ->
+          Format.fprintf ppf "%-32s %d sample%s, sum %.3f" name count
+            (if count = 1 then "" else "s")
+            sum)
+    metrics;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: counters, gauges, and fixed-bucket
+    histograms.
+
+    Handles are obtained by name ([get-or-create]); recording on a
+    handle is lock-free (atomics), so worker domains update metrics
+    without coordination.  Unlike spans, metrics are always on — a
+    counter bump is one atomic increment, far below timing noise — and
+    nothing here participates in result hashing.
+
+    {!snapshot} returns a point-in-time copy for export;
+    {!reset} zeroes every registered instrument in place (handles stay
+    valid), which is what tests and fresh trace runs want. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter named [name].
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val gauge : string -> gauge
+(** @raise Invalid_argument if [name] is registered as another kind. *)
+
+val set_gauge : gauge -> float -> unit
+
+val default_buckets : float array
+(** Millisecond-scale upper bounds: [0.01 .. 5000] in a 1-5-10
+    progression. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Get or create; [buckets] (strictly increasing upper bounds,
+    default {!default_buckets}) is fixed by the first creation.
+    @raise Invalid_argument if [name] is registered as another kind or
+    [buckets] is empty or not strictly increasing. *)
+
+val observe : histogram -> float -> unit
+(** Record a sample into its bucket (first bound [>=] sample; samples
+    above every bound land in the implicit overflow bucket). *)
+
+type metric =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      buckets : (float * int) list;  (** (upper bound, count) pairs. *)
+      overflow : int;
+      count : int;
+      sum : float;
+    }
+
+val metric_name : metric -> string
+
+val snapshot : unit -> metric list
+(** Every registered metric, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero all registered instruments in place. *)
+
+val to_json : metric -> Noc_json.Json.t
+(** One flat object per metric ([kind], [name], value fields) — the
+    shape of [noc-trace/1] metric lines. *)
+
+val pp : Format.formatter -> metric list -> unit

@@ -1,0 +1,75 @@
+module Json = Noc_json.Json
+
+type t = { emit : Json.t -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let line v = Json.to_string v
+
+let to_channel oc =
+  let mutex = Mutex.create () in
+  {
+    emit =
+      (fun v ->
+        let s = line v in
+        Mutex.lock mutex;
+        output_string oc s;
+        output_char oc '\n';
+        Mutex.unlock mutex);
+    close =
+      (fun () ->
+        Mutex.lock mutex;
+        flush oc;
+        Mutex.unlock mutex);
+  }
+
+(* Write-to-temp + rename-on-close: the destination path either holds
+   the complete stream or nothing.  The rename is atomic on POSIX
+   because the temporary lives in the destination's directory (same
+   filesystem). *)
+let to_file path =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out tmp in
+  let inner = to_channel oc in
+  {
+    inner with
+    close =
+      (fun () ->
+        inner.close ();
+        close_out oc;
+        Sys.rename tmp path);
+  }
+
+let memory () =
+  let mutex = Mutex.create () in
+  let events = ref [] in
+  let sink =
+    {
+      emit =
+        (fun v ->
+          Mutex.lock mutex;
+          events := v :: !events;
+          Mutex.unlock mutex);
+      close = (fun () -> ());
+    }
+  in
+  let contents () =
+    Mutex.lock mutex;
+    let evs = List.rev !events in
+    Mutex.unlock mutex;
+    evs
+  in
+  (sink, contents)
+
+let tee a b =
+  {
+    emit =
+      (fun v ->
+        a.emit v;
+        b.emit v);
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }

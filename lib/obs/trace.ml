@@ -1,0 +1,149 @@
+module Json = Noc_json.Json
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type entry =
+  | Begin of { name : string; ts_ns : int64 }
+  | End of { name : string; ts_ns : int64; attrs : (string * value) list }
+
+(* One buffer per (collector, domain): appended to only by its owning
+   domain, so recording is lock-free; the collector's mutex guards only
+   the registration list, touched once per domain. *)
+type buffer = { domain : int; mutable entries : entry list (* newest first *) }
+
+type collector = {
+  epoch_ns : int64;
+  mutable buffers : buffer list;
+  mutex : Mutex.t;
+}
+
+let create () =
+  { epoch_ns = Clock.now_ns (); buffers = []; mutex = Mutex.create () }
+
+(* The current collector.  One atomic load decides the disabled fast
+   path at every instrumented site. *)
+let current : collector option Atomic.t = Atomic.make None
+
+let install c = Atomic.set current (Some c)
+let uninstall () = Atomic.set current None
+let enabled () = Atomic.get current <> None
+
+(* Domain-local slot caching this domain's buffer for the collector it
+   was created under; a collector swap just allocates a fresh buffer. *)
+let dls_buffer : (collector * buffer) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let buffer_for c =
+  let slot = Domain.DLS.get dls_buffer in
+  match !slot with
+  | Some (c', buf) when c' == c -> buf
+  | _ ->
+      let buf = { domain = (Domain.self () :> int); entries = [] } in
+      Mutex.lock c.mutex;
+      c.buffers <- buf :: c.buffers;
+      Mutex.unlock c.mutex;
+      slot := Some (c, buf);
+      buf
+
+type span =
+  | Null
+  | Active of {
+      buf : buffer;
+      name : string;
+      mutable attrs : (string * value) list;  (** newest first *)
+      mutable closed : bool;
+    }
+
+let null_span = Null
+
+let start ?(attrs = []) name =
+  match Atomic.get current with
+  | None -> Null
+  | Some c ->
+      let buf = buffer_for c in
+      buf.entries <- Begin { name; ts_ns = Clock.now_ns () } :: buf.entries;
+      Active { buf; name; attrs = List.rev attrs; closed = false }
+
+let add_attr span key v =
+  match span with
+  | Null -> ()
+  | Active s -> if not s.closed then s.attrs <- (key, v) :: s.attrs
+
+let finish ?(attrs = []) span =
+  match span with
+  | Null -> ()
+  | Active s ->
+      if not s.closed then begin
+        s.closed <- true;
+        let attrs = List.rev s.attrs @ attrs in
+        s.buf.entries <-
+          End { name = s.name; ts_ns = Clock.now_ns (); attrs }
+          :: s.buf.entries
+      end
+
+let with_span ?attrs name f =
+  match Atomic.get current with
+  | None -> f Null
+  | Some _ ->
+      let span = start ?attrs name in
+      Fun.protect ~finally:(fun () -> finish span) (fun () -> f span)
+
+let epoch_ns c = c.epoch_ns
+
+let events c =
+  Mutex.lock c.mutex;
+  let buffers = c.buffers in
+  Mutex.unlock c.mutex;
+  buffers
+  |> List.map (fun b -> (b.domain, List.rev b.entries))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type completed = {
+  name : string;
+  domain : int;
+  depth : int;
+  start_ns : int64;
+  stop_ns : int64;
+  attrs : (string * value) list;
+}
+
+let completed_spans c =
+  let of_buffer (domain, entries) =
+    (* Stack-match begins and ends; the API guarantees LIFO closing per
+       domain, so an End always matches the innermost open Begin. *)
+    let completed = ref [] in
+    let stack = ref [] in
+    List.iter
+      (fun entry ->
+        match entry with
+        | Begin { name; ts_ns } -> stack := (name, ts_ns) :: !stack
+        | End { name = _; ts_ns; attrs } -> (
+            match !stack with
+            | [] -> () (* unmatched end: drop *)
+            | (name, start_ns) :: rest ->
+                stack := rest;
+                completed :=
+                  {
+                    name;
+                    domain;
+                    depth = List.length rest;
+                    start_ns;
+                    stop_ns = ts_ns;
+                    attrs;
+                  }
+                  :: !completed))
+      entries;
+    !completed
+  in
+  events c
+  |> List.concat_map of_buffer
+  |> List.sort (fun a b -> compare (a.domain, a.start_ns) (b.domain, b.start_ns))
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Str s -> Json.Str s
+
+let attrs_to_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)

@@ -8,7 +8,16 @@ type t = {
 
 let default_queue_capacity = 256
 
+(* Queue wait — push to pop — is the pool's saturation signal; it is
+   measured per task (the histogram is always on, one atomic per
+   sample) rather than per pool so traces from nested pools merge. *)
+let queue_wait_ms = Noc_obs.Metrics.histogram "pool.queue_wait_ms"
+let tasks_total = Noc_obs.Metrics.counter "pool.tasks"
+
 let worker_loop queue () =
+  (* One span per worker domain, covering its whole lifetime; task
+     spans nest under it on the same domain's buffer. *)
+  Noc_obs.Trace.with_span "pool.worker" @@ fun _sp ->
   let rec loop () =
     match Bounded_queue.pop queue with
     | None -> ()
@@ -41,7 +50,17 @@ let with_pool ?queue_capacity ~domains f =
 
 let submit t task =
   if t.shut_down then invalid_arg "Pool.submit: pool is shut down";
-  Bounded_queue.push t.queue task
+  let submitted_ns = Noc_obs.Clock.now_ns () in
+  Bounded_queue.push t.queue (fun () ->
+      let wait_ms =
+        Noc_obs.Clock.ms_between ~start_ns:submitted_ns
+          ~stop_ns:(Noc_obs.Clock.now_ns ())
+      in
+      Noc_obs.Metrics.observe queue_wait_ms wait_ms;
+      Noc_obs.Metrics.incr tasks_total;
+      Noc_obs.Trace.with_span "pool.task"
+        ~attrs:[ ("queue_wait_ms", Noc_obs.Trace.Float wait_ms) ]
+        (fun _sp -> task ()))
 
 (* Order-preserving parallel map.  Tasks store into a slot array; the
    caller blocks until every slot is filled, then re-raises the first

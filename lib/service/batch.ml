@@ -60,6 +60,13 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
   if config.domains < 1 then invalid_arg "Batch.run: domains < 1";
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
+  Noc_obs.Trace.with_span "batch.run"
+    ~attrs:
+      [
+        ("jobs", Noc_obs.Trace.Int n);
+        ("domains", Noc_obs.Trace.Int config.domains);
+      ]
+  @@ fun _run_sp ->
   let t0 = Unix.gettimeofday () in
   (* The lint gate: error-level static findings keep a job out of the
      pool entirely.  Vetting happens here, in the submitting domain, so
@@ -113,6 +120,13 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
       record index r
     end
     else begin
+      Noc_obs.Trace.with_span "batch.job"
+        ~attrs:
+          [
+            ("index", Noc_obs.Trace.Int index);
+            ("job", Noc_obs.Trace.Str (Job.short_hash job));
+          ]
+      @@ fun job_sp ->
       config.telemetry.Telemetry.emit (Telemetry.job_started ~index ~job);
       let hash = Job.hash job in
       let outcome, cache_hit =
@@ -128,10 +142,18 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
                 ({ cached with Outcome.wall_ms }, true)
             | None ->
                 let outcome = Runner.execute job in
-                if Outcome.is_done outcome then Result_cache.store cache hash outcome;
+                if Outcome.is_done outcome then begin
+                  let evicted = Result_cache.store cache hash outcome in
+                  if evicted then
+                    let s = Result_cache.stats cache in
+                    config.telemetry.Telemetry.emit
+                      (Telemetry.cache_evicted ~entries:s.Result_cache.entries
+                         ~capacity:(Result_cache.capacity cache))
+                end;
                 (outcome, false))
       in
       let outcome = classify_timeout config ~cache_hit outcome in
+      Noc_obs.Trace.add_attr job_sp "cache_hit" (Noc_obs.Trace.Bool cache_hit);
       (match outcome.Outcome.status with
       | Outcome.Failed _ | Outcome.Timed_out ->
           if config.fail_fast then Atomic.set cancelled true
@@ -164,9 +186,11 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
    else
      Noc_pool.Pool.with_pool ~domains:config.domains (fun pool ->
          for index = 0 to n - 1 do
+           let depth = Noc_pool.Pool.queue_depth pool in
+           config.telemetry.Telemetry.emit (Telemetry.queue_depth ~depth);
            config.telemetry.Telemetry.emit
              (Telemetry.job_submitted ~index ~job:jobs.(index)
-                ~queue_depth:(Noc_pool.Pool.queue_depth pool));
+                ~queue_depth:depth);
            match vetoed.(index) with
            | Some msg -> reject index msg
            | None -> Noc_pool.Pool.submit pool (fun () -> process index)

@@ -134,7 +134,7 @@ let jobs_pass =
     doc = "noc-jobs/1 files parse, reference real designs, and hash stably";
     run =
       (function
-      | Pass.Design _ -> []
+      | Pass.Design _ | Pass.Trace_file _ -> []
       | Pass.Job_file { path; text } -> (
           match Job.list_of_json text with
           | Error msg -> [ file_error_diagnostic ~path msg ]
@@ -168,4 +168,5 @@ let jobs_pass =
   }
 
 let all_passes ?capacity_mbps () =
-  Noc_analysis.Registry.design_passes ?capacity_mbps () @ [ jobs_pass ]
+  Noc_analysis.Registry.design_passes ?capacity_mbps ()
+  @ [ jobs_pass; Noc_analysis.Trace_check.pass ]

@@ -37,5 +37,6 @@ val hash_stability :
     construction). *)
 
 val all_passes : ?capacity_mbps:float -> unit -> Noc_analysis.Pass.t list
-(** The complete pass list for [noc_tool lint]: the design registry
-    plus {!jobs_pass}. *)
+(** The complete pass list for [noc_tool lint]: the design registry,
+    {!jobs_pass}, and the noc-trace/1 pass
+    ({!Noc_analysis.Trace_check.pass}, [NOC-TRC-*]). *)

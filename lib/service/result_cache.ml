@@ -54,7 +54,8 @@ let store t key outcome =
       match Hashtbl.find_opt t.table key with
       | Some entry ->
           entry.outcome <- outcome;
-          touch t entry
+          touch t entry;
+          false
       | None ->
           let entry = { key; outcome } in
           Hashtbl.replace t.table key entry;
@@ -65,8 +66,10 @@ let store t key outcome =
             | oldest :: _ ->
                 Hashtbl.remove t.table oldest.key;
                 t.recency <- List.filter (fun e -> e.key <> oldest.key) t.recency;
-                t.evictions <- t.evictions + 1
-          end)
+                t.evictions <- t.evictions + 1;
+                true
+          end
+          else false)
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 

@@ -13,11 +13,13 @@ val capacity : t -> int
 val find : t -> string -> Outcome.t option
 (** Lookup by job hash; counts a hit or a miss, refreshes recency. *)
 
-val store : t -> string -> Outcome.t -> unit
+val store : t -> string -> Outcome.t -> bool
 (** Insert (or refresh) an outcome; evicts the least recently used
-    entry beyond capacity.  Store only deterministic outcomes — the
-    cache does not distinguish a [Failed] produced by the job from one
-    produced by the environment. *)
+    entry beyond capacity and returns [true] when that happened (the
+    caller may want to emit a [cache_evicted] telemetry event).  Store
+    only deterministic outcomes — the cache does not distinguish a
+    [Failed] produced by the job from one produced by the
+    environment. *)
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 

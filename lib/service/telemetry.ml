@@ -3,63 +3,25 @@
    sink; sinks serialize concurrent emits internally, so workers on any
    domain can log without coordination.  Telemetry is observability,
    not results: timestamps and durations in here are free to vary
-   between runs while result hashes stay fixed. *)
+   between runs while result hashes stay fixed.
 
-type sink = { emit : Json.t -> unit; close : unit -> unit }
+   The sink type itself lives in the observability layer
+   (Noc_obs.Sink) so the span tracer's noc-trace/1 export and this
+   event stream share one transport; it is re-exported here with its
+   fields, so existing callers see no difference. *)
 
-let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+type sink = Noc_obs.Sink.t = { emit : Json.t -> unit; close : unit -> unit }
 
-let line v = Json.to_string v
+let null = Noc_obs.Sink.null
+let line = Noc_obs.Sink.line
+let to_channel = Noc_obs.Sink.to_channel
 
-let to_channel oc =
-  let mutex = Mutex.create () in
-  {
-    emit =
-      (fun v ->
-        let s = line v in
-        Mutex.lock mutex;
-        output_string oc s;
-        output_char oc '\n';
-        Mutex.unlock mutex);
-    close =
-      (fun () ->
-        Mutex.lock mutex;
-        flush oc;
-        Mutex.unlock mutex);
-  }
-
-let to_file path =
-  let oc = open_out path in
-  let inner = to_channel oc in
-  { inner with close = (fun () -> inner.close (); close_out oc) }
-
-(* In-memory sink, newest last; for tests and the bench. *)
-let memory () =
-  let mutex = Mutex.create () in
-  let events = ref [] in
-  let sink =
-    {
-      emit =
-        (fun v ->
-          Mutex.lock mutex;
-          events := v :: !events;
-          Mutex.unlock mutex);
-      close = (fun () -> ());
-    }
-  in
-  let contents () =
-    Mutex.lock mutex;
-    let evs = List.rev !events in
-    Mutex.unlock mutex;
-    evs
-  in
-  (sink, contents)
-
-let tee a b =
-  {
-    emit = (fun v -> a.emit v; b.emit v);
-    close = (fun () -> a.close (); b.close ());
-  }
+(* Atomic by construction: the stream accumulates in a temp file and
+   lands at [path] on close, so a killed batch run never leaves a
+   truncated half-line. *)
+let to_file = Noc_obs.Sink.to_file
+let memory = Noc_obs.Sink.memory
+let tee = Noc_obs.Sink.tee
 
 (* ------------------------------------------------------------------ *)
 (* Event constructors                                                  *)
@@ -111,6 +73,16 @@ let job_finished ~index ~job ~(outcome : Outcome.t) ~cache_hit =
        @ List.map
            (fun (k, v) -> (k, Json.Num v))
            outcome.Outcome.metrics))
+
+let queue_depth ~depth =
+  event "queue_depth" [ ("depth", Json.Num (float_of_int depth)) ]
+
+let cache_evicted ~entries ~capacity =
+  event "cache_evicted"
+    [
+      ("entries", Json.Num (float_of_int entries));
+      ("capacity", Json.Num (float_of_int capacity));
+    ]
 
 let batch_finished ~wall_ms ~succeeded ~failed ~cancelled ~cache_stats =
   event "batch_finished"

@@ -4,9 +4,14 @@
     ([ts], [event]) plus event-specific fields.  Sinks are pluggable
     and internally serialized, so worker domains emit without any
     coordination.  Telemetry is observability, not results: nothing in
-    it participates in result hashing. *)
+    it participates in result hashing.
 
-type sink = { emit : Json.t -> unit; close : unit -> unit }
+    The sink type is the observability layer's {!Noc_obs.Sink.t}
+    (re-exported with its fields), so span traces and telemetry share
+    one transport — [Noc_obs.Export.to_sink] writes a [noc-trace/1]
+    stream through the very same sinks. *)
+
+type sink = Noc_obs.Sink.t = { emit : Json.t -> unit; close : unit -> unit }
 
 val null : sink
 val to_channel : out_channel -> sink
@@ -14,8 +19,10 @@ val to_channel : out_channel -> sink
     channel (the caller owns it). *)
 
 val to_file : string -> sink
-(** Opens [path] for writing; [close] flushes and closes.
-    @raise Sys_error when the file cannot be created. *)
+(** Atomic writer: events accumulate in a temp file next to [path] and
+    [close] renames it into place — a killed run never leaves a
+    truncated half-line at [path].
+    @raise Sys_error when the temp file cannot be created. *)
 
 val memory : unit -> sink * (unit -> Json.t list)
 (** In-memory sink and an accessor returning events oldest-first. *)
@@ -32,6 +39,14 @@ val job_submitted : index:int -> job:Job.t -> queue_depth:int -> Json.t
 val job_started : index:int -> job:Job.t -> Json.t
 val job_finished :
   index:int -> job:Job.t -> outcome:Outcome.t -> cache_hit:bool -> Json.t
+
+val queue_depth : depth:int -> Json.t
+(** Gauge event: instantaneous pool queue depth at submission time. *)
+
+val cache_evicted : entries:int -> capacity:int -> Json.t
+(** The result cache evicted its LRU entry while at [capacity];
+    [entries] is the entry count after the eviction. *)
+
 val batch_finished :
   wall_ms:float ->
   succeeded:int ->

@@ -1,0 +1,85 @@
+The trace subcommand: run deadlock removal under the span tracer and
+export the collected trace.  D36_8 is deterministic — three cycles to
+break, 27 spans — so counts are stable; only times are scrubbed.
+
+The summary format is the human-readable per-phase table:
+
+  $ noc_tool trace --benchmark D36_8 --format summary | sed -E 's/[0-9]+\.[0-9]{3}/<ms>/g; s/ +[0-9]+\.[0-9]%/ <pct>/g'
+  span                            count     total ms   share
+  break_cycle.apply                   3        <ms> <pct>
+  cdg.apply_change                    3        <ms> <pct>
+  cdg.build                           1        <ms> <pct>
+  cost_table.both                     3        <ms> <pct>
+  removal.break                       3        <ms> <pct>
+  removal.cdg_update                  3        <ms> <pct>
+  removal.cost_tables                 3        <ms> <pct>
+  removal.find_cycle                  4        <ms> <pct>
+  removal.iteration                   3        <ms> <pct>
+  removal.run                         1        <ms> <pct>
+  traced wall interval: <ms> ms over 27 spans
+  metrics:
+  cdg.apply_changes                3
+  cdg.builds                       1
+  pool.queue_wait_ms               0 samples, sum <ms>
+  pool.tasks                       0
+  removal.cdg_incremental          3
+  removal.cdg_rebuild              0
+  removal.cycles_broken            3
+
+The chrome format writes Perfetto-loadable trace-event JSON with
+balanced begin/end pairs:
+
+  $ noc_tool trace -b D36_8 --format chrome -o trace.json
+  trace written to trace.json (3 iterations, 3 VCs added)
+  $ grep -o '"ph": "[BE]"' trace.json | sort | uniq -c
+       27 "ph": "B"
+       27 "ph": "E"
+
+The jsonl format is the noc-trace/1 stream: a schema header, one line
+per event with relative nanosecond timestamps, then the metrics:
+
+  $ noc_tool trace -b D36_8 --format jsonl | sed -E 's/"ts":[0-9.]+/"ts":T/; s/"epoch_ns":[0-9.]+/"epoch_ns":E/' | head -4
+  {"schema":"noc-trace/1","clock":"monotonic","epoch_ns":E}
+  {"ts":T,"event":"span_begin","name":"removal.run","domain":0}
+  {"ts":T,"event":"span_begin","name":"cdg.build","domain":0}
+  {"ts":T,"event":"span_end","name":"cdg.build","domain":0,"attrs":{"channels":45}}
+  $ noc_tool trace -b D36_8 --format jsonl | wc -l
+  62
+
+The remove subcommand grows a --trace flag writing the same stream
+alongside its normal work:
+
+  $ noc_tool remove -b D36_8 --trace run.trace | head -2
+  trace written to run.trace
+  deadlock removal: 3 cycle(s) broken, 3 VC(s) added, deadlock-free
+
+The lint subcommand recognises noc-trace/1 files and validates them
+(NOC-TRC-*); a freshly written trace is clean by construction:
+
+  $ noc_tool lint run.trace
+  run.trace: clean
+  1 target: 0 errors, 0 warnings, 0 info
+
+Deleting one line from the stream breaks the span stack discipline:
+
+  $ sed 3d run.trace > broken.trace
+  $ noc_tool lint broken.trace
+  broken.trace: 1 finding
+    NOC-TRC-002 error broken.trace:3: span_end "cdg.build" does not match the open span "removal.run" (begun at line 2) on domain 0
+  1 target: 1 error, 0 warnings, 0 info
+  [2]
+
+A wrong schema version is rejected up front:
+
+  $ printf '{"schema":"noc-trace/9"}\n' > wrong.trace
+  $ noc_tool lint wrong.trace
+  wrong.trace: 1 finding
+    NOC-TRC-001 error wrong.trace:1: unsupported schema "noc-trace/9" (want "noc-trace/1")
+  1 target: 1 error, 0 warnings, 0 info
+  [2]
+
+An unknown benchmark name fails with the registry's suggestions:
+
+  $ noc_tool trace -b nope
+  error: unknown benchmark nope (try: D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd)
+  [1]

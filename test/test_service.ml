@@ -237,10 +237,13 @@ let test_pool_reraises () =
 let test_cache_lru_eviction () =
   let cache = Result_cache.create ~capacity:2 in
   let outcome k = Outcome.done_ [ ("k", float_of_int k) ] in
-  Result_cache.store cache "a" (outcome 1);
-  Result_cache.store cache "b" (outcome 2);
+  check bool_c "no eviction below capacity" false
+    (Result_cache.store cache "a" (outcome 1));
+  check bool_c "no eviction at capacity" false
+    (Result_cache.store cache "b" (outcome 2));
   ignore (Result_cache.find cache "a");
-  Result_cache.store cache "c" (outcome 3);
+  check bool_c "store beyond capacity evicts" true
+    (Result_cache.store cache "c" (outcome 3));
   check bool_c "recently-used survives" true (Result_cache.find cache "a" <> None);
   check bool_c "least-recently-used evicted" true (Result_cache.find cache "b" = None);
   let stats = Result_cache.stats cache in
@@ -385,6 +388,50 @@ let test_telemetry_stream_shape () =
       | Error msg -> Alcotest.failf "telemetry line does not parse: %s" msg)
     (events ())
 
+let test_telemetry_to_file_atomic () =
+  let dir = Filename.temp_file "noc_telemetry_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "events.jsonl" in
+  let sink = Telemetry.to_file path in
+  sink.Telemetry.emit (Telemetry.queue_depth ~depth:3);
+  sink.Telemetry.emit (Telemetry.cache_evicted ~entries:4 ~capacity:4);
+  (* Atomicity contract: nothing visible at [path] until close renames
+     the temp file into place — a killed run leaves no truncated file. *)
+  check bool_c "absent before close" false (Sys.file_exists path);
+  sink.Telemetry.close ();
+  check bool_c "present after close" true (Sys.file_exists path);
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check int_c "both events written" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match Json.of_string l with
+      | Ok e -> check bool_c "has a timestamp" true (Json.member "ts" e <> None)
+      | Error msg -> Alcotest.failf "line does not parse: %s" msg)
+    lines;
+  check bool_c "no temp leftover" true
+    (Sys.readdir dir |> Array.to_list
+    |> List.for_all (fun f -> f = "events.jsonl"));
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_telemetry_new_events () =
+  let qd = Telemetry.queue_depth ~depth:7 in
+  check bool_c "queue_depth event name" true
+    (Json.to_str (Json.field "event" qd) = "queue_depth");
+  check bool_c "queue_depth depth field" true
+    (Json.member "depth" qd = Some (Json.Num 7.));
+  let ev = Telemetry.cache_evicted ~entries:8 ~capacity:8 in
+  check bool_c "cache_evicted event name" true
+    (Json.to_str (Json.field "event" ev) = "cache_evicted");
+  check bool_c "cache_evicted fields" true
+    (Json.member "entries" ev = Some (Json.Num 8.)
+    && Json.member "capacity" ev = Some (Json.Num 8.))
+
 (* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
@@ -433,5 +480,11 @@ let () =
             test_batch_timeout_classification;
         ] );
       ( "telemetry",
-        [ Alcotest.test_case "stream shape" `Quick test_telemetry_stream_shape ] );
+        [
+          Alcotest.test_case "stream shape" `Quick test_telemetry_stream_shape;
+          Alcotest.test_case "to_file is atomic" `Quick
+            test_telemetry_to_file_atomic;
+          Alcotest.test_case "queue_depth and cache_evicted" `Quick
+            test_telemetry_new_events;
+        ] );
     ]
