@@ -4,7 +4,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt lint trace clean-tree bench bench-gate ci clean
+.PHONY: all build test fmt lint trace serve-smoke clean-tree bench bench-gate \
+  ci clean
 
 all: build
 
@@ -47,6 +48,32 @@ trace: build
 	$(DUNE) exec bin/noc_tool.exe -- trace -b D36_8 --format jsonl -o trace.jsonl
 	$(DUNE) exec bin/noc_tool.exe -- lint trace.jsonl
 	@rm -f trace.jsonl
+
+# The daemon smoke test, mirroring the serve-smoke + store-persistence
+# CI jobs in miniature: start `noc serve` with a store, submit the full
+# registry cold then warm across a restart, require a clean SIGTERM
+# drain and a 100% warm-hit second pass.  Uses the built binary
+# directly so the daemon holds no dune lock.
+serve-smoke: build
+	@set -e; \
+	dir="$$(mktemp -d)"; \
+	trap 'rm -rf "$$dir"' EXIT; \
+	noc="$$(pwd)/_build/default/bin/noc_tool.exe"; \
+	sock="$$dir/serve.sock"; \
+	"$$noc" serve --socket "$$sock" --store "$$dir/store" -j 2 & \
+	server=$$!; \
+	for i in $$(seq 1 100); do [ -S "$$sock" ] && break; sleep 0.1; done; \
+	[ -S "$$sock" ]; \
+	"$$noc" submit test/cli/registry_jobs.json --socket "$$sock" \
+	  | grep -q '12 ok, 0 failed, 0 rejected, 0 overloaded, 0 warm hits'; \
+	kill -TERM "$$server"; wait "$$server"; \
+	"$$noc" serve --socket "$$sock" --store "$$dir/store" -j 2 & \
+	server=$$!; \
+	for i in $$(seq 1 100); do [ -S "$$sock" ] && break; sleep 0.1; done; \
+	"$$noc" submit test/cli/registry_jobs.json --socket "$$sock" \
+	  | grep -q '12 ok, 0 failed, 0 rejected, 0 overloaded, 12 warm hits'; \
+	kill -TERM "$$server"; wait "$$server"; \
+	echo "serve-smoke: OK (cold run, clean drain, 100% warm restart)"
 
 clean-tree:
 	@if git ls-files _build | grep -q .; then \

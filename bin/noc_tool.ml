@@ -1,10 +1,10 @@
 (* noc_tool: command-line front end for the deadlock-removal flow.
 
    Subcommands: list, synth, remove, ordering, updown, duato, optimal,
-   harden, analyze, lint, dot, tables, compare, simulate, batch, example.
-   Every command works on a named benchmark synthesized at a chosen switch
-   count — or on a design file via --input — so results are
-   reproducible from the shell. *)
+   harden, analyze, lint, dot, tables, compare, simulate, batch, serve,
+   submit, serve-stats, trace, example.  Every command works on a named
+   benchmark synthesized at a chosen switch count — or on a design file
+   via --input — so results are reproducible from the shell. *)
 
 open Cmdliner
 open Noc_model
@@ -702,13 +702,55 @@ let lint_cmd =
           $ all_benchmarks_arg $ benchmark_arg $ switches_arg $ degree_arg
           $ capacity_arg $ output_arg)
 
-let batch_cmd =
-  let jobs_file_arg =
-    Arg.(required
-         & pos 0 (some string) None
-         & info [] ~docv:"JOBS.json"
-             ~doc:"Job file (schema noc-jobs/1; see docs/SERVICE.md).")
+(* One result line, shared between batch and submit so their outputs
+   diff cleanly in the service-conformance CI job. *)
+let print_job_line ~index ~label ~(outcome : Noc_service.Outcome.t) ~marker =
+  let open Noc_service in
+  let status, detail =
+    match outcome.Outcome.status with
+    | Outcome.Done ->
+        let metric name =
+          Option.map
+            (fun v -> Printf.sprintf "%s %g" name v)
+            (Outcome.metric outcome name)
+        in
+        ( "ok",
+          String.concat ", "
+            (List.filter_map metric [ "vcs_added"; "iterations"; "power_mw" ]) )
+    | Outcome.Failed msg -> ("FAILED", msg)
+    | Outcome.Timed_out -> ("TIMED OUT", "")
+    | Outcome.Cancelled -> ("cancelled", "")
   in
+  Format.printf "[%d] %-9s %-28s %8.1f ms%s%s@." index status label
+    outcome.Outcome.wall_ms marker
+    (if detail = "" then "" else "  " ^ detail)
+
+let jobs_file_arg =
+  Arg.(required
+       & pos 0 (some string) None
+       & info [] ~docv:"JOBS.json"
+           ~doc:"Job file (schema noc-jobs/1; see docs/SERVICE.md).")
+
+let read_whole_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error e
+
+let load_jobs path =
+  let open Noc_service in
+  Result.bind
+    (Result.map_error
+       (fun e -> Printf.sprintf "cannot read job file: %s" e)
+       (read_whole_file path))
+    (fun text ->
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" path e)
+        (Job.list_of_json text))
+
+let batch_cmd =
   let domains_arg =
     Arg.(value & opt int 1
          & info [ "j"; "domains" ]
@@ -749,55 +791,18 @@ let batch_cmd =
                    static findings are normally rejected before reaching a \
                    worker domain).")
   in
-  let read_file path =
-    try
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
-    with Sys_error e -> Error e
-  in
   let print_result (r : Noc_service.Batch.job_result) =
-    let open Noc_service in
-    let status, detail =
-      match r.Batch.outcome.Outcome.status with
-      | Outcome.Done ->
-          let metric name =
-            Option.map
-              (fun v -> Printf.sprintf "%s %g" name v)
-              (Outcome.metric r.Batch.outcome name)
-          in
-          ( "ok",
-            String.concat ", "
-              (List.filter_map metric [ "vcs_added"; "iterations"; "power_mw" ])
-          )
-      | Outcome.Failed msg -> ("FAILED", msg)
-      | Outcome.Timed_out -> ("TIMED OUT", "")
-      | Outcome.Cancelled -> ("cancelled", "")
-    in
-    Format.printf "[%d] %-9s %-28s %8.1f ms%s%s@." r.Batch.index status
-      (Job.label r.Batch.job)
-      r.Batch.outcome.Outcome.wall_ms
-      (if r.Batch.cache_hit then "  (cache hit)" else "")
-      (if detail = "" then "" else "  " ^ detail)
+    print_job_line ~index:r.Noc_service.Batch.index
+      ~label:(Noc_service.Job.label r.Noc_service.Batch.job)
+      ~outcome:r.Noc_service.Batch.outcome
+      ~marker:(if r.Noc_service.Batch.cache_hit then "  (cache hit)" else "")
   in
   let run () jobs_file domains telemetry cache_size timeout_ms fail_fast
       no_lint trace =
     let open Noc_service in
     if domains < 1 then or_die (Error "--domains must be at least 1");
     if cache_size < 0 then or_die (Error "--cache-size must be >= 0");
-    let text =
-      or_die
-        (Result.map_error
-           (fun e -> Printf.sprintf "cannot read job file: %s" e)
-           (read_file jobs_file))
-    in
-    let jobs =
-      or_die
-        (Result.map_error
-           (fun e -> Printf.sprintf "%s: %s" jobs_file e)
-           (Job.list_of_json text))
-    in
+    let jobs = or_die (load_jobs jobs_file) in
     let sink =
       match telemetry with
       | None -> Telemetry.null
@@ -840,6 +845,242 @@ let batch_cmd =
     Term.(const run $ logs_term $ jobs_file_arg $ domains_arg $ telemetry_arg
           $ cache_arg $ timeout_arg $ fail_fast_arg $ no_lint_arg
           $ trace_file_arg)
+
+(* The persistent service ------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "noc-serve.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on (created by \
+                 $(b,serve), connected to by $(b,submit) and \
+                 $(b,serve-stats)).")
+
+let serve_cmd =
+  let tcp_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Additionally listen on 127.0.0.1:$(docv) for clients \
+                   that cannot speak AF_UNIX.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 2
+         & info [ "j"; "domains" ] ~doc:"Worker domains executing jobs.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-capacity" ]
+             ~doc:"Bounded work-queue depth; submissions beyond it get a \
+                   typed $(b,overloaded) response instead of blocking.")
+  in
+  let store_arg =
+    Arg.(value & opt string ".noc-store"
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Root of the persistent content-addressed result store \
+                   (sharded objects + LRU index); warm hits survive \
+                   restarts.")
+  in
+  let no_store_arg =
+    Arg.(value & flag
+         & info [ "no-store" ]
+             ~doc:"Serve without a result store (every job recomputes).")
+  in
+  let store_capacity_arg =
+    Arg.(value & opt int 4096
+         & info [ "store-capacity" ]
+             ~doc:"Maximum objects kept on disk before LRU eviction.")
+  in
+  let telemetry_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+             ~doc:"Write one JSON line per event (connections, jobs, drain) \
+                   to $(docv) on shutdown (atomic temp-plus-rename).")
+  in
+  let no_lint_arg =
+    Arg.(value & flag
+         & info [ "no-lint" ]
+             ~doc:"Disable the submission-time lint gate (error-level \
+                   static findings normally reject a job before it \
+                   reaches a worker).")
+  in
+  let run () socket tcp domains queue store no_store store_capacity telemetry
+      no_lint trace =
+    let open Noc_service in
+    if domains < 1 then or_die (Error "--domains must be at least 1");
+    if queue < 1 then or_die (Error "--queue-capacity must be at least 1");
+    if store_capacity < 1 then
+      or_die (Error "--store-capacity must be at least 1");
+    let store =
+      if no_store then None
+      else
+        match Store.create ~root:store ~capacity:store_capacity with
+        | s -> Some s
+        | exception Sys_error e -> or_die (Error e)
+        | exception Unix.Unix_error (e, _, arg) ->
+            or_die
+              (Error (Printf.sprintf "%s: %s" arg (Unix.error_message e)))
+    in
+    let sink =
+      match telemetry with
+      | None -> Telemetry.null
+      | Some path -> (
+          try Telemetry.to_file path with Sys_error e -> or_die (Error e))
+    in
+    let config =
+      {
+        Server.socket_path = socket;
+        tcp_port = tcp;
+        domains;
+        queue_capacity = queue;
+        store;
+        telemetry = sink;
+        lint = not no_lint;
+      }
+    in
+    let server = Server.create config in
+    let request_stop _ = Server.stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Format.printf "noc serve: listening on %s%s (%d domain%s, store: %s)@."
+      socket
+      (match tcp with
+      | None -> ""
+      | Some port -> Printf.sprintf " and 127.0.0.1:%d" port)
+      domains
+      (if domains = 1 then "" else "s")
+      (match store with
+      | None -> "disabled"
+      | Some s -> Printf.sprintf "%s (%d warm)" (Store.root s)
+                    (Store.stats s).Store.entries);
+    Format.print_flush ();
+    (try with_tracing trace (fun () -> Server.run server)
+     with
+    | Unix.Unix_error (e, _, arg) ->
+        or_die (Error (Printf.sprintf "%s: %s" arg (Unix.error_message e)))
+    | Failure e -> or_die (Error e));
+    Format.printf "noc serve: drained cleanly@.";
+    Format.print_flush ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent job daemon (noc-wire/1 over a Unix socket)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Long-lived counterpart of $(b,noc_tool batch): accepts \
+              noc-jobs/1 jobs over a length-prefixed-JSON wire protocol, \
+              vets each through the static lint gate, serves repeats from \
+              a disk-backed content-addressed store (warm across \
+              restarts), runs misses on a domain pool with typed \
+              backpressure, and streams results as they complete.";
+           `P
+             "SIGTERM or SIGINT drains gracefully: stop accepting, finish \
+              in-flight jobs, flush telemetry, trace and the store index, \
+              exit 0.  See docs/SERVICE.md for the wire protocol and \
+              store layout.";
+         ])
+    Term.(const run $ logs_term $ socket_arg $ tcp_arg $ domains_arg
+          $ queue_arg $ store_arg $ no_store_arg $ store_capacity_arg
+          $ telemetry_arg $ no_lint_arg $ trace_file_arg)
+
+let submit_cmd =
+  let run () jobs_file socket =
+    let open Noc_service in
+    let jobs = or_die (load_jobs jobs_file) in
+    let client = or_die (Client.connect ~socket) in
+    let print_result index job (reply : Wire.response) =
+      match reply with
+      | Wire.Result { outcome; cached; _ } ->
+          print_job_line ~index ~label:(Job.label job) ~outcome
+            ~marker:(if cached then "  (warm)" else "")
+      | Wire.Rejected { reason; _ } ->
+          Format.printf "[%d] %-9s %-28s %s@." index "REJECTED" (Job.label job)
+            reason
+      | Wire.Overloaded { queue_depth; _ } ->
+          Format.printf "[%d] %-9s %-28s queue full (depth %d)@." index
+            "OVERLOADED" (Job.label job) queue_depth
+      | Wire.Hello _ | Wire.Stats_report _ | Wire.Pong | Wire.Error_msg _ ->
+          ()
+    in
+    let replies =
+      match Client.submit_all client jobs ~on_result:print_result with
+      | Ok replies ->
+          Client.close client;
+          replies
+      | Error e ->
+          Client.close client;
+          or_die (Error e)
+    in
+    let count p = List.length (List.filter p replies) in
+    let ok =
+      count (function
+        | Wire.Result { outcome; _ } -> Outcome.is_done outcome
+        | _ -> false)
+    in
+    let failed =
+      count (function
+        | Wire.Result { outcome; _ } -> not (Outcome.is_done outcome)
+        | _ -> false)
+    in
+    let rejected = count (function Wire.Rejected _ -> true | _ -> false) in
+    let overloaded = count (function Wire.Overloaded _ -> true | _ -> false) in
+    let warm =
+      count (function Wire.Result { cached = true; _ } -> true | _ -> false)
+    in
+    let total = List.length replies in
+    Format.printf "@.%d job%s: %d ok, %d failed, %d rejected, %d overloaded, \
+                   %d warm hit%s@."
+      total
+      (if total = 1 then "" else "s")
+      ok failed rejected overloaded warm
+      (if warm = 1 then "" else "s");
+    if ok <> total then exit 2
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job file to a running noc serve daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a noc-jobs/1 file, submits every job over the daemon's \
+              socket, and streams one line per result in submission order \
+              — same columns as $(b,noc_tool batch), with $(b,(warm)) \
+              marking results served from the daemon's persistent store.";
+           `P
+             "Exits 1 on an unusable job file or unreachable daemon, 2 \
+              when any job fails, is rejected or is shed as overloaded.";
+         ])
+    Term.(const run $ logs_term $ jobs_file_arg $ socket_arg)
+
+let serve_stats_cmd =
+  let run () socket =
+    let client = or_die (Noc_service.Client.connect ~socket) in
+    let report =
+      match Noc_service.Client.stats client with
+      | Ok report ->
+          Noc_service.Client.close client;
+          report
+      | Error e ->
+          Noc_service.Client.close client;
+          or_die (Error e)
+    in
+    print_string report
+  in
+  Cmd.v
+    (Cmd.info "serve-stats"
+       ~doc:"Print a running daemon's live /metrics-style report"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Asks the daemon for its metrics snapshot: uptime, queue \
+              depth, in-flight jobs, store entries/hit-rate/evictions, \
+              and every counter, gauge and histogram in the noc_obs \
+              registry, one plain-text line each.";
+         ])
+    Term.(const run $ logs_term $ socket_arg)
 
 let trace_cmd =
   let output_arg =
@@ -904,7 +1145,8 @@ let () =
       [
         list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
         analyze_cmd; lint_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd;
-        compare_cmd; simulate_cmd; batch_cmd; trace_cmd; example_cmd;
+        compare_cmd; simulate_cmd; batch_cmd; serve_cmd; submit_cmd;
+        serve_stats_cmd; trace_cmd; example_cmd;
       ]
   in
   exit (Cmd.eval group)

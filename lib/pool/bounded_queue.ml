@@ -37,6 +37,23 @@ let push t x =
   Condition.signal t.not_empty;
   Mutex.unlock t.mutex
 
+let try_push t x =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end
+  else if Queue.length t.items >= t.capacity then begin
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    Queue.push x t.items;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mutex;
+    true
+  end
+
 let pop t =
   Mutex.lock t.mutex;
   let rec wait () =

@@ -15,6 +15,11 @@ val push : 'a t -> 'a -> unit
 (** Blocks while the queue is full.
     @raise Closed if the queue is (or becomes) closed. *)
 
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking {!push}: [false] instead of waiting when the queue is
+    at capacity — the primitive behind the server's typed [overloaded]
+    response.  @raise Closed if the queue is closed. *)
+
 val pop : 'a t -> 'a option
 (** Blocks while the queue is empty and open; [None] once the queue is
     closed and drained. *)

@@ -48,19 +48,26 @@ let with_pool ?queue_capacity ~domains f =
   let t = create ?queue_capacity ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let instrumented task =
+  let submitted_ns = Noc_obs.Clock.now_ns () in
+  fun () ->
+    let wait_ms =
+      Noc_obs.Clock.ms_between ~start_ns:submitted_ns
+        ~stop_ns:(Noc_obs.Clock.now_ns ())
+    in
+    Noc_obs.Metrics.observe queue_wait_ms wait_ms;
+    Noc_obs.Metrics.incr tasks_total;
+    Noc_obs.Trace.with_span "pool.task"
+      ~attrs:[ ("queue_wait_ms", Noc_obs.Trace.Float wait_ms) ]
+      (fun _sp -> task ())
+
 let submit t task =
   if t.shut_down then invalid_arg "Pool.submit: pool is shut down";
-  let submitted_ns = Noc_obs.Clock.now_ns () in
-  Bounded_queue.push t.queue (fun () ->
-      let wait_ms =
-        Noc_obs.Clock.ms_between ~start_ns:submitted_ns
-          ~stop_ns:(Noc_obs.Clock.now_ns ())
-      in
-      Noc_obs.Metrics.observe queue_wait_ms wait_ms;
-      Noc_obs.Metrics.incr tasks_total;
-      Noc_obs.Trace.with_span "pool.task"
-        ~attrs:[ ("queue_wait_ms", Noc_obs.Trace.Float wait_ms) ]
-        (fun _sp -> task ()))
+  Bounded_queue.push t.queue (instrumented task)
+
+let try_submit t task =
+  if t.shut_down then invalid_arg "Pool.try_submit: pool is shut down";
+  Bounded_queue.try_push t.queue (instrumented task)
 
 (* Order-preserving parallel map.  Tasks store into a slot array; the
    caller blocks until every slot is filled, then re-raises the first

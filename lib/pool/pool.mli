@@ -27,6 +27,12 @@ val submit : t -> (unit -> unit) -> unit
 (** Queue a thunk; blocks while the queue is full.
     @raise Invalid_argument after {!shutdown}. *)
 
+val try_submit : t -> (unit -> unit) -> bool
+(** Non-blocking {!submit}: [false] instead of waiting when the queue
+    is at capacity, so a caller holding a client connection can shed
+    load (reply [overloaded]) rather than stall every other client.
+    @raise Invalid_argument after {!shutdown}. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel map, results in input order.  If any application raised,
     the exception of the smallest-index failing item is re-raised

@@ -3,6 +3,12 @@
    table and the recency list must move together).  Hit/miss counters
    feed telemetry and the service bench's warm-replay measurement. *)
 
+(* Evictions happen on worker domains mid-batch, where nobody is
+   looking at [stats]; the registry counter makes them visible to
+   serve-stats and every other metrics consumer as they happen.  Lazy
+   so tools that never build a cache keep it out of their traces. *)
+let evictions_total = lazy (Noc_obs.Metrics.counter "cache.evictions")
+
 type entry = { key : string; mutable outcome : Outcome.t }
 
 type t = {
@@ -19,6 +25,7 @@ type t = {
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Result_cache.create: capacity < 1";
+  ignore (Lazy.force evictions_total);
   {
     capacity;
     table = Hashtbl.create (min capacity 64);
@@ -67,6 +74,7 @@ let store t key outcome =
                 Hashtbl.remove t.table oldest.key;
                 t.recency <- List.filter (fun e -> e.key <> oldest.key) t.recency;
                 t.evictions <- t.evictions + 1;
+                Noc_obs.Metrics.incr (Lazy.force evictions_total);
                 true
           end
           else false)

@@ -1,0 +1,428 @@
+(* The noc serve daemon: a select loop on one thread, solver work on
+   the domain pool, results streamed back over noc-wire/1 frames.
+
+   Division of labour:
+
+   - The accept/read loop (the thread that called [run]) owns every
+     file descriptor: it accepts connections, feeds each connection's
+     frame decoder, vets submissions through the lint gate, consults
+     the persistent store, and hands cache misses to the pool.  It
+     never blocks on a socket (select tells it what is readable) and
+     never runs a solver.
+   - Worker domains run [Runner.execute], write the outcome into the
+     store, and send the result frame themselves — each connection has
+     a write mutex, so replies from any domain interleave whole frames,
+     never bytes.  A worker never touches the fd table; it only writes
+     to fds the loop keeps alive until the connection's pending count
+     drops to zero (so a recycled descriptor can never receive another
+     client's result).
+   - Backpressure is typed, not implicit: when the bounded queue is
+     full, [try_submit] fails and the client gets [Overloaded] with
+     the current depth instead of a stalled socket.
+
+   Graceful drain ([stop], wired to SIGTERM by noc_tool serve): stop
+   accepting, answer new submissions with a draining rejection, wait
+   for in-flight jobs, shut the pool down (joining the workers closes
+   their trace spans), flush the store index and telemetry, close
+   everything, return.  The self-pipe makes [stop] safe to call from a
+   signal handler or another domain: it only sets an atomic and writes
+   one byte. *)
+
+module Json = Noc_json.Json
+
+(* Lazy, forced in [create]: the serve.* family belongs in a daemon's
+   registry from startup (a /metrics report with the counters at zero),
+   but not in the traces of CLI runs that never start a server. *)
+type serve_metrics = {
+  m_jobs : Noc_obs.Metrics.counter;
+  m_rejected : Noc_obs.Metrics.counter;
+  m_overloaded : Noc_obs.Metrics.counter;
+  m_warm_hits : Noc_obs.Metrics.counter;
+  m_connections : Noc_obs.Metrics.counter;
+  m_queue_depth : Noc_obs.Metrics.gauge;
+  m_inflight : Noc_obs.Metrics.gauge;
+}
+
+let serve_metrics =
+  lazy
+    {
+      m_jobs = Noc_obs.Metrics.counter "serve.jobs";
+      m_rejected = Noc_obs.Metrics.counter "serve.rejected";
+      m_overloaded = Noc_obs.Metrics.counter "serve.overloaded";
+      m_warm_hits = Noc_obs.Metrics.counter "serve.warm_hits";
+      m_connections = Noc_obs.Metrics.counter "serve.connections";
+      m_queue_depth = Noc_obs.Metrics.gauge "serve.queue_depth";
+      m_inflight = Noc_obs.Metrics.gauge "serve.inflight";
+    }
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (* loopback, for clients that cannot speak AF_UNIX *)
+  domains : int;
+  queue_capacity : int;
+  store : Store.t option;
+  telemetry : Telemetry.sink;
+  lint : bool;
+}
+
+let default_config =
+  {
+    socket_path = "noc-serve.sock";
+    tcp_port = None;
+    domains = 2;
+    queue_capacity = 64;
+    store = None;
+    telemetry = Telemetry.null;
+    lint = true;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  dec : Wire.decoder;
+  write_mutex : Mutex.t;
+  alive : bool Atomic.t;  (* false: stop writing (peer gone or protocol error) *)
+  mutable eof : bool;  (* true: stop reading; close once pending = 0 *)
+  pending : int Atomic.t;  (* jobs in the pool that will write to this fd *)
+}
+
+type t = {
+  config : config;
+  pool : Noc_pool.Pool.t;
+  stopping : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  inflight : int Atomic.t;
+  served : int Atomic.t;  (* submit requests answered, however *)
+  mutable started_at : float;
+}
+
+let create config =
+  if config.domains < 1 then invalid_arg "Server.create: domains < 1";
+  if config.queue_capacity < 1 then
+    invalid_arg "Server.create: queue_capacity < 1";
+  ignore (Lazy.force serve_metrics);
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_w;
+  {
+    config;
+    pool =
+      Noc_pool.Pool.create ~queue_capacity:config.queue_capacity
+        ~domains:config.domains ();
+    stopping = Atomic.make false;
+    wake_r;
+    wake_w;
+    inflight = Atomic.make 0;
+    served = Atomic.make 0;
+    started_at = 0.;
+  }
+
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 'w') 0 1)
+  with Unix.Unix_error _ -> ()  (* pipe full: the loop is already awake *)
+
+let stop t =
+  Atomic.set t.stopping true;
+  wake t
+
+let stopping t = Atomic.get t.stopping
+
+(* ------------------------------------------------------------------ *)
+(* Frame writes (any domain)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let send conn response =
+  if Atomic.get conn.alive then begin
+    let data = Wire.encode_response response in
+    Mutex.lock conn.write_mutex;
+    (try
+       let len = String.length data in
+       let off = ref 0 in
+       while !off < len do
+         off := !off + Unix.write_substring conn.fd data !off (len - !off)
+       done
+     with Unix.Unix_error _ | Sys_error _ -> Atomic.set conn.alive false);
+    Mutex.unlock conn.write_mutex
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The /metrics-style report                                           *)
+(* ------------------------------------------------------------------ *)
+
+let metric_name name =
+  String.map (function '.' | '-' -> '_' | c -> c) name
+
+let render_metric b = function
+  | Noc_obs.Metrics.Counter { name; value } ->
+      Printf.bprintf b "%s %d\n" (metric_name name) value
+  | Noc_obs.Metrics.Gauge { name; value } ->
+      Printf.bprintf b "%s %g\n" (metric_name name) value
+  | Noc_obs.Metrics.Histogram { name; buckets; overflow; count; sum } ->
+      let name = metric_name name in
+      let cum = ref 0 in
+      List.iter
+        (fun (le, n) ->
+          cum := !cum + n;
+          Printf.bprintf b "%s_bucket{le=\"%g\"} %d\n" name le !cum)
+        buckets;
+      Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" name (!cum + overflow);
+      Printf.bprintf b "%s_sum %g\n" name sum;
+      Printf.bprintf b "%s_count %d\n" name count
+
+let stats_report t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "# noc serve metrics (%s)\n" Wire.protocol;
+  Printf.bprintf b "serve_uptime_seconds %.3f\n"
+    (Unix.gettimeofday () -. t.started_at);
+  Printf.bprintf b "serve_queue_depth %d\n" (Noc_pool.Pool.queue_depth t.pool);
+  Printf.bprintf b "serve_inflight %d\n" (Atomic.get t.inflight);
+  Printf.bprintf b "serve_draining %d\n" (if stopping t then 1 else 0);
+  (match t.config.store with
+  | None -> Printf.bprintf b "store_enabled 0\n"
+  | Some store ->
+      let s = Store.stats store in
+      Printf.bprintf b "store_enabled 1\n";
+      Printf.bprintf b "store_entries %d\n" s.Store.entries;
+      Printf.bprintf b "store_hits %d\n" s.Store.hits;
+      Printf.bprintf b "store_misses %d\n" s.Store.misses;
+      Printf.bprintf b "store_evictions %d\n" s.Store.evictions;
+      Printf.bprintf b "store_hit_rate %.6f\n" (Store.hit_rate s));
+  List.iter (render_metric b) (Noc_obs.Metrics.snapshot ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (the loop thread)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let finish_job t conn ~id ~job ~hash ~cached outcome =
+  t.config.telemetry.Telemetry.emit
+    (Telemetry.job_finished ~index:id ~job ~outcome ~cache_hit:cached);
+  Atomic.incr t.served;
+  send conn (Wire.Result { id; job_hash = hash; outcome; cached })
+
+let handle_submit t conn ~id job =
+  let m = Lazy.force serve_metrics in
+  Noc_obs.Metrics.incr m.m_jobs;
+  let hash = Job.hash job in
+  if stopping t then begin
+    Noc_obs.Metrics.incr m.m_rejected;
+    send conn (Wire.Rejected { id; reason = "server is draining" })
+  end
+  else
+    match if t.config.lint then Lint.vet_job job else Ok () with
+    | Error reason ->
+        Noc_obs.Metrics.incr m.m_rejected;
+        t.config.telemetry.Telemetry.emit
+          (Telemetry.job_finished ~index:id ~job
+             ~outcome:(Outcome.failed ~wall_ms:0. reason) ~cache_hit:false);
+        send conn (Wire.Rejected { id; reason })
+    | Ok () -> (
+        match
+          Option.bind t.config.store (fun store -> Store.find store hash)
+        with
+        | Some outcome ->
+            Noc_obs.Metrics.incr m.m_warm_hits;
+            finish_job t conn ~id ~job ~hash ~cached:true outcome
+        | None ->
+            let depth = Noc_pool.Pool.queue_depth t.pool in
+            Noc_obs.Metrics.set_gauge m.m_queue_depth (float_of_int depth);
+            Atomic.incr t.inflight;
+            Atomic.incr conn.pending;
+            Noc_obs.Metrics.set_gauge m.m_inflight
+              (float_of_int (Atomic.get t.inflight));
+            let task () =
+              Noc_obs.Trace.with_span "serve.job"
+                ~attrs:[ ("job", Noc_obs.Trace.Str (Job.short_hash job)) ]
+              @@ fun _sp ->
+              let outcome = Runner.execute job in
+              (match t.config.store with
+              | Some store when Outcome.is_done outcome ->
+                  ignore (Store.store store hash outcome)
+              | _ -> ());
+              finish_job t conn ~id ~job ~hash ~cached:false outcome;
+              Atomic.decr t.inflight;
+              Atomic.decr conn.pending;
+              wake t
+            in
+            t.config.telemetry.Telemetry.emit
+              (Telemetry.job_submitted ~index:id ~job ~queue_depth:depth);
+            if not (Noc_pool.Pool.try_submit t.pool task) then begin
+              Atomic.decr t.inflight;
+              Atomic.decr conn.pending;
+              Noc_obs.Metrics.incr m.m_overloaded;
+              send conn (Wire.Overloaded { id; queue_depth = depth })
+            end)
+
+let handle_request t conn = function
+  | Wire.Ping -> send conn Wire.Pong
+  | Wire.Stats -> send conn (Wire.Stats_report (stats_report t))
+  | Wire.Submit { id; job } -> handle_submit t conn ~id job
+
+let handle_readable t conn buf =
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      conn.eof <- true;
+      Atomic.set conn.alive false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | 0 ->
+      conn.eof <- true;
+      t.config.telemetry.Telemetry.emit
+        (Telemetry.client_disconnected ~peer:conn.peer)
+  | n ->
+      Wire.feed conn.dec (Bytes.sub_string buf 0 n) ~off:0 ~len:n;
+      let rec drain () =
+        match Wire.next conn.dec with
+        | Ok None -> ()
+        | Ok (Some json) ->
+            (match Wire.request_of_json json with
+            | Ok request -> handle_request t conn request
+            | Error e ->
+                (* Bad message in a good frame: answer and carry on —
+                   the stream is still synchronized. *)
+                send conn (Wire.Error_msg e));
+            drain ()
+        | Error e ->
+            (* Framing is broken; nothing downstream can be trusted. *)
+            send conn (Wire.Error_msg e);
+            conn.eof <- true;
+            Atomic.set conn.alive false
+      in
+      drain ()
+
+(* ------------------------------------------------------------------ *)
+(* Listeners and the loop                                              *)
+(* ------------------------------------------------------------------ *)
+
+let unix_listener path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Sys.remove path  (* stale *)
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let tcp_listener port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let accept t conns lfd =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd, addr ->
+      Noc_obs.Metrics.incr (Lazy.force serve_metrics).m_connections;
+      let peer =
+        match addr with
+        | Unix.ADDR_UNIX _ -> Printf.sprintf "unix#%d" (Atomic.get t.served)
+        | Unix.ADDR_INET (host, port) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+      in
+      t.config.telemetry.Telemetry.emit (Telemetry.client_connected ~peer);
+      conns :=
+        {
+          fd;
+          peer;
+          dec = Wire.decoder ();
+          write_mutex = Mutex.create ();
+          alive = Atomic.make true;
+          eof = false;
+          pending = Atomic.make 0;
+        }
+        :: !conns;
+      send (List.hd !conns) (Wire.Hello { protocol = Wire.protocol })
+
+let close_conn conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let run t =
+  (* A client that vanished mid-reply must cost an EPIPE error code,
+     not the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  t.started_at <- Unix.gettimeofday ();
+  let listeners =
+    unix_listener t.config.socket_path
+    :: (match t.config.tcp_port with
+       | None -> []
+       | Some port -> [ tcp_listener port ])
+  in
+  (match t.config.store with
+  | Some store ->
+      t.config.telemetry.Telemetry.emit
+        (Telemetry.server_started ~socket:t.config.socket_path
+           ~domains:t.config.domains
+           ~store_entries:(Store.stats store).Store.entries)
+  | None ->
+      t.config.telemetry.Telemetry.emit
+        (Telemetry.server_started ~socket:t.config.socket_path
+           ~domains:t.config.domains ~store_entries:0));
+  let conns = ref [] in
+  let buf = Bytes.create 65536 in
+  let listeners_open = ref true in
+  let drain_announced = ref false in
+  let close_listeners () =
+    if !listeners_open then begin
+      listeners_open := false;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners
+    end
+  in
+  let finished = ref false in
+  while not !finished do
+    if stopping t && not !drain_announced then begin
+      drain_announced := true;
+      close_listeners ();
+      t.config.telemetry.Telemetry.emit
+        (Telemetry.drain_started ~inflight:(Atomic.get t.inflight))
+    end;
+    if stopping t && Atomic.get t.inflight = 0 then finished := true
+    else begin
+      (* Connections at EOF with no pending replies can be retired;
+         everyone else stays selectable. *)
+      conns :=
+        List.filter
+          (fun c ->
+            if (c.eof || not (Atomic.get c.alive)) && Atomic.get c.pending = 0
+            then begin
+              close_conn c;
+              false
+            end
+            else true)
+          !conns;
+      let read_fds =
+        (t.wake_r :: (if !listeners_open then listeners else []))
+        @ List.filter_map
+            (fun c -> if c.eof then None else Some c.fd)
+            !conns
+      in
+      match Unix.select read_fds [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          if List.mem t.wake_r readable then
+            ignore (Unix.read t.wake_r buf 0 (Bytes.length buf));
+          if !listeners_open then
+            List.iter
+              (fun lfd -> if List.mem lfd readable then accept t conns lfd)
+              listeners;
+          List.iter
+            (fun c ->
+              if (not c.eof) && List.mem c.fd readable then
+                handle_readable t c buf)
+            !conns
+    end
+  done;
+  (* Drained: no job will write again.  Joining the workers closes
+     their pool.worker spans, so a --trace stream is balanced. *)
+  Noc_pool.Pool.shutdown t.pool;
+  List.iter close_conn !conns;
+  close_listeners ();
+  (try Sys.remove t.config.socket_path with Sys_error _ -> ());
+  Option.iter Store.flush t.config.store;
+  t.config.telemetry.Telemetry.emit
+    (Telemetry.server_stopped ~jobs:(Atomic.get t.served)
+       ~wall_ms:(1000. *. (Unix.gettimeofday () -. t.started_at)));
+  t.config.telemetry.Telemetry.close ();
+  Unix.close t.wake_r;
+  Unix.close t.wake_w

@@ -1,0 +1,53 @@
+(** The [noc serve] daemon: accepts {!Wire} frames over a Unix-domain
+    (and optionally loopback-TCP) socket, vets each submitted job
+    through the {!Lint.vet_job} admission gate, serves warm hits from
+    the persistent {!Store}, schedules misses on the domain pool with
+    typed [Overloaded] backpressure from the bounded queue, and
+    streams results back as they complete.
+
+    One thread (the caller of {!run}) owns all descriptors and never
+    blocks on a socket; worker domains execute jobs and write their
+    own result frames under per-connection mutexes.  {!stop} — safe
+    from a signal handler — triggers a graceful drain: stop accepting,
+    reject new submissions, finish in-flight jobs, shut the pool down,
+    flush the store index and telemetry, then return from {!run}. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket; created, unlinked on exit. *)
+  tcp_port : int option;  (** Also listen on 127.0.0.1:[port]. *)
+  domains : int;  (** Worker domains (≥ 1). *)
+  queue_capacity : int;
+      (** Bounded-queue depth; beyond it submissions get [Overloaded]. *)
+  store : Store.t option;  (** Persistent result store (warm restarts). *)
+  telemetry : Telemetry.sink;
+  lint : bool;  (** Vet submissions before they reach the pool. *)
+}
+
+val default_config : config
+(** [noc-serve.sock], no TCP, 2 domains, queue 64, no store, null
+    telemetry, lint on. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker domains; does not open sockets yet.
+    @raise Invalid_argument on a non-positive domain count or queue
+    capacity. *)
+
+val run : t -> unit
+(** Open the listeners and serve until {!stop}; performs the full
+    drain (including closing the telemetry sink) before returning.
+    Ignores SIGPIPE process-wide. *)
+
+val stop : t -> unit
+(** Request a graceful drain.  Only sets an atomic flag and writes a
+    self-pipe byte, so it is safe from a signal handler or another
+    domain.  Idempotent. *)
+
+val stopping : t -> bool
+
+val stats_report : t -> string
+(** The text [/metrics]-style report served for {!Wire.Stats}: serve
+    gauges (uptime, queue depth, in-flight, draining), store counters
+    and hit rate, then every instrument in the {!Noc_obs.Metrics}
+    registry (histograms as cumulative buckets). *)

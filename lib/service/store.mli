@@ -1,0 +1,46 @@
+(** Persistent content-addressed result store: {!Job.hash} →
+    {!Outcome.t} on disk, LRU-bounded, safe to share across worker
+    domains.  The disk-backed successor of {!Result_cache} for the
+    [noc serve] daemon — warm hits survive restarts.
+
+    On-disk layout under [root]:
+    {v
+    objects/ab/cdef0123….json   one object per job hash (sharded)
+    index.json                  LRU order, most recent first
+    v}
+
+    All writes are write-to-temp + rename, so a crash leaves whole
+    files or nothing.  The index is a rebuildable cache: when missing
+    or corrupt, the objects directory is rescanned.  An object that
+    fails its integrity check at read time (hash mismatch, unparsable
+    payload) is deleted and reported as a miss. *)
+
+type t
+
+val create : root:string -> capacity:int -> t
+(** Open (creating directories as needed) the store at [root] and load
+    its index, dropping entries whose object file is gone.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+val root : t -> string
+
+val find : t -> string -> Outcome.t option
+(** Lookup by job hash; verifies the stored object's schema and hash,
+    counts a hit or a miss, refreshes recency. *)
+
+val store : t -> string -> Outcome.t -> bool
+(** Write (or refresh) an outcome atomically; evicts the least
+    recently used object beyond capacity and returns [true] when that
+    happened.  Store only deterministic outcomes.
+    @raise Invalid_argument when the key is not a hex hash. *)
+
+val flush : t -> unit
+(** Persist the LRU index now (it is also flushed on every store). *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+val hit_rate : stats -> float
+val reset_counters : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -84,6 +84,32 @@ let cache_evicted ~entries ~capacity =
       ("capacity", Json.Num (float_of_int capacity));
     ]
 
+(* Server lifecycle events: same envelope, same sinks, so a daemon's
+   telemetry file interleaves job events with connection and drain
+   milestones. *)
+
+let server_started ~socket ~domains ~store_entries =
+  event "server_started"
+    [
+      ("socket", Json.Str socket);
+      ("domains", Json.Num (float_of_int domains));
+      ("store_entries", Json.Num (float_of_int store_entries));
+    ]
+
+let client_connected ~peer = event "client_connected" [ ("peer", Json.Str peer) ]
+
+let client_disconnected ~peer =
+  event "client_disconnected" [ ("peer", Json.Str peer) ]
+
+let drain_started ~inflight =
+  event "drain_started" [ ("inflight", Json.Num (float_of_int inflight)) ]
+
+let server_stopped ~jobs ~wall_ms =
+  event "server_stopped"
+    [
+      ("jobs", Json.Num (float_of_int jobs)); ("wall_ms", Json.Num wall_ms);
+    ]
+
 let batch_finished ~wall_ms ~succeeded ~failed ~cancelled ~cache_stats =
   event "batch_finished"
     [

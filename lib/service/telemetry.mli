@@ -54,3 +54,16 @@ val batch_finished :
   cancelled:int ->
   cache_stats:Result_cache.stats ->
   Json.t
+
+(** Server lifecycle events ([noc_tool serve]); they share the sinks
+    and envelope with the batch events above. *)
+
+val server_started : socket:string -> domains:int -> store_entries:int -> Json.t
+val client_connected : peer:string -> Json.t
+val client_disconnected : peer:string -> Json.t
+
+val drain_started : inflight:int -> Json.t
+(** SIGTERM received: the server stopped accepting and is waiting for
+    [inflight] jobs to finish. *)
+
+val server_stopped : jobs:int -> wall_ms:float -> Json.t

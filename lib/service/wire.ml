@@ -1,0 +1,194 @@
+(* The noc-wire/1 protocol: length-prefixed JSON frames over a byte
+   stream (Unix-domain or TCP socket).  A frame is a 4-byte big-endian
+   payload length followed by exactly that many bytes of compact JSON.
+   Framing and message encoding are independent layers on purpose: the
+   decoder accepts bytes in arbitrary chunks (a frame may arrive split
+   at any boundary, or many frames in one read), and the message codec
+   round-trips through the same canonical Json values as job files, so
+   [of_json (to_json m) = Ok m] for every message — the qcheck
+   property in test/test_service.ml splits encoded streams at random
+   boundaries to pin both layers down. *)
+
+module Json = Noc_json.Json
+
+let protocol = "noc-wire/1"
+
+(* Frames beyond this are a protocol violation, not a big job: the
+   largest legitimate payload (a sweep outcome for the biggest
+   benchmark) is a few KiB. *)
+let max_frame_bytes = 16 * 1024 * 1024
+
+type request =
+  | Submit of { id : int; job : Job.t }
+  | Stats
+  | Ping
+
+type response =
+  | Hello of { protocol : string }
+  | Result of { id : int; job_hash : string; outcome : Outcome.t; cached : bool }
+  | Rejected of { id : int; reason : string }
+  | Overloaded of { id : int; queue_depth : int }
+  | Stats_report of string
+  | Pong
+  | Error_msg of string
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame_bytes then invalid_arg "Wire.frame: payload too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let feed d s ~off ~len =
+  if len > 0 then begin
+    let need = d.len + len in
+    if need > Bytes.length d.buf then begin
+      let grown = Bytes.create (max need (2 * Bytes.length d.buf)) in
+      Bytes.blit d.buf 0 grown 0 d.len;
+      d.buf <- grown
+    end;
+    Bytes.blit_string s off d.buf d.len len;
+    d.len <- d.len + len
+  end
+
+let feed_string d s = feed d s ~off:0 ~len:(String.length s)
+
+let next d =
+  if d.len < 4 then Ok None
+  else
+    let n = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+    if n < 0 || n > max_frame_bytes then
+      Error (Printf.sprintf "oversized frame (%d bytes)" n)
+    else if d.len < 4 + n then Ok None
+    else begin
+      let payload = Bytes.sub_string d.buf 4 n in
+      let rest = d.len - (4 + n) in
+      Bytes.blit d.buf (4 + n) d.buf 0 rest;
+      d.len <- rest;
+      match Json.of_string payload with
+      | Ok v -> Ok (Some v)
+      | Error e -> Error (Printf.sprintf "frame payload is not JSON: %s" e)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let request_to_json = function
+  | Submit { id; job } ->
+      Json.Obj
+        [
+          ("type", Json.Str "submit");
+          ("id", Json.Num (float_of_int id));
+          ("job", Job.to_json job);
+        ]
+  | Stats -> Json.Obj [ ("type", Json.Str "stats") ]
+  | Ping -> Json.Obj [ ("type", Json.Str "ping") ]
+
+let ( let* ) = Result.bind
+
+let int_field name v =
+  match Json.member name v with
+  | Some (Json.Num _ as n) -> Ok (Json.to_int n)
+  | Some _ -> Error (Printf.sprintf "%S must be an integer" name)
+  | None -> Error (Printf.sprintf "missing integer field %S" name)
+
+let str_field name v =
+  match Json.member name v with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "%S must be a string" name)
+  | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let request_of_json v =
+  let* type_ = str_field "type" v in
+  match type_ with
+  | "submit" ->
+      let* id = int_field "id" v in
+      let* job =
+        match Json.member "job" v with
+        | Some job_v -> Job.of_json job_v
+        | None -> Error "missing \"job\" field"
+      in
+      Ok (Submit { id; job })
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | s -> Error (Printf.sprintf "unknown request type %S" s)
+
+let response_to_json = function
+  | Hello { protocol } ->
+      Json.Obj [ ("type", Json.Str "hello"); ("protocol", Json.Str protocol) ]
+  | Result { id; job_hash; outcome; cached } ->
+      Json.Obj
+        [
+          ("type", Json.Str "result");
+          ("id", Json.Num (float_of_int id));
+          ("job", Json.Str job_hash);
+          ("outcome", Outcome.to_json outcome);
+          ("cached", Json.Bool cached);
+        ]
+  | Rejected { id; reason } ->
+      Json.Obj
+        [
+          ("type", Json.Str "rejected");
+          ("id", Json.Num (float_of_int id));
+          ("reason", Json.Str reason);
+        ]
+  | Overloaded { id; queue_depth } ->
+      Json.Obj
+        [
+          ("type", Json.Str "overloaded");
+          ("id", Json.Num (float_of_int id));
+          ("queue_depth", Json.Num (float_of_int queue_depth));
+        ]
+  | Stats_report report ->
+      Json.Obj [ ("type", Json.Str "stats"); ("report", Json.Str report) ]
+  | Pong -> Json.Obj [ ("type", Json.Str "pong") ]
+  | Error_msg message ->
+      Json.Obj [ ("type", Json.Str "error"); ("message", Json.Str message) ]
+
+let response_of_json v =
+  let* type_ = str_field "type" v in
+  match type_ with
+  | "hello" ->
+      let* protocol = str_field "protocol" v in
+      Ok (Hello { protocol })
+  | "result" ->
+      let* id = int_field "id" v in
+      let* job_hash = str_field "job" v in
+      let* outcome =
+        match Json.member "outcome" v with
+        | Some o -> Outcome.of_json o
+        | None -> Error "missing \"outcome\" field"
+      in
+      let cached =
+        match Json.member "cached" v with Some (Json.Bool b) -> b | _ -> false
+      in
+      Ok (Result { id; job_hash; outcome; cached })
+  | "rejected" ->
+      let* id = int_field "id" v in
+      let* reason = str_field "reason" v in
+      Ok (Rejected { id; reason })
+  | "overloaded" ->
+      let* id = int_field "id" v in
+      let* queue_depth = int_field "queue_depth" v in
+      Ok (Overloaded { id; queue_depth })
+  | "stats" ->
+      let* report = str_field "report" v in
+      Ok (Stats_report report)
+  | "pong" -> Ok Pong
+  | "error" ->
+      let* message = str_field "message" v in
+      Ok (Error_msg message)
+  | s -> Error (Printf.sprintf "unknown response type %S" s)
+
+let encode_request r = frame (Json.to_string (request_to_json r))
+let encode_response r = frame (Json.to_string (response_to_json r))

@@ -1,0 +1,27 @@
+Submitting to a daemon that is not running fails fast with a clear
+error naming the socket, and exit code 1 — the contract CI scripts
+rely on to distinguish "daemon down" from "jobs failed" (exit 2).
+
+  $ noc_tool submit jobs.json --socket no-such-daemon.sock
+  error: cannot connect to no-such-daemon.sock: No such file or directory
+  [1]
+
+Same for serve-stats.
+
+  $ noc_tool serve-stats --socket no-such-daemon.sock
+  error: cannot connect to no-such-daemon.sock: No such file or directory
+  [1]
+
+A connectable path that is not a socket is also a clean error, not a
+hang or a traceback.
+
+  $ touch not-a-socket
+  $ noc_tool submit jobs.json --socket not-a-socket
+  error: cannot connect to not-a-socket: Connection refused
+  [1]
+
+An unreadable job file is reported before any connection attempt.
+
+  $ noc_tool submit no-such-jobs.json --socket no-such-daemon.sock
+  error: cannot read job file: no-such-jobs.json: No such file or directory
+  [1]

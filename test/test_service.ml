@@ -433,6 +433,337 @@ let test_telemetry_new_events () =
     && Json.member "capacity" ev = Some (Json.Num 8.))
 
 (* ------------------------------------------------------------------ *)
+(* Wire: length-prefixed frames survive arbitrary chunk boundaries     *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_gen =
+  let open QCheck.Gen in
+  let* status =
+    oneof
+      [
+        return Outcome.Done;
+        map (fun m -> Outcome.Failed m) (string_size ~gen:printable (int_bound 30));
+        return Outcome.Timed_out;
+        return Outcome.Cancelled;
+      ]
+  in
+  let* metrics =
+    list_size (int_bound 4)
+      (pair (string_size ~gen:printable (int_range 1 10)) finite_float_gen)
+  in
+  let* wall_ms = map float_of_int (int_bound 10_000) in
+  return { Outcome.status; metrics; wall_ms }
+
+let request_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 4,
+        let* id = int_bound 10_000 in
+        let* job = job_gen in
+        return (Wire.Submit { id; job }) );
+      (1, return Wire.Stats);
+      (1, return Wire.Ping);
+    ]
+
+let response_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 1,
+        map
+          (fun protocol -> Wire.Hello { protocol })
+          (oneofl [ "noc-wire/1"; "noc-wire/9" ]) );
+      ( 4,
+        let* id = int_bound 10_000 in
+        let* job = job_gen in
+        let* outcome = outcome_gen in
+        let* cached = bool in
+        return (Wire.Result { id; job_hash = Job.hash job; outcome; cached }) );
+      ( 1,
+        let* id = int_bound 10_000 in
+        map
+          (fun reason -> Wire.Rejected { id; reason })
+          (string_size ~gen:printable (int_bound 40)) );
+      ( 1,
+        let* id = int_bound 10_000 in
+        let* queue_depth = int_bound 256 in
+        return (Wire.Overloaded { id; queue_depth }) );
+      ( 1,
+        map
+          (fun s -> Wire.Stats_report s)
+          (string_size ~gen:printable (int_bound 200)) );
+      (1, return Wire.Pong);
+      (1, map (fun s -> Wire.Error_msg s) (string_size ~gen:printable (int_bound 40)));
+    ]
+
+(* Feed [data] in 1–7 byte chunks driven by the generated [sizes] list
+   (whatever remains goes in one final chunk), so frames get split at
+   arbitrary points — including inside the 4-byte length prefix. *)
+let feed_in_chunks dec data sizes =
+  let n = String.length data in
+  let rec go off sizes =
+    if off < n then
+      match sizes with
+      | [] -> Wire.feed dec data ~off ~len:(n - off)
+      | s :: rest ->
+          let len = min (1 + (s mod 7)) (n - off) in
+          Wire.feed dec data ~off ~len;
+          go (off + len) rest
+  in
+  go 0 sizes
+
+let decode_all dec =
+  let rec loop acc =
+    match Wire.next dec with
+    | Ok (Some json) -> loop (json :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  loop []
+
+let chunked_stream_prop ~name ~encode ~decode gen =
+  QCheck.Test.make ~name ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 6) gen)
+           (list_size (int_bound 400) (int_bound 1_000_000))))
+    (fun (messages, sizes) ->
+      let data = String.concat "" (List.map encode messages) in
+      let dec = Wire.decoder () in
+      feed_in_chunks dec data sizes;
+      match decode_all dec with
+      | Error _ -> false
+      | Ok frames ->
+          List.length frames = List.length messages
+          && List.for_all2 (fun j m -> decode j = Ok m) frames messages)
+
+let prop_wire_requests_chunked =
+  chunked_stream_prop ~name:"wire requests survive arbitrary chunking"
+    ~encode:Wire.encode_request ~decode:Wire.request_of_json request_gen
+
+let prop_wire_responses_chunked =
+  chunked_stream_prop ~name:"wire responses survive arbitrary chunking"
+    ~encode:Wire.encode_response ~decode:Wire.response_of_json response_gen
+
+let test_wire_rejects_oversized_frame () =
+  let dec = Wire.decoder () in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Wire.max_frame_bytes + 1));
+  Wire.feed_string dec (Bytes.to_string header);
+  match Wire.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
+let test_wire_rejects_garbage_payload () =
+  let dec = Wire.decoder () in
+  Wire.feed_string dec (Wire.frame "not json");
+  match Wire.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-JSON payload accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Store: the persistent content-addressed result store                *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "noc_service_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let hex_key seed = Digest.to_hex (Digest.string seed)
+
+let object_path ~root key =
+  Filename.concat
+    (Filename.concat (Filename.concat root "objects") (String.sub key 0 2))
+    (String.sub key 2 (String.length key - 2) ^ ".json")
+
+let test_store_persists_across_reopen () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let key = hex_key "persist-me" in
+      let outcome = Outcome.done_ ~wall_ms:1.5 [ ("vcs_added", 2.) ] in
+      let s1 = Store.create ~root ~capacity:8 in
+      check bool_c "cold miss" true (Store.find s1 key = None);
+      ignore (Store.store s1 key outcome);
+      check bool_c "warm hit" true (Store.find s1 key = Some outcome);
+      (* A second handle on the same root sees the object — the
+         daemon-restart scenario. *)
+      let s2 = Store.create ~root ~capacity:8 in
+      (match Store.find s2 key with
+      | Some got ->
+          check bool_c "outcome identical after reopen" true (got = outcome)
+      | None -> Alcotest.fail "store lost the object across reopen");
+      let stats = Store.stats s2 in
+      check int_c "one entry" 1 stats.Store.entries;
+      check int_c "one hit" 1 stats.Store.hits;
+      check int_c "no misses" 0 stats.Store.misses)
+
+let test_store_rebuilds_missing_index () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let s1 = Store.create ~root ~capacity:8 in
+      let keys = List.map (fun i -> hex_key (string_of_int i)) [ 1; 2; 3 ] in
+      List.iteri
+        (fun i k -> ignore (Store.store s1 k (Outcome.done_ [ ("k", float_of_int i) ])))
+        keys;
+      (* The index is a rebuildable cache: losing it must not lose data. *)
+      Sys.remove (Filename.concat root "index.json");
+      let s2 = Store.create ~root ~capacity:8 in
+      check int_c "rescan found every object" 3 (Store.stats s2).Store.entries;
+      List.iter
+        (fun k -> check bool_c "object readable" true (Store.find s2 k <> None))
+        keys)
+
+let test_store_lru_eviction_removes_file () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let s = Store.create ~root ~capacity:2 in
+      let key i = hex_key (string_of_int i) in
+      let out i = Outcome.done_ [ ("k", float_of_int i) ] in
+      check bool_c "no eviction below capacity" false
+        (Store.store s (key 1) (out 1));
+      check bool_c "no eviction at capacity" false
+        (Store.store s (key 2) (out 2));
+      ignore (Store.find s (key 1));
+      check bool_c "store beyond capacity evicts" true
+        (Store.store s (key 3) (out 3));
+      check bool_c "recently-used survives" true (Store.find s (key 1) <> None);
+      check bool_c "least-recently-used evicted" true
+        (Store.find s (key 2) = None);
+      check int_c "eviction counted" 1 (Store.stats s).Store.evictions;
+      check bool_c "evicted object gone from disk" true
+        (not (Sys.file_exists (object_path ~root (key 2))));
+      let s2 = Store.create ~root ~capacity:2 in
+      check int_c "reopen sees the surviving pair" 2 (Store.stats s2).Store.entries)
+
+let test_store_corrupt_object_is_a_miss () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let s = Store.create ~root ~capacity:4 in
+      let key = hex_key "corrupt-me" in
+      ignore (Store.store s key (Outcome.done_ [ ("k", 1.) ]));
+      let file = object_path ~root key in
+      check bool_c "object file exists" true (Sys.file_exists file);
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc "{ truncated");
+      let s2 = Store.create ~root ~capacity:4 in
+      check bool_c "corrupt object reads as a miss" true
+        (Store.find s2 key = None);
+      check bool_c "corrupt object deleted" true (not (Sys.file_exists file));
+      (* The store heals: a fresh write round-trips again. *)
+      ignore (Store.store s2 key (Outcome.done_ [ ("k", 2.) ]));
+      check bool_c "healed" true (Store.find s2 key <> None))
+
+(* ------------------------------------------------------------------ *)
+(* Cache eviction is observable in the metrics registry                *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value name =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | Noc_obs.Metrics.Counter { name = n; value } when n = name -> value
+      | _ -> acc)
+    0
+    (Noc_obs.Metrics.snapshot ())
+
+let test_cache_eviction_bumps_obs_counter () =
+  let before = counter_value "cache.evictions" in
+  let cache = Result_cache.create ~capacity:1 in
+  ignore (Result_cache.store cache "a" (Outcome.done_ [ ("k", 1.) ]));
+  ignore (Result_cache.store cache "b" (Outcome.done_ [ ("k", 2.) ]));
+  check int_c "cache.evictions counter bumped" (before + 1)
+    (counter_value "cache.evictions")
+
+(* ------------------------------------------------------------------ *)
+(* Server: in-process end-to-end, warm across a restart                *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_end_to_end_warm_restart () =
+  with_temp_dir (fun dir ->
+      let socket = Filename.concat dir "serve.sock" in
+      let jobs = List.filteri (fun i _ -> i < 4) (registry_jobs ()) in
+      let run_once ~expect_cached =
+        let store =
+          Store.create ~root:(Filename.concat dir "store") ~capacity:64
+        in
+        let server =
+          Server.create
+            {
+              Server.default_config with
+              socket_path = socket;
+              store = Some store;
+              domains = 2;
+            }
+        in
+        let d = Domain.spawn (fun () -> Server.run server) in
+        let deadline = Unix.gettimeofday () +. 10. in
+        let rec wait_for_socket () =
+          if Sys.file_exists socket then ()
+          else if Unix.gettimeofday () > deadline then
+            Alcotest.fail "server socket never appeared"
+          else begin
+            Unix.sleepf 0.01;
+            wait_for_socket ()
+          end
+        in
+        wait_for_socket ();
+        let client =
+          match Client.connect ~socket with
+          | Ok c -> c
+          | Error e -> Alcotest.fail e
+        in
+        (match Client.ping client with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "ping failed: %s" e);
+        let replies =
+          match Client.submit_all client jobs ~on_result:(fun _ _ _ -> ()) with
+          | Ok rs -> rs
+          | Error e -> Alcotest.fail e
+        in
+        Client.close client;
+        Server.stop server;
+        Domain.join d;
+        check int_c "one reply per job" (List.length jobs)
+          (List.length replies);
+        List.iter
+          (fun r ->
+            match r with
+            | Wire.Result { outcome; cached; _ } ->
+                check bool_c "job succeeded" true (Outcome.is_done outcome);
+                check bool_c
+                  (if expect_cached then "served from the store"
+                   else "served cold")
+                  expect_cached cached
+            | _ -> Alcotest.fail "expected a result reply")
+          replies;
+        replies
+      in
+      let cold = run_once ~expect_cached:false in
+      let warm = run_once ~expect_cached:true in
+      (* Warm replies carry bit-identical results: restart determinism. *)
+      List.iter2
+        (fun a b ->
+          match (a, b) with
+          | ( Wire.Result { outcome = oa; job_hash = ha; _ },
+              Wire.Result { outcome = ob; job_hash = hb; _ } ) ->
+              check string_c "same job hash" ha hb;
+              check string_c "same result hash" (Outcome.result_hash oa)
+                (Outcome.result_hash ob)
+          | _ -> ())
+        cold warm)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -443,6 +774,8 @@ let qcheck_cases =
       prop_job_roundtrip_via_text;
       prop_job_hash_stable;
       prop_job_file_roundtrip;
+      prop_wire_requests_chunked;
+      prop_wire_responses_chunked;
     ]
 
 let () =
@@ -467,7 +800,34 @@ let () =
           Alcotest.test_case "re-raises" `Quick test_pool_reraises;
         ] );
       ( "cache",
-        [ Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction ] );
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "eviction bumps obs counter" `Quick
+            test_cache_eviction_bumps_obs_counter;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_wire_rejects_oversized_frame;
+          Alcotest.test_case "garbage payload rejected" `Quick
+            test_wire_rejects_garbage_payload;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "persists across reopen" `Quick
+            test_store_persists_across_reopen;
+          Alcotest.test_case "rebuilds missing index" `Quick
+            test_store_rebuilds_missing_index;
+          Alcotest.test_case "lru eviction removes file" `Quick
+            test_store_lru_eviction_removes_file;
+          Alcotest.test_case "corrupt object is a miss" `Quick
+            test_store_corrupt_object_is_a_miss;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end-to-end, warm restart" `Quick
+            test_server_end_to_end_warm_restart;
+        ] );
       ( "batch",
         [
           Alcotest.test_case "4-domain differential" `Quick
