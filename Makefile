@@ -4,8 +4,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt lint trace serve-smoke clean-tree bench bench-gate \
-  ci clean
+.PHONY: all build test fmt lint trace serve-smoke sim-smoke clean-tree \
+  bench bench-gate ci clean
 
 all: build
 
@@ -75,6 +75,24 @@ serve-smoke: build
 	kill -TERM "$$server"; wait "$$server"; \
 	echo "serve-smoke: OK (cold run, clean drain, 100% warm restart)"
 
+# The simulation smoke test, mirroring the sim-smoke CI job: sweep the
+# default campaign grid (2 benchmarks x 4 workloads x 3 preparations)
+# and check the paper's claim cell by cell — the campaign itself exits
+# 2 on any deadlock-freedom violation — then resume warm from the
+# store and require bit-identical cell lines.
+sim-smoke: build
+	@set -e; \
+	dir="$$(mktemp -d)"; \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(DUNE) exec bin/noc_tool.exe -- campaign --store "$$dir/store" -j 2 \
+	  | tee "$$dir/cold.txt"; \
+	grep -q 'invariants hold' "$$dir/cold.txt"; \
+	$(DUNE) exec bin/noc_tool.exe -- campaign --store "$$dir/store" -j 2 \
+	  > "$$dir/warm.txt"; \
+	grep '^\[' "$$dir/warm.txt" | sed 's/  (warm)$$//' > "$$dir/warm-cells.txt"; \
+	grep '^\[' "$$dir/cold.txt" | diff - "$$dir/warm-cells.txt"; \
+	echo "sim-smoke: OK (invariants hold, warm resume bit-identical)"
+
 clean-tree:
 	@if git ls-files _build | grep -q .; then \
 	  echo "clean-tree: _build/ artifacts are tracked in git"; \
@@ -95,6 +113,7 @@ clean-tree:
 bench:
 	$(DUNE) exec bench/main.exe -- removal
 	$(DUNE) exec bench/main.exe -- service
+	$(DUNE) exec bench/main.exe -- sim
 
 # Compare fresh measurements against the committed baselines.
 bench-gate: bench
@@ -102,9 +121,12 @@ bench-gate: bench
 	  bench/baseline/BENCH_removal.json BENCH_removal.json
 	$(DUNE) exec bench/check_regression.exe -- \
 	  bench/baseline/BENCH_service.json BENCH_service.json
+	$(DUNE) exec bench/check_regression.exe -- \
+	  bench/baseline/BENCH_sim.json BENCH_sim.json
 
-ci: build test fmt lint trace clean-tree bench-gate
+ci: build test fmt lint trace clean-tree bench-gate sim-smoke
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_removal.json BENCH_service.json lint.sarif trace.json trace.jsonl
+	rm -f BENCH_removal.json BENCH_service.json BENCH_sim.json lint.sarif \
+	  trace.json trace.jsonl

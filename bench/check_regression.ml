@@ -1,7 +1,9 @@
 (* CI gate: diff a freshly measured bench report against the committed
    baseline.  Handles both report kinds, dispatching on the baseline's
-   schema tag: bench-removal/1 (incremental-removal sweep) and
-   bench-service/1 (batch-service throughput/determinism).
+   schema tag: bench-removal/1 (incremental-removal sweep),
+   bench-service/1 (batch-service throughput/determinism) and
+   bench-sim/1 (simulation campaign: deadlock-freedom invariants are
+   hard; latency/throughput get tolerance bands).
 
    Usage: check_regression.exe BASELINE.json CURRENT.json
 
@@ -65,6 +67,17 @@ let check_service (baseline_path, baseline_text) (current_path, current_text) =
   Format.printf "current report:@.%a@.@." Service_report.pp current;
   gate (Service_report.compare_to_baseline ~baseline current)
 
+let check_sim (baseline_path, baseline_text) (current_path, current_text) =
+  let open Noc_campaign in
+  let baseline =
+    parse_or_die Sim_report.of_json "baseline" baseline_path baseline_text
+  in
+  let current =
+    parse_or_die Sim_report.of_json "current" current_path current_text
+  in
+  Format.printf "current report:@.%a@.@." Sim_report.pp current;
+  gate (Sim_report.compare_to_baseline ~baseline current)
+
 (* The baseline names the gate: a report pair must be of one kind. *)
 let schema_of text =
   match Noc_service.Json.of_string text with
@@ -86,6 +99,8 @@ let () =
       | Some "bench-service/1" ->
           check_service (baseline_path, baseline_text)
             (current_path, current_text)
+      | Some "bench-sim/1" ->
+          check_sim (baseline_path, baseline_text) (current_path, current_text)
       | Some s ->
           Printf.eprintf "error: %s: unsupported schema %S\n" baseline_path s;
           exit 2

@@ -559,6 +559,45 @@ let run_service_json () =
       Out_channel.output_string oc (Noc_service.Service_report.to_json report));
   Format.printf "@.wrote %s@." out
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable simulation benchmark (BENCH_sim.json): a small     *)
+(* campaign over the paper's two benchmarks x four workloads x three   *)
+(* preparations, with the deadlock-freedom invariants enforced before  *)
+(* the report is even written, consumed by check_regression.exe in CI. *)
+(* ------------------------------------------------------------------ *)
+
+let sim_campaign () =
+  let open Noc_campaign in
+  let points =
+    [
+      { Campaign.benchmark = "D26_media"; n_switches = 14 };
+      { Campaign.benchmark = "D36_8"; n_switches = 14 };
+    ]
+  in
+  let workloads =
+    Noc_benchmarks.Workloads.
+      [ default_burst; default_uniform; default_hotspot; default_transpose ]
+  in
+  let jobs = Campaign.grid ~points ~workloads () in
+  Campaign.run Campaign.default_config jobs
+
+let run_sim_json () =
+  section "Simulation campaign: deadlock invariants, latency, throughput";
+  let open Noc_campaign in
+  let cells = sim_campaign () in
+  let verdict = Campaign.verify cells in
+  Format.printf "%a@.@." Campaign.pp_verdict verdict;
+  if not (Campaign.verdict_ok verdict) then
+    failwith "sim bench: campaign invariants violated";
+  let report = Sim_report.of_cells cells in
+  Format.printf "%a@." Sim_report.pp report;
+  let out =
+    Option.value ~default:"BENCH_sim.json" (Sys.getenv_opt "BENCH_SIM_OUT")
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Sim_report.to_json report));
+  Format.printf "@.wrote %s@." out
+
 let all_sections =
   [
     ("table1", run_table1);
@@ -578,6 +617,7 @@ let all_sections =
     ("perf", run_perf);
     ("removal", run_removal_json);
     ("service", run_service_json);
+    ("sim", run_sim_json);
   ]
 
 let () =

@@ -419,11 +419,35 @@ let simulate_cmd =
   let packets_arg =
     Arg.(value & opt int 2 & info [ "packets" ] ~doc:"Packets per flow.")
   in
-  let run () name n_switches degree fix packet_length packets_per_flow =
+  let workload_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "workload" ] ~docv:"KIND"
+             ~doc:(Printf.sprintf
+                     "Injection schedule to simulate, one of: %s. Defaults to \
+                      the burst workload shaped by $(b,--packet-length) and \
+                      $(b,--packets)."
+                     (String.concat ", " Noc_benchmarks.Workloads.kinds)))
+  in
+  let run () name n_switches degree fix packet_length packets_per_flow workload
+      =
     let _, net = or_die (synthesize name n_switches degree) in
     if fix then ignore (Noc_deadlock.Removal.run net);
+    let workload =
+      Option.map
+        (fun kind ->
+          match Noc_benchmarks.Workloads.of_kind kind with
+          | Some w -> w
+          | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "unknown workload %s (try: %s)" kind
+                      (String.concat ", " Noc_benchmarks.Workloads.kinds))))
+        workload
+    in
     let result =
       Noc_experiments.Sim_check.check ~packet_length ~packets_per_flow
+        ?workload
         ~label:(Printf.sprintf "%s@%d%s" name n_switches
                   (if fix then " (after removal)" else " (as synthesized)"))
         net
@@ -433,7 +457,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the wormhole simulator on a design")
     Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
-          $ fix_arg $ packet_length_arg $ packets_arg)
+          $ fix_arg $ packet_length_arg $ packets_arg $ workload_arg)
 
 let analyze_cmd =
   let capacity_arg =
@@ -716,7 +740,17 @@ let print_job_line ~index ~label ~(outcome : Noc_service.Outcome.t) ~marker =
         in
         ( "ok",
           String.concat ", "
-            (List.filter_map metric [ "vcs_added"; "iterations"; "power_mw" ]) )
+            (List.filter_map metric
+               [
+                 (* removal/ordering/sweep columns *)
+                 "vcs_added";
+                 "iterations";
+                 "power_mw";
+                 (* simulate columns (absent on the other job types) *)
+                 "deadlocked";
+                 "cycles";
+                 "avg_latency";
+               ]) )
     | Outcome.Failed msg -> ("FAILED", msg)
     | Outcome.Timed_out -> ("TIMED OUT", "")
     | Outcome.Cancelled -> ("cancelled", "")
@@ -1082,6 +1116,227 @@ let serve_stats_cmd =
          ])
     Term.(const run $ logs_term $ socket_arg)
 
+let campaign_cmd =
+  let benchmarks_arg =
+    Arg.(value
+         & opt (list string) [ "D26_media"; "D36_8" ]
+         & info [ "benchmarks" ] ~docv:"NAMES"
+             ~doc:(Printf.sprintf
+                     "Comma-separated benchmark names to sweep. Available: %s."
+                     (String.concat ", " Noc_benchmarks.Registry.names)))
+  in
+  let switch_counts_arg =
+    Arg.(value & opt (list int) [ 14 ]
+         & info [ "switch-counts" ] ~docv:"NS"
+             ~doc:"Comma-separated switch counts to synthesize each benchmark \
+                   at.")
+  in
+  let workloads_arg =
+    Arg.(value
+         & opt (list string) [ "burst"; "uniform"; "hotspot"; "transpose" ]
+         & info [ "workloads" ] ~docv:"KINDS"
+             ~doc:(Printf.sprintf
+                     "Comma-separated workload kinds, from: %s."
+                     (String.concat ", " Noc_benchmarks.Workloads.kinds)))
+  in
+  let rates_arg =
+    Arg.(value & opt (list float) []
+         & info [ "rates" ] ~docv:"RATES"
+             ~doc:"Comma-separated injection rates (flits/cycle/flow). Each \
+                   rate-parameterized workload (uniform, hotspot) is swept \
+                   once per rate, which is what fills the load-latency \
+                   section of the report; other kinds ignore this.")
+  in
+  let prepares_arg =
+    Arg.(value
+         & opt (list string) [ "as-is"; "removal"; "ordering" ]
+         & info [ "prepares" ] ~docv:"PREPARES"
+             ~doc:"Comma-separated design preparations to compare, from: \
+                   as-is, removal, ordering.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"PRNG seed applied to every seeded workload.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "domains" ]
+             ~doc:"Worker domains for the batch engine. Results are \
+                   bit-identical for any setting.")
+  in
+  let campaign_store_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Persistent result store. Cells already in the store are \
+                   served warm (this is how an interrupted campaign resumes); \
+                   fresh results are written back for the next run.")
+  in
+  let store_capacity_arg =
+    Arg.(value & opt int 4096
+         & info [ "store-capacity" ]
+             ~doc:"Maximum objects kept on disk before LRU eviction.")
+  in
+  let out_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable bench-sim/1 report (the \
+                   BENCH_sim.json the CI gate checks) to $(docv).")
+  in
+  let report_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Render the campaign as a Markdown document (summary, \
+                   per-cell table, load-latency curves) to $(docv).")
+  in
+  let no_lint_arg =
+    Arg.(value & flag
+         & info [ "no-lint" ]
+             ~doc:"Skip the submission-time lint gate.")
+  in
+  let no_expect_arg =
+    Arg.(value & flag
+         & info [ "no-expect-deadlock" ]
+             ~doc:"Do not require that at least one unprotected cyclic-CDG \
+                   cell deadlocks. Useful for campaigns over acyclic designs \
+                   only.")
+  in
+  let write_file path contents =
+    match
+      try
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc contents);
+        Ok ()
+      with Sys_error e -> Error e
+    with
+    | Ok () -> Format.printf "wrote %s@." path
+    | Error e -> or_die (Error e)
+  in
+  let run () benchmarks switch_counts degree workload_kinds rates seed
+      prepare_names domains store_dir store_capacity out report_path no_lint
+      no_expect trace =
+    let open Noc_service in
+    if domains < 1 then or_die (Error "--domains must be at least 1");
+    if store_capacity < 1 then
+      or_die (Error "--store-capacity must be at least 1");
+    List.iter (fun b -> ignore (or_die (lookup_benchmark b))) benchmarks;
+    let workloads =
+      List.map
+        (fun kind ->
+          match Noc_benchmarks.Workloads.of_kind kind with
+          | Some w -> Noc_benchmarks.Workloads.with_seed w seed
+          | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "unknown workload %s (try: %s)" kind
+                      (String.concat ", " Noc_benchmarks.Workloads.kinds))))
+        workload_kinds
+    in
+    let prepares =
+      List.map (fun name -> or_die (Job.prepare_of_name name)) prepare_names
+    in
+    let points =
+      List.concat_map
+        (fun benchmark ->
+          List.map
+            (fun n_switches -> { Noc_campaign.Campaign.benchmark; n_switches })
+            switch_counts)
+        benchmarks
+    in
+    let jobs =
+      Noc_campaign.Campaign.grid ~max_degree:degree ~prepares ~rates ~points
+        ~workloads ()
+    in
+    let store =
+      match store_dir with
+      | None -> None
+      | Some root -> (
+          match Store.create ~root ~capacity:store_capacity with
+          | s -> Some s
+          | exception Sys_error e -> or_die (Error e)
+          | exception Unix.Unix_error (e, _, arg) ->
+              or_die
+                (Error (Printf.sprintf "%s: %s" arg (Unix.error_message e))))
+    in
+    Format.printf "campaign: %d cells (%d designs x %d workload variants x %d \
+                   preparations)@."
+      (List.length jobs) (List.length points)
+      (List.length jobs
+      / max 1 (List.length points * List.length prepares))
+      (List.length prepares);
+    (* One deterministic line per cell: no wall times, so the output is
+       stable enough for cram tests and diffing between runs. *)
+    let index = ref 0 in
+    let print_cell (cell : Noc_campaign.Campaign.cell) =
+      let word =
+        if not (Outcome.is_done cell.Noc_campaign.Campaign.outcome) then
+          "FAILED"
+        else if Noc_campaign.Campaign.deadlocked cell then
+          if Noc_campaign.Campaign.certified cell then "deadlock (certified)"
+          else "deadlock"
+        else "completed"
+      in
+      incr index;
+      Format.printf "[%d] %-21s %s%s@." !index word
+        (Job.label cell.Noc_campaign.Campaign.job)
+        (if cell.Noc_campaign.Campaign.cached then "  (warm)" else "")
+    in
+    let cells =
+      with_tracing trace (fun () ->
+          Noc_campaign.Campaign.run ~on_cell:print_cell
+            { Noc_campaign.Campaign.domains; store; lint = not no_lint }
+            jobs)
+    in
+    let verdict =
+      Noc_campaign.Campaign.verify ~expect_cyclic_deadlock:(not no_expect)
+        cells
+    in
+    Format.printf "@.%a@." Noc_campaign.Campaign.pp_verdict verdict;
+    Option.iter
+      (fun path ->
+        write_file path
+          (Noc_campaign.Sim_report.to_json
+             (Noc_campaign.Sim_report.of_cells cells)))
+      out;
+    Option.iter
+      (fun path ->
+        write_file path (Noc_campaign.Campaign.markdown_report cells verdict))
+      report_path;
+    if not (Noc_campaign.Campaign.verdict_ok verdict) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Sweep a simulation campaign and check the deadlock invariants"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Builds the full grid (benchmark x switch count x workload x \
+              injection rate x preparation) of Simulate jobs, runs it \
+              through the multicore batch engine behind the lint gate, and \
+              checks every finished cell against the paper's behavioural \
+              claim: designs prepared by VC-based removal or resource \
+              ordering never deadlock, and every deadlock on an unprotected \
+              cyclic-CDG design carries a waits-for cycle certificate.";
+           `P
+             "With $(b,--store), finished cells persist on disk and a rerun \
+              of the same campaign serves them warm, so an interrupted \
+              sweep resumes where it stopped.  $(b,--out) emits the \
+              bench-sim/1 JSON consumed by the CI regression gate; \
+              $(b,--report) renders the Markdown table with load-latency \
+              curves.";
+           `P "Exits 2 when any invariant is violated.";
+         ])
+    Term.(const run $ logs_term $ benchmarks_arg $ switch_counts_arg
+          $ degree_arg $ workloads_arg $ rates_arg $ seed_arg $ prepares_arg
+          $ domains_arg $ campaign_store_arg $ store_capacity_arg $ out_arg
+          $ report_arg $ no_lint_arg $ no_expect_arg $ trace_file_arg)
+
 let trace_cmd =
   let output_arg =
     Arg.(value
@@ -1145,8 +1400,8 @@ let () =
       [
         list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
         analyze_cmd; lint_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd;
-        compare_cmd; simulate_cmd; batch_cmd; serve_cmd; submit_cmd;
-        serve_stats_cmd; trace_cmd; example_cmd;
+        compare_cmd; simulate_cmd; campaign_cmd; batch_cmd; serve_cmd;
+        submit_cmd; serve_stats_cmd; trace_cmd; example_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -1,8 +1,14 @@
-(** Simulator workloads derived from the benchmark bandwidth demands:
-    each flow injects packets at a rate proportional to its demanded
-    bandwidth relative to link capacity, with seeded jitter.  This is
-    the realistic counterpart to {!Noc_sim.Traffic_gen.burst}'s
-    adversarial stress pattern. *)
+(** Simulator workloads derived from the benchmark traffic.
+
+    A benchmark fixes the flow set (every flow has a source, destination
+    and installed route), so the classic synthetic patterns of the NoC
+    literature — uniform random, hotspot, transpose, bursty
+    request/response — become {e injection schedules} over those flows
+    rather than destination choosers.  Every generator is seeded and
+    deterministic: the same network and parameters give bit-identical
+    packet lists on every platform, which is what lets simulation jobs
+    be content-addressed.  {!Noc_sim.Traffic_gen.burst} remains the
+    adversarial stress pattern these realistic schedules complement. *)
 
 open Noc_model
 
@@ -24,3 +30,140 @@ val bandwidth_proportional :
 val offered_load : Network.t -> capacity_mbps:float -> float
 (** Mean per-flow injection rate in flits/cycle implied by the
     demands — a quick saturation sanity check before simulating. *)
+
+val uniform_random :
+  Network.t ->
+  packet_length:int ->
+  duration:int ->
+  rate:float ->
+  seed:int ->
+  Noc_sim.Packet.t list
+(** Every routed flow offers [rate] flits/cycle on average: about
+    [rate * duration / packet_length] packets per flow at seeded
+    uniform injection times in [0, duration) (the fractional
+    expectation becomes one extra packet with matching probability).
+    @raise Invalid_argument on non-positive parameters. *)
+
+val hotspot :
+  Network.t ->
+  packet_length:int ->
+  duration:int ->
+  rate:float ->
+  factor:float ->
+  seed:int ->
+  Noc_sim.Packet.t list
+(** {!uniform_random}, except flows into the hotspot — the destination
+    core with the highest total demanded bandwidth (lowest id on ties)
+    — inject [factor] times faster than the background [rate].
+    @raise Invalid_argument when a parameter is non-positive or
+    [factor < 1]. *)
+
+val transpose :
+  Network.t ->
+  packet_length:int ->
+  packets_per_flow:int ->
+  interval:int ->
+  Noc_sim.Packet.t list
+(** Deterministic transpose schedule: flows fire in destination-major
+    (transposed) order, each phase-shifted within [interval], so
+    packets converging on one destination arrive as a wave — the
+    schedule analogue of the matrix-transpose permutation pattern.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val bursty :
+  Network.t ->
+  request_length:int ->
+  response_length:int ->
+  duration:int ->
+  exchanges:int ->
+  idle:int ->
+  seed:int ->
+  Noc_sim.Packet.t list
+(** AXI-style request/response traffic on the forward route: bursts of
+    [exchanges] short-command/long-data packet pairs back to back,
+    separated by seeded idle gaps of [idle..2*idle) cycles.  The
+    long-packet convoys make this the most deadlock-prone of the
+    realistic schedules.
+    @raise Invalid_argument on non-positive parameters. *)
+
+(** {1 First-class workload specs}
+
+    The spec type names a generator together with its parameters, so
+    workloads can be validated, serialized into jobs, and swept by
+    campaigns without threading six argument lists around. *)
+
+type spec =
+  | Burst of { packet_length : int; packets_per_flow : int }
+  | Uniform_random of {
+      packet_length : int;
+      duration : int;
+      rate : float;
+      seed : int;
+    }
+  | Hotspot of {
+      packet_length : int;
+      duration : int;
+      rate : float;
+      factor : float;
+      seed : int;
+    }
+  | Transpose of { packet_length : int; packets_per_flow : int; interval : int }
+  | Bursty of {
+      request_length : int;
+      response_length : int;
+      duration : int;
+      exchanges : int;
+      idle : int;
+      seed : int;
+    }
+  | Bandwidth_proportional of {
+      packet_length : int;
+      duration : int;
+      capacity_mbps : float;
+      seed : int;
+    }
+
+val default_burst : spec
+val default_uniform : spec
+val default_hotspot : spec
+val default_transpose : spec
+val default_bursty : spec
+val default_bandwidth : spec
+
+val kind : spec -> string
+(** Stable one-word name: [burst], [uniform], [hotspot], [transpose],
+    [bursty] or [bandwidth] — the tag used in job JSON and reports. *)
+
+val kinds : string list
+(** Every kind name, catalog order. *)
+
+val of_kind : string -> spec option
+(** The default spec of a kind name; [None] on an unknown kind. *)
+
+val describe : spec -> string
+(** Short human label with the distinguishing parameters, e.g.
+    ["uniform r=0.10"]. *)
+
+val injection_rate : spec -> float option
+(** The background injection rate of rate-parameterized kinds
+    ([uniform], [hotspot]); [None] otherwise. *)
+
+val at_rate : spec -> float -> spec option
+(** The spec re-parameterized at the given injection rate, for kinds
+    with one; [None] otherwise — campaigns use this to sweep load. *)
+
+val with_seed : spec -> int -> spec
+(** Replace the seed of seeded kinds; identity on the rest. *)
+
+val validate : spec -> string list
+(** Static parameter errors, empty when well-formed.  The generators
+    raise [Invalid_argument] on exactly these conditions. *)
+
+val saturation_warning : spec -> string option
+(** A warning when the spec offers more than one flit per cycle per
+    flow — the simulation will be injection-limited, not a deadlock
+    signal. *)
+
+val generate : Network.t -> spec -> Noc_sim.Packet.t list
+(** Run the named generator.
+    @raise Invalid_argument when {!validate} is non-empty. *)

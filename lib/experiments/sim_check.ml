@@ -4,10 +4,13 @@ type result = {
   outcome : Noc_sim.Engine.outcome;
 }
 
-let check ?(packet_length = 8) ?(packets_per_flow = 2) ~label net =
-  let packets =
-    Noc_sim.Traffic_gen.burst net ~packet_length ~packets_per_flow
+let check ?(packet_length = 8) ?(packets_per_flow = 2) ?workload ~label net =
+  let workload =
+    match workload with
+    | Some w -> w
+    | None -> Noc_benchmarks.Workloads.Burst { packet_length; packets_per_flow }
   in
+  let packets = Noc_benchmarks.Workloads.generate net workload in
   {
     label;
     cdg_cyclic = not (Noc_deadlock.Removal.is_deadlock_free net);

@@ -16,11 +16,14 @@ type result = {
 val check :
   ?packet_length:int ->
   ?packets_per_flow:int ->
+  ?workload:Noc_benchmarks.Workloads.spec ->
   label:string ->
   Network.t ->
   result
-(** Burst workload on the network as-is (default 8-flit packets, 2 per
-    flow). *)
+(** Drive [workload] on the network as-is.  The default is the
+    historical burst pattern (8-flit packets, 2 per flow, shaped by
+    [packet_length]/[packets_per_flow]); passing [workload] overrides
+    both of those arguments. *)
 
 val ring_demo : unit -> result * result
 (** The paper's ring, before (deadlocks) and after (completes)

@@ -164,6 +164,28 @@ let job_hash_unstable =
     summary = "canonical encoding round-trip changes the job's content hash";
   }
 
+(* Simulation jobs (pass: jobs, in the service layer). *)
+let sim_bad_workload =
+  {
+    code = "NOC-SIM-001";
+    severity = Error;
+    summary = "simulation job has invalid workload parameters";
+  }
+
+let sim_bad_engine =
+  {
+    code = "NOC-SIM-002";
+    severity = Error;
+    summary = "simulation job has an invalid engine configuration";
+  }
+
+let sim_saturated =
+  {
+    code = "NOC-SIM-003";
+    severity = Warning;
+    summary = "simulation workload offers more than one flit/cycle per flow";
+  }
+
 (* Trace streams (pass: traces, in the service layer). *)
 let trace_unparsable =
   {
@@ -207,6 +229,9 @@ let all =
     job_duplicate;
     job_bad_design;
     job_hash_unstable;
+    sim_bad_workload;
+    sim_bad_engine;
+    sim_saturated;
     trace_unparsable;
     trace_unbalanced;
     trace_nonmonotonic;

@@ -66,6 +66,12 @@ val job_duplicate : t
 val job_bad_design : t
 val job_hash_unstable : t
 
+(** {1 Simulation jobs} *)
+
+val sim_bad_workload : t
+val sim_bad_engine : t
+val sim_saturated : t
+
 (** {1 Trace streams (noc-trace/1)} *)
 
 val trace_unparsable : t

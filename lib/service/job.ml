@@ -14,6 +14,8 @@ type design =
   | Benchmark of { name : string; n_switches : int; max_degree : int }
   | Inline of string  (* full noc-design 1 text *)
 
+type prepare = As_is | Removal_first | Ordering_first
+
 type method_ =
   | Removal of {
       heuristic : Noc_deadlock.Removal.heuristic;
@@ -22,6 +24,12 @@ type method_ =
     }
   | Resource_ordering of { strategy : Noc_deadlock.Resource_ordering.strategy }
   | Sweep
+  | Simulate of {
+      prepare : prepare;
+      workload : Noc_benchmarks.Workloads.spec;
+      buffer_depth : int;
+      max_cycles : int;
+    }
 
 type t = { design : design; method_ : method_ }
 
@@ -34,6 +42,13 @@ let removal_defaults =
       directions = [ Noc_deadlock.Cost_table.Forward; Noc_deadlock.Cost_table.Backward ];
       resource = Noc_deadlock.Break_cycle.Virtual_channel;
     }
+
+let default_buffer_depth = 4
+let default_max_cycles = 200_000
+
+let simulate ?(prepare = As_is) ?(buffer_depth = default_buffer_depth)
+    ?(max_cycles = default_max_cycles) workload =
+  Simulate { prepare; workload; buffer_depth; max_cycles }
 
 (* ------------------------------------------------------------------ *)
 (* Canonical JSON                                                      *)
@@ -78,6 +93,72 @@ let strategy_of_name = function
   | "hop-index" -> Ok Noc_deadlock.Resource_ordering.Hop_index
   | s -> Error (Printf.sprintf "unknown strategy %S (want greedy|hop-index)" s)
 
+let prepare_name = function
+  | As_is -> "as-is"
+  | Removal_first -> "removal"
+  | Ordering_first -> "ordering"
+
+let prepare_of_name = function
+  | "as-is" -> Ok As_is
+  | "removal" -> Ok Removal_first
+  | "ordering" -> Ok Ordering_first
+  | s -> Error (Printf.sprintf "unknown prepare %S (want as-is|removal|ordering)" s)
+
+(* Workload specs serialize with the kind tag first and every parameter
+   explicit, in a fixed per-kind field order — same canonicality rules
+   as the job envelope. *)
+let workload_to_json w =
+  let open Noc_benchmarks.Workloads in
+  let num f = Json.Num f in
+  let int i = Json.Num (float_of_int i) in
+  let fields =
+    match w with
+    | Burst { packet_length; packets_per_flow } ->
+        [
+          ("packet_length", int packet_length);
+          ("packets_per_flow", int packets_per_flow);
+        ]
+    | Uniform_random { packet_length; duration; rate; seed } ->
+        [
+          ("packet_length", int packet_length);
+          ("duration", int duration);
+          ("rate", num rate);
+          ("seed", int seed);
+        ]
+    | Hotspot { packet_length; duration; rate; factor; seed } ->
+        [
+          ("packet_length", int packet_length);
+          ("duration", int duration);
+          ("rate", num rate);
+          ("factor", num factor);
+          ("seed", int seed);
+        ]
+    | Transpose { packet_length; packets_per_flow; interval } ->
+        [
+          ("packet_length", int packet_length);
+          ("packets_per_flow", int packets_per_flow);
+          ("interval", int interval);
+        ]
+    | Bursty { request_length; response_length; duration; exchanges; idle; seed }
+      ->
+        [
+          ("request_length", int request_length);
+          ("response_length", int response_length);
+          ("duration", int duration);
+          ("exchanges", int exchanges);
+          ("idle", int idle);
+          ("seed", int seed);
+        ]
+    | Bandwidth_proportional { packet_length; duration; capacity_mbps; seed } ->
+        [
+          ("packet_length", int packet_length);
+          ("duration", int duration);
+          ("capacity_mbps", num capacity_mbps);
+          ("seed", int seed);
+        ]
+  in
+  Json.Obj (("kind", Json.Str (kind w)) :: fields)
+
 let design_to_json = function
   | Benchmark { name; n_switches; max_degree } ->
       Json.Obj
@@ -87,6 +168,71 @@ let design_to_json = function
           ("max_degree", Json.Num (float_of_int max_degree));
         ]
   | Inline text -> Json.Obj [ ("inline", Json.Str text) ]
+
+(* Omitted workload parameters default to the corresponding
+   [Workloads.default_*] spec (pinned by a round-trip unit test). *)
+let workload_of_json v =
+  let open Noc_benchmarks.Workloads in
+  let ( let* ) = Result.bind in
+  let int_field key default =
+    match Json.member key v with
+    | None -> Ok default
+    | Some (Json.Num _ as n) -> Ok (Json.to_int n)
+    | Some _ -> Error (Printf.sprintf "workload.%s must be an integer" key)
+  in
+  let num_field key default =
+    match Json.member key v with
+    | None -> Ok default
+    | Some (Json.Num f) -> Ok f
+    | Some _ -> Error (Printf.sprintf "workload.%s must be a number" key)
+  in
+  match Json.member "kind" v with
+  | Some (Json.Str k) -> (
+      match k with
+      | "burst" ->
+          let* packet_length = int_field "packet_length" 8 in
+          let* packets_per_flow = int_field "packets_per_flow" 2 in
+          Ok (Burst { packet_length; packets_per_flow })
+      | "uniform" ->
+          let* packet_length = int_field "packet_length" 4 in
+          let* duration = int_field "duration" 512 in
+          let* rate = num_field "rate" 0.1 in
+          let* seed = int_field "seed" 1 in
+          Ok (Uniform_random { packet_length; duration; rate; seed })
+      | "hotspot" ->
+          let* packet_length = int_field "packet_length" 4 in
+          let* duration = int_field "duration" 512 in
+          let* rate = num_field "rate" 0.1 in
+          let* factor = num_field "factor" 4. in
+          let* seed = int_field "seed" 1 in
+          Ok (Hotspot { packet_length; duration; rate; factor; seed })
+      | "transpose" ->
+          let* packet_length = int_field "packet_length" 8 in
+          let* packets_per_flow = int_field "packets_per_flow" 4 in
+          let* interval = int_field "interval" 32 in
+          Ok (Transpose { packet_length; packets_per_flow; interval })
+      | "bursty" ->
+          let* request_length = int_field "request_length" 1 in
+          let* response_length = int_field "response_length" 8 in
+          let* duration = int_field "duration" 512 in
+          let* exchanges = int_field "exchanges" 2 in
+          let* idle = int_field "idle" 64 in
+          let* seed = int_field "seed" 1 in
+          Ok
+            (Bursty
+               { request_length; response_length; duration; exchanges; idle; seed })
+      | "bandwidth" ->
+          let* packet_length = int_field "packet_length" 4 in
+          let* duration = int_field "duration" 512 in
+          let* capacity_mbps = num_field "capacity_mbps" 1000. in
+          let* seed = int_field "seed" 1 in
+          Ok (Bandwidth_proportional { packet_length; duration; capacity_mbps; seed })
+      | k ->
+          Error
+            (Printf.sprintf "unknown workload kind %S (want %s)" k
+               (String.concat "|" kinds)))
+  | Some _ -> Error "workload.kind must be a string"
+  | None -> Error "workload: missing \"kind\" field"
 
 let method_to_json = function
   | Removal { heuristic; directions; resource } ->
@@ -100,6 +246,15 @@ let method_to_json = function
   | Resource_ordering { strategy } ->
       ("ordering", Json.Obj [ ("strategy", Json.Str (strategy_name strategy)) ])
   | Sweep -> ("sweep", Json.Obj [])
+  | Simulate { prepare; workload; buffer_depth; max_cycles } ->
+      ( "simulate",
+        Json.Obj
+          [
+            ("prepare", Json.Str (prepare_name prepare));
+            ("workload", workload_to_json workload);
+            ("buffer_depth", Json.Num (float_of_int buffer_depth));
+            ("max_cycles", Json.Num (float_of_int max_cycles));
+          ] )
 
 let to_json t =
   let method_name, options = method_to_json t.method_ in
@@ -152,7 +307,27 @@ let method_of_json name options =
       let* strategy = strategy_of_name s in
       Ok (Resource_ordering { strategy })
   | "sweep" -> Ok Sweep
-  | s -> Error (Printf.sprintf "unknown method %S (want removal|ordering|sweep)" s)
+  | "simulate" ->
+      let* p = str_option "prepare" "as-is" in
+      let* prepare = prepare_of_name p in
+      let* workload =
+        match Json.member "workload" options with
+        | None -> Ok Noc_benchmarks.Workloads.default_uniform
+        | Some (Json.Obj _ as w) -> workload_of_json w
+        | Some _ -> Error "options.workload must be an object"
+      in
+      let int_option key default =
+        match Json.member key options with
+        | None -> Ok default
+        | Some (Json.Num _ as n) -> Ok (Json.to_int n)
+        | Some _ -> Error (Printf.sprintf "options.%s must be an integer" key)
+      in
+      let* buffer_depth = int_option "buffer_depth" default_buffer_depth in
+      let* max_cycles = int_option "max_cycles" default_max_cycles in
+      Ok (Simulate { prepare; workload; buffer_depth; max_cycles })
+  | s ->
+      Error
+        (Printf.sprintf "unknown method %S (want removal|ordering|sweep|simulate)" s)
 
 let of_json v =
   match v with
@@ -191,6 +366,10 @@ let label t =
     | Removal _ -> "removal"
     | Resource_ordering _ -> "ordering"
     | Sweep -> "sweep"
+    | Simulate { prepare; workload; _ } ->
+        Printf.sprintf "sim %s/%s"
+          (Noc_benchmarks.Workloads.kind workload)
+          (prepare_name prepare)
   in
   Printf.sprintf "%s %s" how what
 

@@ -18,6 +18,11 @@ type design =
           {!Noc_model.Io}); hashed as content, so the same text is the
           same job wherever it came from. *)
 
+type prepare = As_is | Removal_first | Ordering_first
+(** What to do to the design before simulating: nothing, the paper's
+    deadlock-removal algorithm, or the Dally–Towles resource-ordering
+    baseline (hop-index strategy). *)
+
 type method_ =
   | Removal of {
       heuristic : Noc_deadlock.Removal.heuristic;
@@ -28,6 +33,15 @@ type method_ =
   | Sweep
       (** The full method comparison of {!Noc_experiments.Sweep} on one
           design point. *)
+  | Simulate of {
+      prepare : prepare;
+      workload : Noc_benchmarks.Workloads.spec;
+      buffer_depth : int;
+      max_cycles : int;
+    }
+      (** Run the wormhole simulator on the (optionally prepared)
+          design under a seeded workload; the outcome carries latency
+          percentiles, throughput and any deadlock certificate. *)
 
 type t = { design : design; method_ : method_ }
 
@@ -37,6 +51,25 @@ val default_max_degree : int
 val removal_defaults : method_
 (** [Removal] with the paper's defaults: smallest cycle first, both
     directions, VC resource. *)
+
+val default_buffer_depth : int
+(** [4], matching {!Noc_sim.Engine.default_config}. *)
+
+val default_max_cycles : int
+(** [200_000], matching {!Noc_sim.Engine.default_config}. *)
+
+val simulate :
+  ?prepare:prepare ->
+  ?buffer_depth:int ->
+  ?max_cycles:int ->
+  Noc_benchmarks.Workloads.spec ->
+  method_
+(** [Simulate] with engine defaults and [As_is] preparation. *)
+
+val prepare_name : prepare -> string
+(** ["as-is"], ["removal"] or ["ordering"] — the canonical JSON tag. *)
+
+val prepare_of_name : string -> (prepare, string) result
 
 val to_json : t -> Json.t
 (** Canonical: fixed field order, defaults explicit. *)

@@ -38,6 +38,50 @@ let inline_design_errors text =
                        d.Diagnostic.message)
                    errors)))
 
+(* Simulation jobs carry workload and engine parameters the runner
+   would only reject at execution time; vetting them statically keeps
+   bad sweeps out of the pool.  Saturated injection rates are a
+   warning, not an error: the sim still runs, it is just
+   injection-limited. *)
+let simulate_diagnostics ~location (job : Job.t) =
+  match job.Job.method_ with
+  | Job.Removal _ | Job.Resource_ordering _ | Job.Sweep -> []
+  | Job.Simulate { workload; buffer_depth; max_cycles; _ } ->
+      let kind = Noc_benchmarks.Workloads.kind workload in
+      let workload_errors =
+        List.map
+          (fun msg ->
+            Diagnostic.v Diag_code.sim_bad_workload location
+              (Printf.sprintf "%s workload: %s" kind msg))
+          (Noc_benchmarks.Workloads.validate workload)
+      in
+      let engine_errors =
+        (if buffer_depth < 1 then
+           [
+             Diagnostic.v Diag_code.sim_bad_engine location
+               (Printf.sprintf "buffer_depth %d must be at least 1" buffer_depth);
+           ]
+         else [])
+        @
+        if max_cycles < 1 then
+          [
+            Diagnostic.v Diag_code.sim_bad_engine location
+              (Printf.sprintf "max_cycles %d must be at least 1" max_cycles);
+          ]
+        else []
+      in
+      let saturation =
+        match Noc_benchmarks.Workloads.saturation_warning workload with
+        | Some msg ->
+            [
+              Diagnostic.v Diag_code.sim_saturated location
+                (Printf.sprintf "%s workload: %s" kind msg)
+                ~fix:"lower the injection rate or hotspot factor";
+            ]
+        | None -> []
+      in
+      workload_errors @ engine_errors @ saturation
+
 (* One job's static findings (everything except cross-job duplicate
    detection, which needs the whole file).  [hash_stability] takes the
    encoding as an argument so a tampered one can be exercised directly
@@ -74,7 +118,9 @@ let rec job_diagnostics ~location (job : Job.t) =
         | Ok () -> []
         | Error msg -> [ Diagnostic.v Diag_code.job_malformed location msg ])
   in
-  design @ hash_stability ~location ~encoded:(Job.to_json job) job
+  design
+  @ simulate_diagnostics ~location job
+  @ hash_stability ~location ~encoded:(Job.to_json job) job
 
 and hash_stability ~location ~encoded (job : Job.t) =
   match Job.of_json encoded with
@@ -131,7 +177,9 @@ let jobs_pass =
     prefix = "NOC-JOB";
     scope = Pass.Job_scope;
     severity_floor = Diag_code.Error;
-    doc = "noc-jobs/1 files parse, reference real designs, and hash stably";
+    doc =
+      "noc-jobs/1 files parse, reference real designs, hash stably, and \
+       simulation jobs carry sane workload/engine parameters (NOC-SIM-*)";
     run =
       (function
       | Pass.Design _ | Pass.Trace_file _ -> []

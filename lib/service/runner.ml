@@ -99,6 +99,144 @@ let run_sweep (job : Job.t) =
             @ v "ordering" p.Noc_experiments.Sweep.ordering
             @ v "ordering_hop" p.Noc_experiments.Sweep.ordering_hop))
 
+(* Latency percentile over a sorted array: nearest-rank, so the result
+   is always an observed (integer-cycle) latency and platform-exact. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    float_of_int sorted.(max 0 (min (n - 1) i))
+
+(* A simulation is a deterministic function of the job: the design is
+   prepared (nothing / removal / ordering) on the private copy, the
+   seeded workload is generated, and the engine's Deliver events give
+   per-packet latencies for the percentile metrics.  A deadlock is a
+   measurement, not a failure: the outcome is [Done] with
+   [deadlocked = 1] and the certificate summarized, so campaigns can
+   treat deadlocks as data and cache them like any other result. *)
+let run_simulate ~prepare ~workload ~buffer_depth ~max_cycles net =
+  Noc_obs.Trace.with_span "sim.workload"
+    ~attrs:
+      [
+        ("kind", Noc_obs.Trace.Str (Noc_benchmarks.Workloads.kind workload));
+        ("prepare", Noc_obs.Trace.Str (Job.prepare_name prepare));
+      ]
+  @@ fun _span ->
+  let* prep_metrics =
+    match prepare with
+    | Job.As_is -> Ok [ ("vcs_added", 0.) ]
+    | Job.Removal_first ->
+        let report = Noc_deadlock.Removal.run net in
+        if not report.Noc_deadlock.Removal.deadlock_free then
+          Error "removal hit its iteration cap"
+        else
+          Ok
+            [
+              ( "vcs_added",
+                float_of_int report.Noc_deadlock.Removal.vcs_added );
+            ]
+    | Job.Ordering_first ->
+        let report =
+          Noc_deadlock.Resource_ordering.apply
+            ~strategy:Noc_deadlock.Resource_ordering.Hop_index net
+        in
+        Ok
+          [
+            ( "vcs_added",
+              float_of_int report.Noc_deadlock.Resource_ordering.vcs_added );
+          ]
+  in
+  let cdg_cyclic = not (Noc_deadlock.Removal.is_deadlock_free net) in
+  let packets = Noc_benchmarks.Workloads.generate net workload in
+  let by_id = Hashtbl.create (List.length packets) in
+  List.iter
+    (fun (p : Noc_sim.Packet.t) ->
+      Hashtbl.replace by_id p.Noc_sim.Packet.id
+        (p.Noc_sim.Packet.inject_at, p.Noc_sim.Packet.length))
+    packets;
+  let latencies = ref [] in
+  let flits_delivered = ref 0 in
+  let on_event = function
+    | Noc_sim.Trace.Deliver { cycle; packet } -> (
+        match Hashtbl.find_opt by_id packet with
+        | Some (inject_at, length) ->
+            latencies := (cycle - inject_at) :: !latencies;
+            flits_delivered := !flits_delivered + length
+        | None -> ())
+    | _ -> ()
+  in
+  let config =
+    { Noc_sim.Engine.default_config with buffer_depth; max_cycles }
+  in
+  let outcome = Noc_sim.Engine.run ~config ~on_event net packets in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let n_lat = Array.length lat in
+  let avg_latency =
+    if n_lat = 0 then 0.
+    else
+      float_of_int (Array.fold_left ( + ) 0 lat) /. float_of_int n_lat
+  in
+  let flits_offered =
+    List.fold_left
+      (fun acc (p : Noc_sim.Packet.t) -> acc + p.Noc_sim.Packet.length)
+      0 packets
+  in
+  let completed, deadlocked, timed_out =
+    match outcome with
+    | Noc_sim.Engine.Completed _ -> (1., 0., 0.)
+    | Noc_sim.Engine.Deadlocked _ -> (0., 1., 0.)
+    | Noc_sim.Engine.Timed_out _ -> (0., 0., 1.)
+  in
+  let cycles =
+    match outcome with
+    | Noc_sim.Engine.Completed s | Noc_sim.Engine.Timed_out s ->
+        s.Noc_sim.Stats.cycles
+    | Noc_sim.Engine.Deadlocked d -> d.Noc_sim.Engine.cycle
+  in
+  let certified, waits_for_len, blocked, in_net =
+    match outcome with
+    | Noc_sim.Engine.Deadlocked d ->
+        ( (match d.Noc_sim.Engine.waits_for_cycle with
+          | Some _ -> 1.
+          | None -> 0.),
+          (match d.Noc_sim.Engine.waits_for_cycle with
+          | Some ids -> float_of_int (List.length ids)
+          | None -> 0.),
+          float_of_int (List.length d.Noc_sim.Engine.blocked_packets),
+          float_of_int d.Noc_sim.Engine.in_network_flits )
+    | Noc_sim.Engine.Completed _ | Noc_sim.Engine.Timed_out _ ->
+        (0., 0., 0., 0.)
+  in
+  let throughput =
+    if cycles = 0 then 0.
+    else float_of_int !flits_delivered /. float_of_int cycles
+  in
+  Ok
+    ([
+       ("completed", completed);
+       ("deadlocked", deadlocked);
+       ("timed_out", timed_out);
+       ("cdg_cyclic", if cdg_cyclic then 1. else 0.);
+       ("certified", certified);
+       ("cycles", float_of_int cycles);
+       ("packets", float_of_int (List.length packets));
+       ("flits_offered", float_of_int flits_offered);
+       ("delivered", float_of_int n_lat);
+       ("flits_delivered", float_of_int !flits_delivered);
+       ("throughput", throughput);
+       ("avg_latency", avg_latency);
+       ("p50_latency", percentile lat 0.50);
+       ("p95_latency", percentile lat 0.95);
+       ("p99_latency", percentile lat 0.99);
+       ("max_latency", percentile lat 1.0);
+       ("blocked_packets", blocked);
+       ("in_network_flits", in_net);
+       ("waits_for_len", waits_for_len);
+     ]
+    @ prep_metrics @ shape_metrics net @ power_metrics net)
+
 let metrics (job : Job.t) =
   match job.Job.method_ with
   | Job.Sweep -> run_sweep job
@@ -108,6 +246,9 @@ let metrics (job : Job.t) =
   | Job.Resource_ordering { strategy } ->
       let* net = build_network job.Job.design in
       run_ordering ~strategy net
+  | Job.Simulate { prepare; workload; buffer_depth; max_cycles } ->
+      let* net = build_network job.Job.design in
+      run_simulate ~prepare ~workload ~buffer_depth ~max_cycles net
 
 let execute job =
   let t0 = Unix.gettimeofday () in

@@ -33,6 +33,16 @@ type outcome =
    one cycle (one hop per cycle). *)
 type buffered = { flit : Packet.flit; mutable arrived : int }
 
+(* Observability: one span around the whole run, one span per batch of
+   [span_cycle_batch] cycles (per-cycle spans would swamp the trace),
+   and process totals for injected/delivered flits.  Counters are lazy
+   so merely linking the simulator never adds sim rows to unrelated
+   metric snapshots. *)
+let span_cycle_batch = 1024
+let flits_injected_total = lazy (Noc_obs.Metrics.counter "sim.flits_injected")
+let flits_delivered_total = lazy (Noc_obs.Metrics.counter "sim.flits_delivered")
+let deadlocks_total = lazy (Noc_obs.Metrics.counter "sim.deadlocks")
+
 type chan_state = {
   channel : Channel.t;
   capacity : int;
@@ -57,6 +67,16 @@ let route_index (p : Packet.t) c =
 
 let run ?(config = default_config) ?(on_event = fun (_ : Trace.event) -> ()) net
     packets =
+  let total_flits =
+    List.fold_left (fun acc (p : Packet.t) -> acc + p.Packet.length) 0 packets
+  in
+  Noc_obs.Trace.with_span "sim.run"
+    ~attrs:
+      [
+        ("packets", Noc_obs.Trace.Int (List.length packets));
+        ("flits", Noc_obs.Trace.Int total_flits);
+      ]
+  @@ fun run_span ->
   let topo = Network.topology net in
   let states = Channel.Table.create 256 in
   List.iter
@@ -111,6 +131,8 @@ let run ?(config = default_config) ?(on_event = fun (_ : Trace.event) -> ()) net
   in
   let n_packets = List.length packets in
   let flits_moved = ref 0 in
+  let injected_flits = ref 0 in
+  let ejected_flits = ref 0 in
   let acc = Stats.Accumulator.create () in
   let record_delivery (p : Packet.t) cycle =
     Stats.Accumulator.record acc ~flow:p.Packet.flow
@@ -167,6 +189,7 @@ let run ?(config = default_config) ?(on_event = fun (_ : Trace.event) -> ()) net
             (* Ejection into the destination NI: always drains. *)
             ignore (Queue.pop cs.queue);
             incr flits_moved;
+            incr ejected_flits;
             moved := true;
             if Packet.is_tail b.flit then begin
               cs.owner <- None;
@@ -251,6 +274,7 @@ let run ?(config = default_config) ?(on_event = fun (_ : Trace.event) -> ()) net
                    });
               src.sent <- src.sent + 1;
               incr flits_moved;
+              incr injected_flits;
               moved := true;
               if src.sent = p.Packet.length then begin
                 src.pending <- rest;
@@ -292,10 +316,41 @@ let run ?(config = default_config) ?(on_event = fun (_ : Trace.event) -> ()) net
       sources;
     (List.rev !edges, List.sort_uniq compare !blocked)
   in
+  (* Span batching: one "sim.cycles" span per [span_cycle_batch] cycles
+     keeps the trace readable at any simulation length.  Spans nest
+     strictly inside "sim.run" (LIFO per domain), which the balanced-
+     span lint pass checks. *)
+  let batch_span = ref Noc_obs.Trace.null_span in
+  let rotate_batch cycle =
+    Noc_obs.Trace.finish !batch_span;
+    batch_span :=
+      Noc_obs.Trace.start
+        ~attrs:[ ("cycle", Noc_obs.Trace.Int cycle) ]
+        "sim.cycles"
+  in
+  let conclude outcome =
+    Noc_obs.Trace.finish !batch_span;
+    Noc_obs.Metrics.add (Lazy.force flits_injected_total) !injected_flits;
+    Noc_obs.Metrics.add (Lazy.force flits_delivered_total) !ejected_flits;
+    let name, cycles =
+      match outcome with
+      | Completed s -> ("completed", s.Stats.cycles)
+      | Timed_out s -> ("timed-out", s.Stats.cycles)
+      | Deadlocked d ->
+          Noc_obs.Metrics.incr (Lazy.force deadlocks_total);
+          ("deadlocked", d.cycle)
+    in
+    Noc_obs.Trace.add_attr run_span "outcome" (Noc_obs.Trace.Str name);
+    Noc_obs.Trace.add_attr run_span "cycles" (Noc_obs.Trace.Int cycles);
+    Noc_obs.Trace.add_attr run_span "delivered"
+      (Noc_obs.Trace.Int (delivered ()));
+    outcome
+  in
   let rec loop cycle stall =
-    if delivered () = n_packets then Completed (stats cycle)
-    else if cycle >= config.max_cycles then Timed_out (stats cycle)
+    if delivered () = n_packets then conclude (Completed (stats cycle))
+    else if cycle >= config.max_cycles then conclude (Timed_out (stats cycle))
     else begin
+      if cycle mod span_cycle_batch = 0 then rotate_batch cycle;
       let moved = step cycle in
       let in_net = network_flits () in
       let eligible_source =
@@ -313,13 +368,14 @@ let run ?(config = default_config) ?(on_event = fun (_ : Trace.event) -> ()) net
       let threshold = max config.stall_threshold (4 * config.router_latency) in
       if stall >= threshold then begin
         let edges, blocked = waits_for cycle in
-        Deadlocked
-          {
-            cycle;
-            in_network_flits = in_net;
-            blocked_packets = blocked;
-            waits_for_cycle = Deadlock_detect.find_cycle edges;
-          }
+        conclude
+          (Deadlocked
+             {
+               cycle;
+               in_network_flits = in_net;
+               blocked_packets = blocked;
+               waits_for_cycle = Deadlock_detect.find_cycle edges;
+             })
       end
       else loop (cycle + 1) stall
     end

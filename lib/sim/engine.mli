@@ -56,6 +56,12 @@ val run :
     and VC structure.  Packet routes must use existing channels.
     [on_event] (default: none) receives every observable action, in
     order — see {!Trace}.
+
+    When a {!Noc_obs.Trace} collector is installed, the run records a
+    ["sim.run"] span (packet/flit counts, outcome, cycles) containing
+    one ["sim.cycles"] span per 1024-cycle batch, and bumps the
+    [sim.flits_injected] / [sim.flits_delivered] / [sim.deadlocks]
+    metrics.
     @raise Invalid_argument when a packet references an unknown
     channel. *)
 

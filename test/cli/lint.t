@@ -123,7 +123,7 @@ catalog, one result per finding:
   $ grep -o '"version": "2.1.0"' lint.sarif
   "version": "2.1.0"
   $ grep -c '"id": "NOC-' lint.sarif
-  22
+  25
   $ grep -c '"ruleId"' lint.sarif
   3
 

@@ -1,0 +1,37 @@
+The simulate command runs the wormhole engine on a synthesized
+benchmark. D36_8 at 14 switches has a cyclic channel-dependency graph,
+and under the default burst workload it deadlocks with a certified
+waits-for cycle:
+
+  $ noc_tool simulate -b D36_8 -s 14
+  D36_8@14 (as synthesized) (CDG cyclic):
+    DEADLOCK at cycle 299: 88 flits stuck, 78 blocked packets, waits-for cycle: 378 -> 230 -> 158 -> 62
+
+With --remove-deadlocks the VC-splitting pass breaks every CDG cycle
+first, and the same traffic runs to completion:
+
+  $ noc_tool simulate -b D36_8 -s 14 --remove-deadlocks | head -2
+  D36_8@14 (after removal) (CDG acyclic):
+    completed: simulation: 498 cycles, 460 packets delivered, 9280 flit moves, avg latency 135.7, max 497
+
+The synthetic workloads beyond the default burst pattern are available
+via --workload; they are seeded and deterministic:
+
+  $ noc_tool simulate -b D36_8 -s 14 --workload uniform
+  D36_8@14 (as synthesized) (CDG cyclic):
+    DEADLOCK at cycle 857: 92 flits stuck, 172 blocked packets, waits-for cycle: 2427 -> 1490 -> 1485 -> 2252 -> 742
+
+  $ noc_tool simulate -b D36_8 -s 14 --workload uniform --remove-deadlocks | head -2
+  D36_8@14 (after removal) (CDG acyclic):
+    completed: simulation: 1881 cycles, 2947 packets delivered, 29724 flit moves, avg latency 355.3, max 1785
+
+Unknown benchmarks and workloads are rejected with the list of valid
+names:
+
+  $ noc_tool simulate -b nope
+  error: unknown benchmark nope (try: D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd)
+  [1]
+
+  $ noc_tool simulate -b D36_8 --workload zipf
+  error: unknown workload zipf (try: burst, uniform, hotspot, transpose, bursty, bandwidth)
+  [1]

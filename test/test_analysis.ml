@@ -35,7 +35,7 @@ let contains ~needle haystack =
 
 let test_code_table () =
   let codes = List.map (fun (c : Diag_code.t) -> c.Diag_code.code) Diag_code.all in
-  check int_c "22 published codes" 22 (List.length codes);
+  check int_c "25 published codes" 25 (List.length codes);
   check int_c "codes are unique" (List.length codes)
     (List.length (List.sort_uniq String.compare codes));
   List.iter

@@ -348,6 +348,122 @@ let test_offered_load () =
   check (Alcotest.float 1e-9) "mean rate" 0.1375
     (Workloads.offered_load net ~capacity_mbps:4000.)
 
+(* Workload specs: the first-class descriptions behind Simulate jobs. *)
+
+let all_default_specs =
+  Workloads.
+    [
+      default_burst; default_uniform; default_hotspot; default_transpose;
+      default_bursty; default_bandwidth;
+    ]
+
+let test_spec_kinds_round_trip () =
+  List.iter
+    (fun spec ->
+      match Workloads.of_kind (Workloads.kind spec) with
+      | Some d ->
+          check bool_c (Workloads.kind spec) true
+            (Workloads.kind d = Workloads.kind spec)
+      | None -> Alcotest.fail (Workloads.kind spec ^ " not registered"))
+    all_default_specs;
+  check int_c "kinds list complete" (List.length all_default_specs)
+    (List.length Workloads.kinds);
+  check bool_c "unknown kind" true (Workloads.of_kind "zipf" = None)
+
+let test_spec_generators_deterministic () =
+  let net, _, _ = workload_net () in
+  List.iter
+    (fun spec ->
+      let shape () =
+        List.map
+          (fun (p : Noc_sim.Packet.t) ->
+            ( p.Noc_sim.Packet.id,
+              p.Noc_sim.Packet.inject_at,
+              p.Noc_sim.Packet.length ))
+          (Workloads.generate net spec)
+      in
+      check bool_c (Workloads.kind spec ^ ": nonempty") true (shape () <> []);
+      check bool_c
+        (Workloads.kind spec ^ ": deterministic")
+        true
+        (shape () = shape ()))
+    all_default_specs
+
+let test_spec_seed_changes_schedule () =
+  let net, _, _ = workload_net () in
+  let times seed =
+    List.map
+      (fun (p : Noc_sim.Packet.t) -> p.Noc_sim.Packet.inject_at)
+      (Workloads.generate net (Workloads.with_seed Workloads.default_uniform seed))
+  in
+  check bool_c "different seeds, different schedules" true (times 1 <> times 2)
+
+let test_hotspot_targets_heaviest_destination () =
+  (* Core 1 receives 1000 MB/s against core 2's 100, so the flow into it
+     is the hotspot and injects [factor] times more packets. *)
+  let net, heavy, light = workload_net () in
+  let packets = Workloads.generate net Workloads.default_hotspot in
+  let h = count_for heavy packets and l = count_for light packets in
+  check bool_c "hotspot flow denser" true (h >= 2 * l && l >= 1)
+
+let test_transpose_wave_schedule () =
+  (* Destination-major order: the flow into core 1 leads each interval,
+     the flow into core 2 is phase-shifted half an interval behind. *)
+  let net, heavy, light = workload_net () in
+  let packets = Workloads.generate net Workloads.default_transpose in
+  check int_c "flows x packets_per_flow" 8 (List.length packets);
+  let at flow =
+    List.sort compare
+      (List.filter_map
+         (fun (p : Noc_sim.Packet.t) ->
+           if Ids.Flow.equal p.Noc_sim.Packet.flow flow then
+             Some p.Noc_sim.Packet.inject_at
+           else None)
+         packets)
+  in
+  check Alcotest.(list int) "leading flow on the grid" [ 0; 32; 64; 96 ]
+    (at heavy);
+  check Alcotest.(list int) "trailing flow phase-shifted" [ 16; 48; 80; 112 ]
+    (at light)
+
+let test_bursty_request_response_pairs () =
+  let net, _, _ = workload_net () in
+  let packets = Workloads.generate net Workloads.default_bursty in
+  let lengths =
+    List.map (fun (p : Noc_sim.Packet.t) -> p.Noc_sim.Packet.length) packets
+  in
+  check bool_c "only request/response lengths" true
+    (List.for_all (fun l -> l = 1 || l = 8) lengths);
+  check int_c "every request paired with a response"
+    (List.length (List.filter (( = ) 1) lengths))
+    (List.length (List.filter (( = ) 8) lengths));
+  check bool_c "within duration" true
+    (List.for_all
+       (fun (p : Noc_sim.Packet.t) -> p.Noc_sim.Packet.inject_at < 512)
+       packets)
+
+let test_spec_validate_and_saturation () =
+  let bad =
+    Workloads.Uniform_random
+      { packet_length = 0; duration = 0; rate = 0.; seed = 1 }
+  in
+  check int_c "three errors" 3 (List.length (Workloads.validate bad));
+  check bool_c "defaults valid" true
+    (List.for_all (fun s -> Workloads.validate s = []) all_default_specs);
+  check bool_c "defaults below saturation" true
+    (List.for_all
+       (fun s -> Workloads.saturation_warning s = None)
+       all_default_specs);
+  (match Workloads.at_rate Workloads.default_uniform 1.5 with
+  | Some w ->
+      check bool_c "oversaturated rate flagged" true
+        (Workloads.saturation_warning w <> None);
+      check (Alcotest.option (Alcotest.float 1e-9)) "rate updated" (Some 1.5)
+        (Workloads.injection_rate w)
+  | None -> Alcotest.fail "uniform is rate-parameterized");
+  check bool_c "burst has no rate knob" true
+    (Workloads.at_rate Workloads.default_burst 0.5 = None)
+
 let test_flows_of_table () =
   let t = Spec.flows_of_table ~n_cores:3 [ (0, 1, 10.); (1, 2, 20.) ] in
   check int_c "two flows" 2 (Traffic.n_flows t);
@@ -392,6 +508,14 @@ let () =
           tc "runs in the simulator" test_workload_simulates;
           tc "validation" test_workload_validation;
           tc "offered load" test_offered_load;
+          tc "spec kinds round-trip" test_spec_kinds_round_trip;
+          tc "spec generators deterministic" test_spec_generators_deterministic;
+          tc "seed changes the schedule" test_spec_seed_changes_schedule;
+          tc "hotspot targets heaviest destination"
+            test_hotspot_targets_heaviest_destination;
+          tc "transpose wave schedule" test_transpose_wave_schedule;
+          tc "bursty request/response pairs" test_bursty_request_response_pairs;
+          tc "spec validation and saturation" test_spec_validate_and_saturation;
         ] );
       ( "synthetic",
         [

@@ -84,6 +84,45 @@ let job_gen =
           (string_size ~gen:printable (int_bound 80));
       ]
   in
+  let workload_gen =
+    let open Noc_benchmarks.Workloads in
+    oneof
+      [
+        (let* packet_length = int_range 1 12 in
+         let* packets_per_flow = int_range 1 4 in
+         return (Burst { packet_length; packets_per_flow }));
+        (let* packet_length = int_range 1 12 in
+         let* duration = int_range 1 1024 in
+         let* rate = map (fun n -> float_of_int n /. 100.) (int_range 1 120) in
+         let* seed = int_range 0 1000 in
+         return (Uniform_random { packet_length; duration; rate; seed }));
+        (let* packet_length = int_range 1 12 in
+         let* duration = int_range 1 1024 in
+         let* rate = map (fun n -> float_of_int n /. 100.) (int_range 1 120) in
+         let* factor = map (fun n -> float_of_int n /. 10.) (int_range 10 80) in
+         let* seed = int_range 0 1000 in
+         return (Hotspot { packet_length; duration; rate; factor; seed }));
+        (let* packet_length = int_range 1 12 in
+         let* packets_per_flow = int_range 1 4 in
+         let* interval = int_range 1 64 in
+         return (Transpose { packet_length; packets_per_flow; interval }));
+        (let* request_length = int_range 1 4 in
+         let* response_length = int_range 1 16 in
+         let* duration = int_range 1 1024 in
+         let* exchanges = int_range 1 4 in
+         let* idle = int_range 1 128 in
+         let* seed = int_range 0 1000 in
+         return
+           (Bursty
+              { request_length; response_length; duration; exchanges; idle; seed }));
+        (let* packet_length = int_range 1 12 in
+         let* duration = int_range 1 1024 in
+         let* capacity_mbps = map float_of_int (int_range 100 10_000) in
+         let* seed = int_range 0 1000 in
+         return
+           (Bandwidth_proportional { packet_length; duration; capacity_mbps; seed }));
+      ]
+  in
   let method_gen =
     oneof
       [
@@ -118,6 +157,13 @@ let job_gen =
                Noc_deadlock.Resource_ordering.Hop_index;
              ]);
         return Job.Sweep;
+        (let* prepare =
+           oneofl [ Job.As_is; Job.Removal_first; Job.Ordering_first ]
+         in
+         let* workload = workload_gen in
+         let* buffer_depth = int_range 1 8 in
+         let* max_cycles = int_range 100 10_000 in
+         return (Job.Simulate { prepare; workload; buffer_depth; max_cycles }));
       ]
   in
   let* design = design_gen in
@@ -184,6 +230,130 @@ let test_job_file_rejects_bad_schema () =
         n = 0 || scan 0
       in
       check bool_c "error names the schema" true (contains ~needle:"noc-jobs" e)
+
+let test_simulate_defaults_pinned () =
+  (* A terse simulate job decodes to the documented defaults... *)
+  let terse =
+    {|{"design": {"benchmark": "D36_8", "switches": 14}, "method": "simulate"}|}
+  in
+  let explicit =
+    {
+      Job.design =
+        Job.Benchmark
+          { name = "D36_8"; n_switches = 14; max_degree = Job.default_max_degree };
+      method_ = Job.simulate Noc_benchmarks.Workloads.default_uniform;
+    }
+  in
+  (match Result.bind (Json.of_string terse) Job.of_json with
+  | Error e -> Alcotest.failf "terse simulate job did not parse: %s" e
+  | Ok decoded ->
+      check bool_c "defaults applied" true (decoded = explicit);
+      check string_c "same content hash" (Job.hash explicit) (Job.hash decoded));
+  (* ...and a workload given only by kind decodes to the corresponding
+     [Workloads.default_*] spec, pinning the JSON-level defaults to the
+     library-level ones. *)
+  List.iter
+    (fun kind ->
+      let text =
+        Printf.sprintf
+          {|{"design": {"benchmark": "D36_8", "switches": 14},
+             "method": "simulate", "options": {"workload": {"kind": %S}}}|}
+          kind
+      in
+      match Result.bind (Json.of_string text) Job.of_json with
+      | Ok { Job.method_ = Job.Simulate { workload; _ }; _ } ->
+          check bool_c (kind ^ " kind alone gives the default spec") true
+            (Some workload = Noc_benchmarks.Workloads.of_kind kind)
+      | Ok _ -> Alcotest.fail "decoded to a non-simulate method"
+      | Error e -> Alcotest.failf "workload kind %s did not parse: %s" kind e)
+    Noc_benchmarks.Workloads.kinds
+
+let run_simulate_job ~prepare workload =
+  Runner.execute
+    {
+      Job.design =
+        Job.Benchmark
+          { name = "D36_8"; n_switches = 14; max_degree = Job.default_max_degree };
+      method_ = Job.simulate ~prepare workload;
+    }
+
+let test_simulate_runner_outcomes () =
+  let metric outcome name =
+    match Outcome.metric outcome name with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  (* Unprotected cyclic design: a certified deadlock, reported as data
+     (status Done) so campaigns can cache and analyze it. *)
+  let stuck =
+    run_simulate_job ~prepare:Job.As_is Noc_benchmarks.Workloads.default_burst
+  in
+  check bool_c "as-is run is Done" true (Outcome.is_done stuck);
+  check (Alcotest.float 0.) "cdg cyclic" 1. (metric stuck "cdg_cyclic");
+  check (Alcotest.float 0.) "deadlocked" 1. (metric stuck "deadlocked");
+  check (Alcotest.float 0.) "certified" 1. (metric stuck "certified");
+  check bool_c "cycle members counted" true (metric stuck "waits_for_len" > 0.);
+  (* The same design behind the removal pass completes, and the prep
+     cost (extra VCs) is reported alongside the sim metrics. *)
+  let fixed =
+    run_simulate_job ~prepare:Job.Removal_first
+      Noc_benchmarks.Workloads.default_burst
+  in
+  check (Alcotest.float 0.) "acyclic after removal" 0. (metric fixed "cdg_cyclic");
+  check (Alcotest.float 0.) "no deadlock" 0. (metric fixed "deadlocked");
+  check (Alcotest.float 0.) "all packets delivered"
+    (metric fixed "packets")
+    (metric fixed "delivered");
+  check bool_c "removal cost reported" true (metric fixed "vcs_added" > 0.);
+  check bool_c "latency percentiles ordered" true
+    (metric fixed "p50_latency" <= metric fixed "p95_latency"
+    && metric fixed "p95_latency" <= metric fixed "p99_latency"
+    && metric fixed "p99_latency" <= metric fixed "max_latency");
+  (* Resource ordering also protects, at a much higher VC cost. *)
+  let ordered =
+    run_simulate_job ~prepare:Job.Ordering_first
+      Noc_benchmarks.Workloads.default_burst
+  in
+  check (Alcotest.float 0.) "ordering protects" 0. (metric ordered "deadlocked");
+  check bool_c "ordering costs more VCs" true
+    (metric ordered "vcs_added" > metric fixed "vcs_added")
+
+let test_simulate_lint_codes () =
+  let codes job =
+    List.map
+      (fun (d : Noc_analysis.Diagnostic.t) ->
+        d.Noc_analysis.Diagnostic.code.Noc_model.Diag_code.code)
+      (Lint.job_diagnostics ~location:Noc_analysis.Diagnostic.Design job)
+  in
+  let design =
+    Job.Benchmark
+      { name = "D36_8"; n_switches = 14; max_degree = Job.default_max_degree }
+  in
+  let sim ?prepare ?buffer_depth ?max_cycles workload =
+    { Job.design; method_ = Job.simulate ?prepare ?buffer_depth ?max_cycles workload }
+  in
+  check Alcotest.(list string) "clean job" []
+    (codes (sim Noc_benchmarks.Workloads.default_uniform));
+  let bad_workload =
+    Noc_benchmarks.Workloads.Uniform_random
+      { packet_length = 0; duration = 512; rate = -1.; seed = 1 }
+  in
+  check bool_c "invalid workload -> NOC-SIM-001" true
+    (List.mem "NOC-SIM-001" (codes (sim bad_workload)));
+  check bool_c "bad engine config -> NOC-SIM-002" true
+    (List.mem "NOC-SIM-002"
+       (codes (sim ~buffer_depth:0 Noc_benchmarks.Workloads.default_uniform)));
+  let saturated =
+    Noc_benchmarks.Workloads.Hotspot
+      { packet_length = 4; duration = 512; rate = 0.5; factor = 4.; seed = 1 }
+  in
+  check bool_c "oversubscribed workload -> NOC-SIM-003" true
+    (List.mem "NOC-SIM-003" (codes (sim saturated)));
+  (* The saturation warning must not reject the job at the batch gate. *)
+  check bool_c "warning does not reject" true
+    (Result.is_ok (Lint.vet_job (sim saturated)));
+  check bool_c "error rejects" true
+    (Result.is_error (Lint.vet_job (sim bad_workload)))
 
 (* ------------------------------------------------------------------ *)
 (* Outcome                                                             *)
@@ -787,6 +957,12 @@ let () =
           Alcotest.test_case "defaults fill in" `Quick test_job_defaults_fill_in;
           Alcotest.test_case "bad schema rejected" `Quick
             test_job_file_rejects_bad_schema;
+          Alcotest.test_case "simulate defaults pinned" `Quick
+            test_simulate_defaults_pinned;
+          Alcotest.test_case "simulate runner outcomes" `Quick
+            test_simulate_runner_outcomes;
+          Alcotest.test_case "simulate lint codes" `Quick
+            test_simulate_lint_codes;
         ] );
       ( "outcome",
         [

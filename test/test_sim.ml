@@ -356,6 +356,60 @@ let test_deterministic_outcomes () =
   check (Alcotest.pair int_c int_c) "bit-identical reruns" (run_once ()) (run_once ())
 
 (* ------------------------------------------------------------------ *)
+(* Observability: Engine.run under a span collector                    *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value name =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | Noc_obs.Metrics.Counter { name = n; value } when n = name -> acc + value
+      | _ -> acc)
+    0 (Noc_obs.Metrics.snapshot ())
+
+let test_engine_emits_spans_and_counters () =
+  let collector = Noc_obs.Trace.create () in
+  Noc_obs.Metrics.reset ();
+  Noc_obs.Trace.install collector;
+  let outcome =
+    Fun.protect ~finally:Noc_obs.Trace.uninstall (fun () ->
+        let net, f, _ = one_link_net () in
+        let p =
+          Packet.make ~id:0 ~flow:f ~route:(Network.route net f) ~length:4
+            ~inject_at:0
+        in
+        Engine.run net [ p ])
+  in
+  (match outcome with
+  | Engine.Completed _ -> ()
+  | Engine.Deadlocked _ | Engine.Timed_out _ -> Alcotest.fail "expected completion");
+  let spans = Noc_obs.Trace.completed_spans collector in
+  let named n =
+    List.filter (fun (s : Noc_obs.Trace.completed) -> s.Noc_obs.Trace.name = n) spans
+  in
+  check bool_c "one sim.run span" true (List.length (named "sim.run") = 1);
+  check bool_c "cycle batch spans" true (named "sim.cycles" <> []);
+  check int_c "injected counter" 4 (counter_value "sim.flits_injected");
+  check int_c "delivered counter" 4 (counter_value "sim.flits_delivered");
+  check int_c "no deadlock counted" 0 (counter_value "sim.deadlocks")
+
+let test_engine_counts_deadlocks () =
+  let collector = Noc_obs.Trace.create () in
+  Noc_obs.Metrics.reset ();
+  Noc_obs.Trace.install collector;
+  let outcome =
+    Fun.protect ~finally:Noc_obs.Trace.uninstall (fun () ->
+        let ring = Fixtures.paper_ring () in
+        Engine.run ring.Fixtures.net
+          (Traffic_gen.burst ring.Fixtures.net ~packet_length:8
+             ~packets_per_flow:2))
+  in
+  (match outcome with
+  | Engine.Deadlocked _ -> ()
+  | Engine.Completed _ | Engine.Timed_out _ -> Alcotest.fail "expected deadlock");
+  check int_c "deadlock counted" 1 (counter_value "sim.deadlocks")
+
+(* ------------------------------------------------------------------ *)
 (* Adaptive engine                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -584,11 +638,87 @@ let prop_flit_conservation =
       | Engine.Completed s -> s.Stats.flits_moved = expected
       | Engine.Deadlocked _ | Engine.Timed_out _ -> false)
 
+(* Across the whole benchmark registry: once [Removal.run] has made the
+   CDG acyclic, no seeded workload — AXI-style bursty convoys or
+   bandwidth-proportional injection — can deadlock the design. *)
+let registry_names =
+  List.map (fun s -> s.Noc_benchmarks.Spec.name) Noc_benchmarks.Registry.all
+
+let synth_benchmark name =
+  let spec = Option.get (Noc_benchmarks.Registry.find name) in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let n_switches = min 12 spec.Noc_benchmarks.Spec.n_cores in
+  Noc_synth.Custom.synthesize_exn traffic ~n_switches
+
+let prop_removal_registry_never_deadlocks =
+  QCheck.Test.make
+    ~name:"post-removal registry designs never deadlock (any workload seed)"
+    ~count:30
+    QCheck.(triple (oneofl registry_names) (int_range 1 1000) bool)
+    (fun (name, seed, bursty) ->
+      let net = synth_benchmark name in
+      ignore (Noc_deadlock.Removal.run net);
+      let workload =
+        if bursty then
+          Noc_benchmarks.Workloads.Bursty
+            {
+              request_length = 1;
+              response_length = 8;
+              duration = 256;
+              exchanges = 2;
+              idle = 32;
+              seed;
+            }
+        else
+          Noc_benchmarks.Workloads.Bandwidth_proportional
+            { packet_length = 4; duration = 256; capacity_mbps = 1000.; seed }
+      in
+      let packets = Noc_benchmarks.Workloads.generate net workload in
+      match Engine.run net packets with
+      | Engine.Deadlocked _ -> false
+      | Engine.Completed _ | Engine.Timed_out _ -> true)
+
+(* Every deadlock the engine reports on the cyclic ring must carry a
+   waits-for cycle certificate that the detector itself confirms: the
+   consecutive (waiter, holder) pairs of the certificate form a cycle
+   over exactly its members, and each member is a blocked packet. *)
+let prop_deadlock_certificates_check_out =
+  QCheck.Test.make ~name:"deadlock certificates are confirmed by find_cycle"
+    ~count:30
+    QCheck.(pair (int_range 2 12) (int_range 1 4))
+    (fun (packet_length, packets_per_flow) ->
+      let ring = Fixtures.paper_ring () in
+      let packets =
+        Traffic_gen.burst ring.Fixtures.net ~packet_length ~packets_per_flow
+      in
+      match Engine.run ring.Fixtures.net packets with
+      | Engine.Completed _ | Engine.Timed_out _ -> true (* light loads drain *)
+      | Engine.Deadlocked d -> (
+          match d.Engine.waits_for_cycle with
+          | None -> false
+          | Some [] -> false
+          | Some (first :: _ as members) ->
+              let rec pairs = function
+                | a :: (b :: _ as rest) ->
+                    { Deadlock_detect.waiter = a; holder = b } :: pairs rest
+                | [ last ] ->
+                    [ { Deadlock_detect.waiter = last; holder = first } ]
+                | [] -> []
+              in
+              (match Deadlock_detect.find_cycle (pairs members) with
+              | Some cycle ->
+                  List.sort compare cycle = List.sort compare members
+              | None -> false)
+              && List.for_all
+                   (fun m -> List.mem m d.Engine.blocked_packets)
+                   members))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_removal_implies_completion; prop_flit_conservation;
-      prop_trace_invariants_hold;
+      prop_trace_invariants_hold; prop_removal_registry_never_deadlocks;
+      prop_deadlock_certificates_check_out;
     ]
 
 let () =
@@ -644,6 +774,11 @@ let () =
           tc "unprotected ring stalls" test_adaptive_unprotected_ring_stalls;
           tc "deterministic" test_adaptive_deterministic;
           tc "trace invariants" test_adaptive_trace_invariants;
+        ] );
+      ( "observability",
+        [
+          tc "spans and flit counters" test_engine_emits_spans_and_counters;
+          tc "deadlocks counted" test_engine_counts_deadlocks;
         ] );
       ( "trace",
         [
