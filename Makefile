@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt lint trace serve-smoke sim-smoke clean-tree \
+.PHONY: all build test fmt lint prove trace serve-smoke sim-smoke clean-tree \
   bench bench-gate ci clean
 
 all: build
@@ -32,6 +32,15 @@ lint: build
 	  --format=json > /dev/null
 	$(DUNE) exec bin/noc_tool.exe -- lint --all-benchmarks \
 	  --format=sarif -o lint.sarif
+
+# The independent-prover gate, mirroring the prove-smoke CI job: the
+# escape-elimination prover must agree with Verify.certify on every
+# registry benchmark as-is, and accept every removal-prepared design
+# (exit 2 on any disagreement or residual deadlock potential).
+prove: build
+	$(DUNE) exec bin/noc_tool.exe -- prove --all-benchmarks
+	$(DUNE) exec bin/noc_tool.exe -- prove --all-benchmarks \
+	  --prepare removal --require-free
 
 # The tracing smoke test: a Chrome trace must be parseable JSON with
 # balanced begin/end events, and a generated noc-trace/1 stream must
@@ -99,6 +108,12 @@ clean-tree:
 	  git ls-files _build | head; \
 	  exit 1; \
 	fi
+	@if git ls-files lint.sarif trace.json trace.jsonl BENCH_removal.json \
+	  BENCH_service.json BENCH_sim.json | grep -q .; then \
+	  echo "clean-tree: generated reports are tracked in git"; \
+	  git ls-files lint.sarif trace.json trace.jsonl BENCH_*.json; \
+	  exit 1; \
+	fi
 	@before="$$(git status --porcelain)"; \
 	$(DUNE) build; \
 	after="$$(git status --porcelain)"; \
@@ -124,7 +139,7 @@ bench-gate: bench
 	$(DUNE) exec bench/check_regression.exe -- \
 	  bench/baseline/BENCH_sim.json BENCH_sim.json
 
-ci: build test fmt lint trace clean-tree bench-gate sim-smoke
+ci: build test fmt lint prove trace clean-tree bench-gate sim-smoke
 
 clean:
 	$(DUNE) clean

@@ -1,8 +1,8 @@
 (* noc_tool: command-line front end for the deadlock-removal flow.
 
    Subcommands: list, synth, remove, ordering, updown, duato, optimal,
-   harden, analyze, lint, dot, tables, compare, simulate, batch, serve,
-   submit, serve-stats, trace, example.  Every command works on a named
+   harden, analyze, lint, prove, dot, tables, compare, simulate, batch,
+   serve, submit, serve-stats, trace, example.  Every command works on a named
    benchmark synthesized at a chosen switch count — or on a design file
    via --input — so results are reproducible from the shell. *)
 
@@ -597,6 +597,24 @@ let lint_cmd =
          & info [ "capacity" ]
              ~doc:"Link capacity in MB/s for the bandwidth pass.")
   in
+  let suppress_arg =
+    Arg.(value & opt (list string) []
+         & info [ "suppress" ] ~docv:"CODE[,CODE]"
+             ~doc:"Drop findings with these diagnostic codes (e.g. \
+                   $(b,NOC-SIM-003)) before rendering and before the \
+                   $(b,--fail-on) gate, so advisories can be muted without \
+                   lowering the gate for every other code.  Unknown codes \
+                   are an error.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for $(b,--all-benchmarks) (each benchmark \
+                   is synthesized and analyzed independently; results are \
+                   merged in registry order, so the output is identical at \
+                   any $(docv)).  0 (default) picks the machine's \
+                   recommended domain count.")
+  in
   let output_arg =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE"
@@ -638,49 +656,94 @@ let lint_cmd =
     scan 0
   in
   let run () files format fail_on all_benchmarks name n_switches degree
-      capacity output =
+      capacity suppress jobs output =
     let passes = Noc_service.Lint.all_passes ~capacity_mbps:capacity () in
-    let benchmark_target spec =
-      let n_cores = spec.Noc_benchmarks.Spec.n_cores in
-      let n = min 14 n_cores in
-      let _, net =
-        or_die (synthesize spec.Noc_benchmarks.Spec.name n degree)
-      in
-      ( Printf.sprintf "%s@%d" spec.Noc_benchmarks.Spec.name n,
-        Noc_analysis.Pass.Design net )
-    in
-    let targets =
-      if all_benchmarks then
-        List.map benchmark_target Noc_benchmarks.Registry.all
-      else if files = [] then
-        let spec = or_die (lookup_benchmark name) in
-        let _, net = or_die (synthesize name n_switches degree) in
-        ignore spec;
-        [ (Printf.sprintf "%s@%d" name n_switches, Noc_analysis.Pass.Design net) ]
-      else
-        List.map
-          (fun path ->
-            let text =
+    let suppress =
+      List.map
+        (fun code ->
+          match Diag_code.find code with
+          | Some _ -> code
+          | None ->
               or_die
-                (Result.map_error
-                   (fun e -> Printf.sprintf "cannot read %s: %s" path e)
-                   (read_file path))
-            in
-            if is_design_text text then
-              match Io.load text with
-              | Ok net -> (path, Noc_analysis.Pass.Design net)
-              | Error e ->
-                  or_die (Error (Printf.sprintf "%s: %s" path e))
-            else if is_trace_text text then
-              (path, Noc_analysis.Pass.Trace_file { path; text })
-            else (path, Noc_analysis.Pass.Job_file { path; text }))
-          files
+                (Error
+                   (Printf.sprintf
+                      "--suppress: unknown diagnostic code %s (see noc_tool \
+                       lint --format json for the catalog)"
+                      code)))
+        suppress
     in
     let reports =
-      List.map
-        (fun (label, target) ->
-          Noc_analysis.Engine.analyze ~passes ~label target)
-        targets
+      if all_benchmarks then
+        (* Per-benchmark synthesis + analysis is independent, so fan it
+           out over a domain pool; Pool.run keeps registry order, so the
+           merged output is byte-identical at any -j. *)
+        let analyze_spec spec =
+          let n = min 14 spec.Noc_benchmarks.Spec.n_cores in
+          Result.map
+            (fun (_, net) ->
+              Noc_analysis.Engine.analyze ~passes
+                ~label:(Printf.sprintf "%s@%d" spec.Noc_benchmarks.Spec.name n)
+                (Noc_analysis.Pass.Design net))
+            (synthesize spec.Noc_benchmarks.Spec.name n degree)
+        in
+        let specs = Noc_benchmarks.Registry.all in
+        let domains =
+          let auto =
+            min (List.length specs) (Domain.recommended_domain_count ())
+          in
+          if jobs <= 0 then max 1 auto else jobs
+        in
+        List.map or_die (Noc_pool.Pool.run ~domains analyze_spec specs)
+      else
+        let targets =
+          if files = [] then
+            let spec = or_die (lookup_benchmark name) in
+            let _, net = or_die (synthesize name n_switches degree) in
+            ignore spec;
+            [
+              ( Printf.sprintf "%s@%d" name n_switches,
+                Noc_analysis.Pass.Design net );
+            ]
+          else
+            List.map
+              (fun path ->
+                let text =
+                  or_die
+                    (Result.map_error
+                       (fun e -> Printf.sprintf "cannot read %s: %s" path e)
+                       (read_file path))
+                in
+                if is_design_text text then
+                  match Io.load text with
+                  | Ok net -> (path, Noc_analysis.Pass.Design net)
+                  | Error e ->
+                      or_die (Error (Printf.sprintf "%s: %s" path e))
+                else if is_trace_text text then
+                  (path, Noc_analysis.Pass.Trace_file { path; text })
+                else (path, Noc_analysis.Pass.Job_file { path; text }))
+              files
+        in
+        List.map
+          (fun (label, target) ->
+            Noc_analysis.Engine.analyze ~passes ~label target)
+          targets
+    in
+    let reports =
+      if suppress = [] then reports
+      else
+        List.map
+          (fun (r : Noc_analysis.Engine.report) ->
+            {
+              r with
+              Noc_analysis.Engine.diagnostics =
+                List.filter
+                  (fun (d : Noc_analysis.Diagnostic.t) ->
+                    not
+                      (List.mem d.Noc_analysis.Diagnostic.code.Diag_code.code
+                         suppress))
+                  r.Noc_analysis.Engine.diagnostics;
+            })
+          reports
     in
     let rendered =
       match format with
@@ -720,11 +783,153 @@ let lint_cmd =
               docs/ANALYSIS.md).";
            `P
              "Exits 0 when no finding reaches the $(b,--fail-on) severity, \
-              2 when one does, 1 on unusable inputs.";
+              2 when one does, 1 on unusable inputs.  $(b,--suppress) drops \
+              named codes before the gate, so e.g. NOC-SIM-003 saturation \
+              advisories can be muted under $(b,--fail-on warning) without \
+              also muting the NOC-DLF prover codes.";
          ])
     Term.(const run $ logs_term $ files_arg $ format_arg $ fail_on_arg
           $ all_benchmarks_arg $ benchmark_arg $ switches_arg $ degree_arg
-          $ capacity_arg $ output_arg)
+          $ capacity_arg $ suppress_arg $ jobs_arg $ output_arg)
+
+let prove_cmd =
+  let all_benchmarks_arg =
+    Arg.(value & flag
+         & info [ "all-benchmarks" ]
+             ~doc:"Prove every registry benchmark (synthesized at the \
+                   default switch count); ignores $(b,--benchmark).")
+  in
+  let prepare_arg =
+    let choice = Arg.enum [ ("as-is", `As_is); ("removal", `Removal) ] in
+    Arg.(value & opt choice `As_is
+         & info [ "prepare" ]
+             ~doc:"Design preparation before proving: $(b,as-is) (default) \
+                   or $(b,removal) (run the paper's removal algorithm first \
+                   and report its VC cost against the static lower bound).")
+  in
+  let require_free_arg =
+    Arg.(value & flag
+         & info [ "require-free" ]
+             ~doc:"Exit 2 unless every design is proven deadlock-free.")
+  in
+  let pp_order_head ppf order =
+    let head = List.filteri (fun i _ -> i < 8) order in
+    Format.fprintf ppf "%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+         Channel.pp)
+      head;
+    let rest = List.length order - List.length head in
+    if rest > 0 then Format.fprintf ppf " (+%d more)" rest
+  in
+  let run () name n_switches degree input prepare require_free all_benchmarks
+      =
+    let targets =
+      if all_benchmarks then
+        List.map
+          (fun spec ->
+            let n = min 14 spec.Noc_benchmarks.Spec.n_cores in
+            let _, net =
+              or_die (synthesize spec.Noc_benchmarks.Spec.name n degree)
+            in
+            (Printf.sprintf "%s@%d" spec.Noc_benchmarks.Spec.name n, net))
+          Noc_benchmarks.Registry.all
+      else
+        let label =
+          match input with
+          | Some path -> path
+          | None -> Printf.sprintf "%s@%d" name n_switches
+        in
+        [ (label, or_die (obtain_network ~input ~name ~n_switches ~degree)) ]
+    in
+    let disagreed = ref false and any_cyclic = ref false in
+    List.iter
+      (fun (label, net) ->
+        (match prepare with
+        | `As_is -> ()
+        | `Removal ->
+            let bound = Noc_analysis.Deadlock_freedom.vc_lower_bound net in
+            let report = Noc_deadlock.Removal.run net in
+            Format.printf
+              "%s: removal added %d VC(s); static lower bound %d (gap %d)@."
+              label report.Noc_deadlock.Removal.vcs_added
+              bound.Noc_analysis.Deadlock_freedom.lower_bound
+              (report.Noc_deadlock.Removal.vcs_added
+              - bound.Noc_analysis.Deadlock_freedom.lower_bound));
+        let v = Noc_analysis.Deadlock_freedom.analyze net in
+        Format.printf "%s: %a@." label
+          Noc_analysis.Deadlock_freedom.pp_verdict v;
+        (match v.Noc_analysis.Deadlock_freedom.escape_order with
+        | Some order ->
+            Format.printf "%s: escape ordering: %a@." label pp_order_head
+              order;
+            if
+              not (Noc_analysis.Deadlock_freedom.check_escape_order net order)
+            then begin
+              Format.printf
+                "%s: DISAGREEMENT: escape ordering rejected by the \
+                 independent replay@."
+                label;
+              disagreed := true
+            end
+        | None ->
+            any_cyclic := true;
+            if prepare = `As_is then begin
+              let bound = Noc_analysis.Deadlock_freedom.vc_lower_bound net in
+              Format.printf
+                "%s: any duplication-based removal must add at least %d \
+                 VC(s) (%d vertex-disjoint wait cycles)@."
+                label bound.Noc_analysis.Deadlock_freedom.lower_bound
+                (List.length
+                   bound.Noc_analysis.Deadlock_freedom.disjoint_cycles)
+            end);
+        let cert = Noc_deadlock.Verify.certify net in
+        let verdict_name free = if free then "deadlock-free" else "cyclic" in
+        if
+          Bool.equal cert.Noc_deadlock.Verify.acyclic
+            v.Noc_analysis.Deadlock_freedom.deadlock_free
+        then
+          Format.printf "%s: agreement: certify and prover both say %s@."
+            label
+            (verdict_name v.Noc_analysis.Deadlock_freedom.deadlock_free)
+        else begin
+          Format.printf "%s: DISAGREEMENT: certify says %s, prover says %s@."
+            label
+            (verdict_name cert.Noc_deadlock.Verify.acyclic)
+            (verdict_name v.Noc_analysis.Deadlock_freedom.deadlock_free);
+          disagreed := true
+        end)
+      targets;
+    if !disagreed || (require_free && !any_cyclic) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Decide deadlock freedom with the independent prover and print \
+             its witness"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Re-decides deadlock freedom of the design's routing relation \
+              with the escape-elimination prover (the Mendlovic\226\128\147Matias \
+              necessary-and-sufficient condition specialized to static \
+              single-path routing), which shares no code with the CDG \
+              certifier, and prints the constructive witness: an escape \
+              ordering when the design is deadlock-free, or a waiting knot \
+              plus a concrete waits-for cycle when it is not.  On cyclic \
+              designs it also reports the static lower bound on the VCs any \
+              duplication-based removal must add; with $(b,--prepare \
+              removal) it runs the paper's algorithm first and reports the \
+              achieved VC cost against that bound.";
+           `P
+             "Every design is cross-checked against Verify.certify; any \
+              disagreement between the two provers exits 2 (and is a bug in \
+              one of them).  $(b,--require-free) additionally exits 2 when \
+              a design is (agreed) cyclic, which makes the command a CI \
+              gate for removal-prepared designs.";
+         ])
+    Term.(const run $ logs_term $ benchmark_arg $ switches_arg $ degree_arg
+          $ input_arg $ prepare_arg $ require_free_arg $ all_benchmarks_arg)
 
 (* One result line, shared between batch and submit so their outputs
    diff cleanly in the service-conformance CI job. *)
@@ -1399,7 +1604,8 @@ let () =
     Cmd.group info
       [
         list_cmd; synth_cmd; remove_cmd; ordering_cmd; updown_cmd; dot_cmd;
-        analyze_cmd; lint_cmd; duato_cmd; optimal_cmd; harden_cmd; tables_cmd;
+        analyze_cmd; lint_cmd; prove_cmd; duato_cmd; optimal_cmd; harden_cmd;
+        tables_cmd;
         compare_cmd; simulate_cmd; campaign_cmd; batch_cmd; serve_cmd;
         submit_cmd; serve_stats_cmd; trace_cmd; example_cmd;
       ]

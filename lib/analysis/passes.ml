@@ -1,4 +1,4 @@
-(* The eight design-level passes.  Each is deliberately small: it maps
+(* The nine design-level passes.  Each is deliberately small: it maps
    one existing analysis (Validate, Cdg/Verify, Duato, Bandwidth) into
    structured diagnostics with stable codes, so the linter never owns
    algorithmic logic of its own — it owns the reporting contract. *)
@@ -222,7 +222,108 @@ let certificate =
              | Some numbering -> recheck_numbering net numbering));
   }
 
-(* 7. escape-channel coverage (Duato baseline) --------------------- *)
+(* 7. independent deadlock-freedom prover -------------------------- *)
+
+(* Cross-examination of the two provers.  [certified_acyclic] is
+   Verify.certify's verdict; the argument order makes the helper usable
+   from tests with a fabricated verdict (the pass itself can only see
+   the codes fire when one of the implementations is actually buggy,
+   which is the point). *)
+let cross_check_findings ~certified_acyclic (v : Deadlock_freedom.verdict) =
+  if certified_acyclic && not v.Deadlock_freedom.deadlock_free then
+    let where =
+      match v.Deadlock_freedom.knot with
+      | Some (c :: _) -> Diagnostic.Channel c
+      | _ -> Diagnostic.Design
+    in
+    [
+      Diagnostic.v Diag_code.dlf_prover_rejects_certified where
+        (Format.asprintf
+           "Verify.certify accepts the design but the independent condition \
+            finds a waiting knot of %d channels"
+           (match v.Deadlock_freedom.knot with
+           | Some k -> List.length k
+           | None -> 0))
+        ~fix:"one of the two provers is wrong: file a bug with the design";
+    ]
+  else if (not certified_acyclic) && v.Deadlock_freedom.deadlock_free then
+    [
+      Diagnostic.v Diag_code.dlf_prover_accepts_rejected Diagnostic.Design
+        "Verify.certify rejects the design but the independent condition \
+         proves deadlock freedom"
+        ~fix:"one of the two provers is wrong: file a bug with the design";
+    ]
+  else []
+
+(* Replay of the prover's own witness, again as an exposed helper so a
+   corrupted ordering can be exercised from tests. *)
+let escape_order_findings net order =
+  if Deadlock_freedom.check_escape_order net order then []
+  else
+    [
+      Diagnostic.v Diag_code.dlf_escape_order_rejected Diagnostic.Design
+        "the escape ordering witness fails the independent linear replay"
+        ~fix:"rerun the prover (Deadlock_freedom.analyze)";
+    ]
+
+let deadlock_freedom =
+  {
+    Pass.name = "deadlock-freedom";
+    prefix = "NOC-DLF";
+    scope = Pass.Design_scope;
+    severity_floor = Diag_code.Error;
+    doc =
+      "the independent escape-elimination prover agrees with Verify.certify";
+    run =
+      design_only
+        (when_routes_valid (fun net ->
+             let v = Deadlock_freedom.analyze net in
+             let cert = Noc_deadlock.Verify.certify net in
+             let cross =
+               cross_check_findings
+                 ~certified_acyclic:cert.Noc_deadlock.Verify.acyclic v
+             in
+             let witness =
+               match v.Deadlock_freedom.escape_order with
+               | Some order -> escape_order_findings net order
+               | None -> (
+                   let knot_finding =
+                     match (v.Deadlock_freedom.knot, v.Deadlock_freedom.knot_cycle)
+                     with
+                     | Some (c :: _ as knot), Some cycle ->
+                         [
+                           Diagnostic.v Diag_code.dlf_knot
+                             (Diagnostic.Channel c)
+                             (Format.asprintf
+                                "waiting knot of %d channels (every member \
+                                 waits only on other members); sample cycle: \
+                                 %a"
+                                (List.length knot) pp_cycle cycle)
+                             ~fix:"run `noc_tool remove` to break the cycles";
+                         ]
+                     | _ -> []
+                   in
+                   let bound = Deadlock_freedom.vc_lower_bound net in
+                   match bound.Deadlock_freedom.lower_bound with
+                   | 0 -> knot_finding
+                   | n ->
+                       knot_finding
+                       @ [
+                           Diagnostic.v Diag_code.dlf_vc_lower_bound
+                             Diagnostic.Design
+                             (Printf.sprintf
+                                "any duplication-based removal must add at \
+                                 least %d VC%s (%d vertex-disjoint wait \
+                                 cycles)"
+                                n
+                                (if n = 1 then "" else "s")
+                                n);
+                         ])
+             in
+             cross @ witness));
+  }
+
+(* 8. escape-channel coverage (Duato baseline) --------------------- *)
 
 let escape =
   {
@@ -272,7 +373,7 @@ let escape =
              disconnected @ cyclic));
   }
 
-(* 8. bandwidth ---------------------------------------------------- *)
+(* 9. bandwidth ---------------------------------------------------- *)
 
 let default_capacity_mbps = 4000.
 

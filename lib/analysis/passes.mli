@@ -31,6 +31,24 @@ val recheck_numbering :
     be exercised directly (the pass itself rechecks the numbering it
     just computed, which only fails on an internal inconsistency). *)
 
+val deadlock_freedom : Pass.t
+(** [NOC-DLF-001..005]: the independent escape-elimination prover
+    ({!Deadlock_freedom}) agrees with {!Noc_deadlock.Verify.certify};
+    on (agreed) cyclic designs it reports the knot witness and the
+    static VC lower bound. *)
+
+val cross_check_findings :
+  certified_acyclic:bool -> Deadlock_freedom.verdict -> Diagnostic.t list
+(** The pass's cross-examination core, exposed so the disagreement
+    codes (NOC-DLF-001/002) can be exercised with a fabricated verdict —
+    in the pass itself they only fire when one of the two provers is
+    actually buggy. *)
+
+val escape_order_findings :
+  Network.t -> Channel.t list -> Diagnostic.t list
+(** The pass's witness-replay core, exposed so a corrupted escape
+    ordering can be exercised directly (NOC-DLF-005). *)
+
 val escape : Pass.t
 (** [NOC-ESC-001..002]: Duato-baseline escape coverage of the VC0
     channels for the static routing function. *)

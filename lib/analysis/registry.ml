@@ -6,6 +6,7 @@ let design_passes ?(capacity_mbps = Passes.default_capacity_mbps) () =
     Passes.dead_vcs;
     Passes.cdg_cycle;
     Passes.certificate;
+    Passes.deadlock_freedom;
     Passes.escape;
     Passes.bandwidth ~capacity_mbps;
   ]

@@ -3,7 +3,7 @@
     to {!Engine.analyze}. *)
 
 val design_passes : ?capacity_mbps:float -> unit -> Pass.t list
-(** The eight design passes, catalog order.  [capacity_mbps]
+(** The nine design passes, catalog order.  [capacity_mbps]
     parameterizes the bandwidth pass (default
     {!Passes.default_capacity_mbps}). *)
 

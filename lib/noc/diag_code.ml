@@ -128,6 +128,52 @@ let bw_near_saturation =
     summary = "link load above 90% of its capacity";
   }
 
+(* Independent deadlock-freedom prover (pass: deadlock-freedom).
+   The prover re-decides deadlock freedom of the routing relation with
+   its own escape-elimination fixpoint — no shared code with
+   Cdg/Verify — so these codes are the cross-examination verdicts. *)
+let dlf_prover_rejects_certified =
+  {
+    code = "NOC-DLF-001";
+    severity = Error;
+    summary =
+      "certificate says deadlock-free but the independent condition finds a \
+       waiting knot";
+  }
+
+let dlf_prover_accepts_rejected =
+  {
+    code = "NOC-DLF-002";
+    severity = Error;
+    summary =
+      "certificate says cyclic but the independent condition proves \
+       deadlock freedom";
+  }
+
+let dlf_knot =
+  {
+    code = "NOC-DLF-003";
+    severity = Warning;
+    summary =
+      "independent condition rejects the routing relation (waiting knot \
+       witness)";
+  }
+
+let dlf_vc_lower_bound =
+  {
+    code = "NOC-DLF-004";
+    severity = Info;
+    summary =
+      "static lower bound on the VCs any duplication-based removal must add";
+  }
+
+let dlf_escape_order_rejected =
+  {
+    code = "NOC-DLF-005";
+    severity = Error;
+    summary = "escape ordering witness fails the independent linear replay";
+  }
+
 (* Job files (pass: jobs, in the service layer). *)
 let job_file_unparsable =
   {
@@ -220,6 +266,11 @@ let all =
     vc_dead;
     cycle_witness;
     cert_numbering_rejected;
+    dlf_prover_rejects_certified;
+    dlf_prover_accepts_rejected;
+    dlf_knot;
+    dlf_vc_lower_bound;
+    dlf_escape_order_rejected;
     escape_disconnected;
     escape_cyclic;
     bw_oversubscribed;

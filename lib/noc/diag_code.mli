@@ -48,6 +48,14 @@ val vc_dead : t
 val cycle_witness : t
 val cert_numbering_rejected : t
 
+(** {1 Independent deadlock-freedom prover} *)
+
+val dlf_prover_rejects_certified : t
+val dlf_prover_accepts_rejected : t
+val dlf_knot : t
+val dlf_vc_lower_bound : t
+val dlf_escape_order_rejected : t
+
 (** {1 Escape-channel coverage (Duato baseline)} *)
 
 val escape_disconnected : t

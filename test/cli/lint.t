@@ -29,10 +29,12 @@ The deadlock potential is reported as warnings (the removal tool is
 the fix, not a design error), so the default error-level gate passes:
 
   $ noc_tool lint ring.noc
-  ring.noc: 2 findings
+  ring.noc: 4 findings
     NOC-CYCLE-001 warning channel/0.0: CDG cycle of 4 channels: L0 -> L1 -> L2 -> L3 (design can deadlock) (fix: run `noc_tool remove` to break the cycles)
+    NOC-DLF-003 warning channel/0.0: waiting knot of 4 channels (every member waits only on other members); sample cycle: L0 -> L1 -> L2 -> L3 (fix: run `noc_tool remove` to break the cycles)
     NOC-ESC-002 warning channel/0.0: extended CDG of the VC0 escape set is cyclic: L0 -> L1 -> L2 -> L3 (fix: run `noc_tool remove` to break the cycles)
-  1 target: 0 errors, 2 warnings, 0 info
+    NOC-DLF-004 info design: any duplication-based removal must add at least 1 VC (1 vertex-disjoint wait cycles)
+  1 target: 0 errors, 3 warnings, 1 info
 
 Tightening the gate to warnings fails the same report:
 
@@ -43,11 +45,13 @@ The bandwidth pass notes near-saturated links at info severity when
 the capacity is tight (L0 carries three 100 MB/s flows):
 
   $ noc_tool lint ring.noc --capacity 320
-  ring.noc: 3 findings
+  ring.noc: 5 findings
     NOC-CYCLE-001 warning channel/0.0: CDG cycle of 4 channels: L0 -> L1 -> L2 -> L3 (design can deadlock) (fix: run `noc_tool remove` to break the cycles)
+    NOC-DLF-003 warning channel/0.0: waiting knot of 4 channels (every member waits only on other members); sample cycle: L0 -> L1 -> L2 -> L3 (fix: run `noc_tool remove` to break the cycles)
     NOC-ESC-002 warning channel/0.0: extended CDG of the VC0 escape set is cyclic: L0 -> L1 -> L2 -> L3 (fix: run `noc_tool remove` to break the cycles)
     NOC-BW-002 info link/0: link L0 is at 94% of its 320 MB/s capacity
-  1 target: 0 errors, 2 warnings, 1 info
+    NOC-DLF-004 info design: any duplication-based removal must add at least 1 VC (1 vertex-disjoint wait cycles)
+  1 target: 0 errors, 3 warnings, 2 info
 
 Machine output is the noc-lint/1 JSON document:
 
@@ -68,6 +72,7 @@ Machine output is the noc-lint/1 JSON document:
           "dead-vcs",
           "cdg-cycle",
           "certificate",
+          "deadlock-freedom",
           "escape",
           "bandwidth"
         ],
@@ -80,19 +85,32 @@ Machine output is the noc-lint/1 JSON document:
             "fix": "run `noc_tool remove` to break the cycles"
           },
           {
+            "code": "NOC-DLF-003",
+            "severity": "warning",
+            "location": "channel/0.0",
+            "message": "waiting knot of 4 channels (every member waits only on other members); sample cycle: L0 -> L1 -> L2 -> L3",
+            "fix": "run `noc_tool remove` to break the cycles"
+          },
+          {
             "code": "NOC-ESC-002",
             "severity": "warning",
             "location": "channel/0.0",
             "message": "extended CDG of the VC0 escape set is cyclic: L0 -> L1 -> L2 -> L3",
             "fix": "run `noc_tool remove` to break the cycles"
+          },
+          {
+            "code": "NOC-DLF-004",
+            "severity": "info",
+            "location": "design",
+            "message": "any duplication-based removal must add at least 1 VC (1 vertex-disjoint wait cycles)"
           }
         ]
       }
     ],
     "summary": {
       "errors": 0,
-      "warnings": 2,
-      "infos": 0
+      "warnings": 3,
+      "infos": 1
     }
   }
 
@@ -123,9 +141,9 @@ catalog, one result per finding:
   $ grep -o '"version": "2.1.0"' lint.sarif
   "version": "2.1.0"
   $ grep -c '"id": "NOC-' lint.sarif
-  25
+  30
   $ grep -c '"ruleId"' lint.sarif
-  3
+  5
 
 Unusable inputs have stable codes too — a file that is not JSON (and
 not a design) is a NOC-JOB-001 error:

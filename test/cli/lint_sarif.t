@@ -1,0 +1,127 @@
+SARIF 2.1.0 shape, the --fail-on exit-code matrix, and --suppress.
+
+The paper's ring (one CDG cycle, so the deadlock-freedom prover fires
+NOC-DLF-003/004 alongside NOC-CYCLE-001 and NOC-ESC-002):
+
+  $ cat > ring.noc <<'EOF'
+  > noc-design 1
+  > switches 4
+  > cores 4
+  > link 0 0 1 1
+  > link 1 1 2 1
+  > link 2 2 3 1
+  > link 3 3 0 1
+  > core 0 0
+  > core 1 1
+  > core 2 2
+  > core 3 3
+  > flow 0 0 3 100
+  > flow 1 2 0 100
+  > flow 2 3 1 100
+  > flow 3 0 2 100
+  > route 0 0:0 1:0 2:0
+  > route 1 2:0 3:0
+  > route 2 3:0 0:0
+  > route 3 0:0 1:0
+  > EOF
+
+  $ noc_tool lint ring.noc --format=sarif -o lint.sarif
+
+Top-level shape: the SARIF version and the official schema URI.
+
+  $ grep -o '"version": "2.1.0"' lint.sarif
+  "version": "2.1.0"
+  $ grep -c 'sarif-schema-2.1.0.json' lint.sarif
+  1
+
+The rules table is the whole published catalog, and the five NOC-DLF
+rules carry the documented level mapping (Error -> "error",
+Warning -> "warning", Info -> "note") in defaultConfiguration:
+
+  $ grep -c '"id": "NOC-' lint.sarif
+  30
+  $ grep -A 7 '"id": "NOC-DLF-' lint.sarif | grep -E '"id"|"level"'
+                "id": "NOC-DLF-001",
+                  "level": "error"
+                "id": "NOC-DLF-002",
+                  "level": "error"
+                "id": "NOC-DLF-003",
+                  "level": "warning"
+                "id": "NOC-DLF-004",
+                  "level": "note"
+                "id": "NOC-DLF-005",
+                  "level": "error"
+
+Each result names a rule from the table, repeats the level, and
+anchors a logical location (channel, link, or the design itself):
+
+  $ sed -n '/"results"/,$p' lint.sarif \
+  >   | grep -E '"ruleId"|"level"|"fullyQualifiedName"'
+            "ruleId": "NOC-CYCLE-001",
+            "level": "warning",
+                    "fullyQualifiedName": "ring.noc/channel/0.0"
+            "ruleId": "NOC-DLF-003",
+            "level": "warning",
+                    "fullyQualifiedName": "ring.noc/channel/0.0"
+            "ruleId": "NOC-ESC-002",
+            "level": "warning",
+                    "fullyQualifiedName": "ring.noc/channel/0.0"
+            "ruleId": "NOC-DLF-004",
+            "level": "note",
+                    "fullyQualifiedName": "ring.noc/design"
+
+The --fail-on exit-code matrix on the same report (0 errors,
+3 warnings, 1 info): only findings at or above the floor gate.
+
+  $ noc_tool lint ring.noc --format=sarif -o /dev/null --fail-on=error
+  $ noc_tool lint ring.noc --format=sarif -o /dev/null --fail-on=warning
+  [2]
+  $ noc_tool lint ring.noc --format=sarif -o /dev/null --fail-on=info
+  [2]
+
+--suppress mutes named codes before rendering and gating, so a strict
+warning-level gate can ignore an advisory without muting the
+deadlock-freedom codes.  A simulate job driven past the 1.0
+flits/cycle injection ceiling draws the NOC-SIM-003 saturation
+advisory:
+
+  $ cat > sim_jobs.json <<'EOF'
+  > {
+  >   "schema": "noc-jobs/1",
+  >   "jobs": [
+  >     {"design": {"benchmark": "D26_media", "switches": 14},
+  >      "method": "simulate",
+  >      "options": {"workload": {"kind": "uniform", "rate": 1.5}}}
+  >   ]
+  > }
+  > EOF
+
+  $ noc_tool lint sim_jobs.json --fail-on=warning
+  sim_jobs.json: 1 finding
+    NOC-SIM-003 warning sim_jobs.json#0: uniform workload: injection rate 1.50 flits/cycle/flow exceeds the 1.0 a single injection port can sustain (fix: lower the injection rate or hotspot factor)
+  1 target: 0 errors, 1 warning, 0 info
+  [2]
+
+  $ noc_tool lint sim_jobs.json --fail-on=warning --suppress NOC-SIM-003
+  sim_jobs.json: clean
+  1 target: 0 errors, 0 warnings, 0 info
+
+Suppressing NOC-SIM-003 does not touch the ring's NOC-DLF findings —
+the deadlock gate still fires:
+
+  $ noc_tool lint ring.noc --fail-on=warning --suppress NOC-SIM-003 -o /dev/null
+  [2]
+
+Suppression applies to SARIF results too (the rules table stays the
+full catalog); here the two NOC-DLF results drop out:
+
+  $ noc_tool lint ring.noc --format=sarif -o s.sarif \
+  >   --suppress NOC-DLF-003,NOC-DLF-004
+  $ grep -c '"ruleId"' s.sarif
+  2
+
+Unknown codes are rejected up front rather than silently ignored:
+
+  $ noc_tool lint ring.noc --suppress NOC-BOGUS-999
+  error: --suppress: unknown diagnostic code NOC-BOGUS-999 (see noc_tool lint --format json for the catalog)
+  [1]

@@ -35,7 +35,7 @@ let contains ~needle haystack =
 
 let test_code_table () =
   let codes = List.map (fun (c : Diag_code.t) -> c.Diag_code.code) Diag_code.all in
-  check int_c "25 published codes" 25 (List.length codes);
+  check int_c "30 published codes" 30 (List.length codes);
   check int_c "codes are unique" (List.length codes)
     (List.length (List.sort_uniq String.compare codes));
   List.iter
@@ -266,9 +266,163 @@ let test_route_gating () =
     [
       Passes.cdg_cycle;
       Passes.certificate;
+      Passes.deadlock_freedom;
       Passes.escape;
       Passes.bandwidth ~capacity_mbps:250.;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* The independent deadlock-freedom prover (NOC-DLF codes)             *)
+(* ------------------------------------------------------------------ *)
+
+module DF = Deadlock_freedom
+
+let test_dlf_verdicts () =
+  (* The paper ring: all four channels form one waiting knot. *)
+  let ring = Fixtures.paper_ring () in
+  let v = DF.analyze ring.Fixtures.net in
+  check bool_c "ring can deadlock" false v.DF.deadlock_free;
+  (match v.DF.knot with
+  | Some knot -> check int_c "knot of 4 channels" 4 (List.length knot)
+  | None -> Alcotest.fail "expected a knot");
+  (match v.DF.knot_cycle with
+  | Some cycle -> check int_c "cycle of 4 channels" 4 (List.length cycle)
+  | None -> Alcotest.fail "expected a knot cycle");
+  check bool_c "no escape ordering" true (v.DF.escape_order = None);
+  (* The xy mesh: deadlock-free with a full, replayable ordering. *)
+  let mesh = Fixtures.xy_mesh_2x2 () in
+  let v = DF.analyze mesh in
+  check bool_c "mesh is deadlock-free" true v.DF.deadlock_free;
+  match v.DF.escape_order with
+  | Some order ->
+      check int_c "ordering covers every channel" v.DF.n_channels
+        (List.length order);
+      check bool_c "ordering replays" true (DF.check_escape_order mesh order);
+      (* The replay really checks something: reversing the order (or
+         dropping a channel) must fail whenever some route chains two
+         channels. *)
+      check bool_c "reversed ordering rejected" false
+        (DF.check_escape_order mesh (List.rev order));
+      check bool_c "truncated ordering rejected" false
+        (DF.check_escape_order mesh (List.tl order))
+  | None -> Alcotest.fail "expected an escape ordering"
+
+let test_dlf_pass_codes () =
+  (* NOC-DLF-003 (knot witness) and NOC-DLF-004 (VC lower bound) on the
+     ring; silence on the mesh. *)
+  let ring = Fixtures.paper_ring () in
+  let ds = run_pass Passes.deadlock_freedom ring.Fixtures.net in
+  check_code "knot" "NOC-DLF-003" ds;
+  check_code "vc bound" "NOC-DLF-004" ds;
+  check bool_c "the two provers agree on the ring" false
+    (has_code "NOC-DLF-001" ds || has_code "NOC-DLF-002" ds);
+  check int_c "mesh is clean" 0
+    (List.length (run_pass Passes.deadlock_freedom (Fixtures.xy_mesh_2x2 ())));
+  (* NOC-DLF-001/002 via the exposed cross-check — inside the pass they
+     only fire when one of the two provers is actually buggy. *)
+  let v_free = DF.analyze (Fixtures.xy_mesh_2x2 ()) in
+  let v_knot = DF.analyze ring.Fixtures.net in
+  (match Passes.cross_check_findings ~certified_acyclic:true v_knot with
+  | [ d ] ->
+      check string_c "prover rejects certified" "NOC-DLF-001"
+        d.Diagnostic.code.Diag_code.code;
+      check string_c "error severity" "error"
+        (Diag_code.severity_to_string (Diagnostic.severity d))
+  | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds));
+  (match Passes.cross_check_findings ~certified_acyclic:false v_free with
+  | [ d ] ->
+      check string_c "prover accepts rejected" "NOC-DLF-002"
+        d.Diagnostic.code.Diag_code.code
+  | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds));
+  check int_c "agreement is silent (free)" 0
+    (List.length (Passes.cross_check_findings ~certified_acyclic:true v_free));
+  check int_c "agreement is silent (knot)" 0
+    (List.length
+       (Passes.cross_check_findings ~certified_acyclic:false v_knot));
+  (* NOC-DLF-005 via the exposed replay. *)
+  let mesh = Fixtures.xy_mesh_2x2 () in
+  (match Passes.escape_order_findings mesh [] with
+  | [ d ] ->
+      check string_c "replay rejects the empty ordering" "NOC-DLF-005"
+        d.Diagnostic.code.Diag_code.code
+  | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds));
+  match (DF.analyze mesh).DF.escape_order with
+  | Some order ->
+      check int_c "true ordering accepted" 0
+        (List.length (Passes.escape_order_findings mesh order))
+  | None -> Alcotest.fail "expected an escape ordering"
+
+let test_dlf_vc_bound () =
+  let ring = Fixtures.paper_ring () in
+  let b = DF.vc_lower_bound ring.Fixtures.net in
+  check int_c "ring bound is 1" 1 b.DF.lower_bound;
+  (match b.DF.disjoint_cycles with
+  | [ cycle ] -> check int_c "one 4-cycle" 4 (List.length cycle)
+  | cs -> Alcotest.failf "expected one packed cycle, got %d" (List.length cs));
+  (* The bound is sound against what removal actually pays, and drops
+     to 0 once the design is deadlock-free. *)
+  let report = Noc_deadlock.Removal.run ring.Fixtures.net in
+  check bool_c "bound <= vcs added" true
+    (b.DF.lower_bound <= report.Noc_deadlock.Removal.vcs_added);
+  check int_c "free design has bound 0" 0
+    (DF.vc_lower_bound ring.Fixtures.net).DF.lower_bound
+
+(* The CLI's --all-benchmarks shape: every registry benchmark at
+   min(14, cores) with the default synthesis options. *)
+let synthesize_benchmark name =
+  let spec = Option.get (Noc_benchmarks.Registry.find name) in
+  let traffic = spec.Noc_benchmarks.Spec.build () in
+  let n_switches = min 14 (Traffic.n_cores traffic) in
+  match Noc_synth.Custom.synthesize traffic ~n_switches with
+  | Ok net -> net
+  | Error e -> Alcotest.failf "synthesize %s: %s" name e
+
+let provers_agree net =
+  Bool.equal
+    (Noc_deadlock.Verify.certify net).Noc_deadlock.Verify.acyclic
+    (DF.analyze net).DF.deadlock_free
+
+let test_dlf_registry_agreement () =
+  (* The acceptance criterion: on every registry benchmark — as-is and
+     removal-prepared — the independent prover and Verify.certify
+     agree, and the static lower bound never exceeds what removal
+     paid. *)
+  List.iter
+    (fun name ->
+      let net = synthesize_benchmark name in
+      check bool_c (name ^ " as-is agreement") true (provers_agree net);
+      let bound = DF.vc_lower_bound net in
+      let report = Noc_deadlock.Removal.run net in
+      check bool_c (name ^ " bound <= vcs added") true
+        (bound.DF.lower_bound <= report.Noc_deadlock.Removal.vcs_added);
+      check bool_c (name ^ " removal-prepared agreement") true
+        (provers_agree net);
+      check bool_c (name ^ " removal-prepared is proven free") true
+        (DF.analyze net).DF.deadlock_free)
+    Noc_benchmarks.Registry.names
+
+let test_dlf_sim_triangle () =
+  (* The third leg of the cross-check triangle: the dynamic simulator.
+     On the paper ring the prover predicts a deadlock and the simulator
+     exhibits one; after removal the prover proves freedom and the
+     simulator completes the same workload. *)
+  let ring = Fixtures.paper_ring () in
+  let net = ring.Fixtures.net in
+  let burst net =
+    Noc_sim.Traffic_gen.burst net ~packet_length:8 ~packets_per_flow:2
+  in
+  check bool_c "prover rejects the baseline" false
+    (DF.analyze net).DF.deadlock_free;
+  (match Noc_sim.Engine.run net (burst net) with
+  | Noc_sim.Engine.Deadlocked _ -> ()
+  | _ -> Alcotest.fail "ring should deadlock under burst");
+  ignore (Noc_deadlock.Removal.run net);
+  check bool_c "prover accepts the prepared design" true
+    (DF.analyze net).DF.deadlock_free;
+  match Noc_sim.Engine.run net (burst net) with
+  | Noc_sim.Engine.Deadlocked _ ->
+      Alcotest.fail "a proven-free design deadlocked in simulation"
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* The engine and renderers                                            *)
@@ -282,24 +436,29 @@ let test_engine_on_ring () =
       ~label:"paper-ring"
       (Pass.Design ring.Fixtures.net)
   in
-  check int_c "all eight passes ran" 8 (List.length report.Engine.passes_run);
+  check int_c "all nine passes ran" 9 (List.length report.Engine.passes_run);
   check bool_c "pass names match the registry" true
     (report.Engine.passes_run = Registry.names);
   (* The pre-removal ring lints clean at error level: its deadlock
-     potential is exactly the two warnings. *)
+     potential is the three warnings (cycle witness, waiting knot,
+     cyclic escape set) plus the VC lower-bound info. *)
   check bool_c "cycle witness" true
     (has_code "NOC-CYCLE-001" report.Engine.diagnostics);
+  check bool_c "waiting knot" true
+    (has_code "NOC-DLF-003" report.Engine.diagnostics);
   check bool_c "cyclic escape" true
     (has_code "NOC-ESC-002" report.Engine.diagnostics);
+  check bool_c "vc lower bound" true
+    (has_code "NOC-DLF-004" report.Engine.diagnostics);
   let errors, warnings, infos = Engine.totals [ report ] in
   check int_c "no errors" 0 errors;
-  check int_c "two warnings" 2 warnings;
-  check int_c "no infos" 0 infos;
+  check int_c "three warnings" 3 warnings;
+  check int_c "one info" 1 infos;
   check bool_c "worst is warning" true
     (Engine.worst report = Some Diag_code.Warning);
   check int_c "fail-on=error counts none" 0
     (Engine.count_at_least ~floor:Diag_code.Error [ report ]);
-  check int_c "fail-on=warning counts both" 2
+  check int_c "fail-on=warning counts the warnings" 3
     (Engine.count_at_least ~floor:Diag_code.Warning [ report ]);
   (* Diagnostics come out sorted, most severe first. *)
   check bool_c "sorted by severity" true
@@ -329,13 +488,13 @@ let test_render_json () =
   check string_c "schema" "noc-lint/1" (Json.to_str (Json.field "schema" doc));
   let summary = Json.field "summary" doc in
   check int_c "summary errors" 0 (Json.to_int (Json.field "errors" summary));
-  check int_c "summary warnings" 2 (Json.to_int (Json.field "warnings" summary));
+  check int_c "summary warnings" 3 (Json.to_int (Json.field "warnings" summary));
   let reports = Json.to_list (Json.field "reports" doc) in
   check int_c "one report" 1 (List.length reports);
   let report = List.hd reports in
   check string_c "target" "paper-ring" (Json.to_str (Json.field "target" report));
   let diags = Json.to_list (Json.field "diagnostics" report) in
-  check int_c "two findings" 2 (List.length diags);
+  check int_c "four findings" 4 (List.length diags);
   List.iter
     (fun d ->
       let code = Json.to_str (Json.field "code" d) in
@@ -359,13 +518,23 @@ let test_render_sarif () =
   check int_c "rules cover the whole code table" (List.length Diag_code.all)
     (List.length rules);
   let results = Json.to_list (Json.field "results" run) in
-  check int_c "one result per finding" 2 (List.length results);
+  check int_c "one result per finding" 4 (List.length results);
   List.iter
     (fun r ->
       let rule = Json.to_str (Json.field "ruleId" r) in
-      check bool_c (rule ^ " rule is published") true (Diag_code.find rule <> None);
-      check string_c (rule ^ " level") "warning"
-        (Json.to_str (Json.field "level" r)))
+      match Diag_code.find rule with
+      | None -> Alcotest.failf "%s rule is not published" rule
+      | Some code ->
+          (* SARIF levels map Error -> error, Warning -> warning,
+             Info -> note. *)
+          let expected =
+            match code.Diag_code.severity with
+            | Diag_code.Error -> "error"
+            | Diag_code.Warning -> "warning"
+            | Diag_code.Info -> "note"
+          in
+          check string_c (rule ^ " level") expected
+            (Json.to_str (Json.field "level" r)))
     results
 
 let test_render_text () =
@@ -374,7 +543,7 @@ let test_render_text () =
   List.iter
     (fun needle ->
       check bool_c ("text mentions " ^ needle) true (contains ~needle text))
-    [ "paper-ring"; "NOC-CYCLE-001"; "NOC-ESC-002"; "2 warnings" ]
+    [ "paper-ring"; "NOC-CYCLE-001"; "NOC-DLF-003"; "NOC-ESC-002"; "3 warnings" ]
 
 (* ------------------------------------------------------------------ *)
 (* The job-file pass: the NOC-JOB codes                                *)
@@ -647,6 +816,103 @@ let prop_clean_designs_vet =
       in
       Lint.vet_job job = Ok ())
 
+let prop_prover_agrees_with_certify =
+  (* The differential heart of the PR: on arbitrary routed networks the
+     independent escape-elimination prover and the CDG certifier reach
+     the same verdict, the winning side's witness replays, and the
+     deadlock-freedom pass never escalates to an error. *)
+  QCheck.Test.make ~name:"independent prover agrees with Verify.certify"
+    ~count:100 arbitrary_net (fun input ->
+      let net = build_net input in
+      let v = DF.analyze net in
+      provers_agree net
+      && (match v.DF.escape_order with
+         | Some order -> DF.check_escape_order net order
+         | None -> v.DF.knot <> None && v.DF.knot_cycle <> None)
+      && List.for_all
+           (fun d -> Diagnostic.severity d <> Diag_code.Error)
+           (run_pass Passes.deadlock_freedom net))
+
+let prop_removal_meets_lower_bound =
+  (* Removal never beats the static lower bound, and its output is
+     accepted by the independent prover with a clean pass report. *)
+  QCheck.Test.make ~name:"removal cost respects the static VC lower bound"
+    ~count:50 arbitrary_net (fun input ->
+      let net = build_net input in
+      let bound = DF.vc_lower_bound net in
+      let report = Noc_deadlock.Removal.run net in
+      bound.DF.lower_bound <= report.Noc_deadlock.Removal.vcs_added
+      && (DF.analyze net).DF.deadlock_free
+      && run_pass Passes.deadlock_freedom net = [])
+
+(* Synthetic regular topologies (ring / mesh / torus) with random flow
+   sets, plus a validity-preserving route mutation: lift one route's
+   first hop onto a freshly added VC. *)
+let regular_net_gen =
+  QCheck.Gen.(
+    let* kind = int_bound 2 in
+    let* columns = int_range 2 4 in
+    let* rows = int_range 2 4 in
+    let* pairs = list_size (int_range 1 12) (pair (int_bound 50) (int_bound 50)) in
+    return (kind, columns, rows, pairs))
+
+let build_regular (kind, columns, rows, pairs) =
+  let topo =
+    match kind with
+    | 0 -> Noc_synth.Regular.ring ~n_switches:(columns * rows)
+    | 1 -> Noc_synth.Regular.mesh ~columns ~rows
+    | _ -> Noc_synth.Regular.torus ~columns ~rows
+  in
+  let n = Topology.n_switches topo in
+  let traffic = Traffic.create ~n_cores:n in
+  List.iter
+    (fun (a, b) ->
+      let s = a mod n and d = b mod n in
+      if s <> d then
+        ignore (Traffic.add_flow traffic ~src:(core s) ~dst:(core d) ~bandwidth:10.))
+    pairs;
+  let net =
+    Network.make ~topology:topo ~traffic ~mapping:(fun c -> sw (Ids.Core.to_int c))
+  in
+  (match Routing.route_all net with Ok () -> () | Error e -> failwith e);
+  net
+
+let arbitrary_regular_net =
+  QCheck.make
+    ~print:(fun (kind, columns, rows, pairs) ->
+      Printf.sprintf "%s %dx%d flows=%s"
+        (match kind with 0 -> "ring" | 1 -> "mesh" | _ -> "torus")
+        columns rows
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d>%d" a b) pairs)))
+    regular_net_gen
+
+let prop_prover_agrees_on_regular_topologies =
+  QCheck.Test.make
+    ~name:"independent prover agrees on ring/mesh/torus under route mutation"
+    ~count:100 arbitrary_regular_net (fun input ->
+      let net = build_regular input in
+      let as_is = provers_agree net in
+      let mutated =
+        let net = build_regular input in
+        (match
+           List.find_opt (fun (_, r) -> r <> []) (Network.routes net)
+         with
+        | Some (f, (c0 :: rest)) ->
+            let topo = Network.topology net in
+            let link = Channel.link c0 in
+            ignore (Topology.add_vc topo link);
+            Network.set_route net f
+              (Channel.make link (Topology.vc_count topo link - 1) :: rest)
+        | _ -> ());
+        provers_agree net
+      in
+      let prepared =
+        let net = build_regular input in
+        ignore (Noc_deadlock.Removal.run net);
+        provers_agree net && (DF.analyze net).DF.deadlock_free
+      in
+      as_is && mutated && prepared)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -654,6 +920,9 @@ let qcheck_cases =
       prop_single_step_mutation_caught;
       prop_corrupt_numbering_rechecked;
       prop_clean_designs_vet;
+      prop_prover_agrees_with_certify;
+      prop_removal_meets_lower_bound;
+      prop_prover_agrees_on_regular_topologies;
     ]
 
 let () =
@@ -676,6 +945,14 @@ let () =
           tc "escape codes" `Quick test_escape_codes;
           tc "bandwidth codes" `Quick test_bandwidth_codes;
           tc "route gating" `Quick test_route_gating;
+        ] );
+      ( "deadlock-freedom",
+        [
+          tc "verdicts and witnesses" `Quick test_dlf_verdicts;
+          tc "pass codes" `Quick test_dlf_pass_codes;
+          tc "vc lower bound" `Quick test_dlf_vc_bound;
+          tc "registry agreement" `Quick test_dlf_registry_agreement;
+          tc "prover/simulator triangle" `Quick test_dlf_sim_triangle;
         ] );
       ( "engine",
         [
