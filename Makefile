@@ -4,8 +4,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt lint prove trace serve-smoke sim-smoke clean-tree \
-  bench bench-gate ci clean
+.PHONY: all build test fmt lint prove trace serve-smoke top-smoke sim-smoke \
+  clean-tree bench bench-gate ci clean
 
 all: build
 
@@ -84,6 +84,33 @@ serve-smoke: build
 	kill -TERM "$$server"; wait "$$server"; \
 	echo "serve-smoke: OK (cold run, clean drain, 100% warm restart)"
 
+# The live-telemetry smoke test, mirroring the metrics-smoke CI job in
+# miniature: boot the daemon with a Prometheus listener, do some work
+# with a known correlation prefix, and require (a) the scrape to pass
+# the strict exposition check (`top --raw` validates before printing),
+# (b) the job counter to count the work, (c) every SLO gauge green,
+# and (d) one rendered `top` dashboard frame.
+top-smoke: build
+	@set -e; \
+	dir="$$(mktemp -d)"; \
+	trap 'rm -rf "$$dir"' EXIT; \
+	noc="$$(pwd)/_build/default/bin/noc_tool.exe"; \
+	sock="$$dir/serve.sock"; \
+	"$$noc" serve --socket "$$sock" --metrics-addr 9469 -j 2 --no-store & \
+	server=$$!; \
+	for i in $$(seq 1 100); do [ -S "$$sock" ] && break; sleep 0.1; done; \
+	[ -S "$$sock" ]; \
+	"$$noc" submit test/cli/registry_jobs.json --socket "$$sock" \
+	  --corr top-smoke > /dev/null; \
+	"$$noc" top --addr 9469 --raw > "$$dir/scrape.txt"; \
+	grep -q '^noc_serve_jobs_total 12$$' "$$dir/scrape.txt"; \
+	grep -q 'noc_slo_ok' "$$dir/scrape.txt"; \
+	! grep -Eq '^noc_slo_ok\{[^}]*\} 0$$' "$$dir/scrape.txt"; \
+	"$$noc" top --socket "$$sock" --once > "$$dir/top.txt"; \
+	grep -q 'workers' "$$dir/top.txt"; \
+	kill -TERM "$$server"; wait "$$server"; \
+	echo "top-smoke: OK (scrape parses, counters live, SLOs green)"
+
 # The simulation smoke test, mirroring the sim-smoke CI job: sweep the
 # default campaign grid (2 benchmarks x 4 workloads x 3 preparations)
 # and check the paper's claim cell by cell — the campaign itself exits
@@ -139,7 +166,7 @@ bench-gate: bench
 	$(DUNE) exec bench/check_regression.exe -- \
 	  bench/baseline/BENCH_sim.json BENCH_sim.json
 
-ci: build test fmt lint prove trace clean-tree bench-gate sim-smoke
+ci: build test fmt lint prove trace clean-tree bench-gate top-smoke sim-smoke
 
 clean:
 	$(DUNE) clean

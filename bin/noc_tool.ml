@@ -1091,8 +1091,24 @@ let socket_arg =
   Arg.(value & opt string "noc-serve.sock"
        & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix-domain socket the daemon listens on (created by \
-                 $(b,serve), connected to by $(b,submit) and \
-                 $(b,serve-stats)).")
+                 $(b,serve), connected to by $(b,submit), \
+                 $(b,serve-stats) and $(b,top)).")
+
+(* Repeatable SLO threshold override, shared by serve / campaign / top:
+   how CI injects an artificially tight objective to prove the gate
+   actually burns. *)
+let slo_arg =
+  Arg.(value & opt_all string []
+       & info [ "slo" ] ~docv:"NAME=VALUE"
+           ~doc:"Override a declared SLO threshold (e.g. \
+                 $(b,submit_p99_ms=0.001)). Repeatable. Known names: \
+                 submit_p99_ms, queue_wait_p99_ms, store_hit_rate, \
+                 dlf_agreement, campaign_cell_p99_ms.")
+
+let apply_slo_overrides overrides =
+  List.fold_left
+    (fun slos spec -> or_die (Noc_obs.Slo.override slos spec))
+    Noc_obs.Slo.defaults overrides
 
 let serve_cmd =
   let tcp_arg =
@@ -1142,8 +1158,15 @@ let serve_cmd =
                    static findings normally reject a job before it \
                    reaches a worker).")
   in
-  let run () socket tcp domains queue store no_store store_capacity telemetry
-      no_lint trace =
+  let metrics_addr_arg =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-addr" ] ~docv:"PORT"
+             ~doc:"Serve one-shot HTTP GET /metrics scrapes (Prometheus \
+                   text format v0.0.4, including the noc_slo_ok verdict \
+                   gauges) on 127.0.0.1:$(docv).")
+  in
+  let run () socket tcp metrics_addr domains queue store no_store
+      store_capacity telemetry no_lint slo_overrides trace =
     let open Noc_service in
     if domains < 1 then or_die (Error "--domains must be at least 1");
     if queue < 1 then or_die (Error "--queue-capacity must be at least 1");
@@ -1169,22 +1192,29 @@ let serve_cmd =
       {
         Server.socket_path = socket;
         tcp_port = tcp;
+        metrics_addr;
         domains;
         queue_capacity = queue;
         store;
         telemetry = sink;
         lint = not no_lint;
+        slos = apply_slo_overrides slo_overrides;
+        series_interval_s = Server.default_config.Server.series_interval_s;
+        series_window = Server.default_config.Server.series_window;
       }
     in
     let server = Server.create config in
     let request_stop _ = Server.stop server in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
-    Format.printf "noc serve: listening on %s%s (%d domain%s, store: %s)@."
+    Format.printf "noc serve: listening on %s%s%s (%d domain%s, store: %s)@."
       socket
       (match tcp with
       | None -> ""
       | Some port -> Printf.sprintf " and 127.0.0.1:%d" port)
+      (match metrics_addr with
+      | None -> ""
+      | Some port -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" port)
       domains
       (if domains = 1 then "" else "s")
       (match store with
@@ -1217,16 +1247,32 @@ let serve_cmd =
              "SIGTERM or SIGINT drains gracefully: stop accepting, finish \
               in-flight jobs, flush telemetry, trace and the store index, \
               exit 0.  See docs/SERVICE.md for the wire protocol and \
-              store layout.";
+              store layout, docs/OBSERVABILITY.md for the metrics \
+              endpoint and SLOs.";
          ])
-    Term.(const run $ logs_term $ socket_arg $ tcp_arg $ domains_arg
-          $ queue_arg $ store_arg $ no_store_arg $ store_capacity_arg
-          $ telemetry_arg $ no_lint_arg $ trace_file_arg)
+    Term.(const run $ logs_term $ socket_arg $ tcp_arg $ metrics_addr_arg
+          $ domains_arg $ queue_arg $ store_arg $ no_store_arg
+          $ store_capacity_arg $ telemetry_arg $ no_lint_arg $ slo_arg
+          $ trace_file_arg)
 
 let submit_cmd =
-  let run () jobs_file socket =
+  let corr_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "corr" ] ~docv:"PREFIX"
+             ~doc:"Correlation-id prefix: job $(i,i) is submitted with \
+                   correlation id $(docv)-$(i,i), which the daemon threads \
+                   into its telemetry events and job spans. Defaults to \
+                   $(b,submit-<pid>).")
+  in
+  let run () jobs_file socket corr =
     let open Noc_service in
     let jobs = or_die (load_jobs jobs_file) in
+    let corr_prefix =
+      match corr with
+      | Some p -> p
+      | None -> Printf.sprintf "submit-%d" (Unix.getpid ())
+    in
     let client = or_die (Client.connect ~socket) in
     let print_result index job (reply : Wire.response) =
       match reply with
@@ -1239,11 +1285,13 @@ let submit_cmd =
       | Wire.Overloaded { queue_depth; _ } ->
           Format.printf "[%d] %-9s %-28s queue full (depth %d)@." index
             "OVERLOADED" (Job.label job) queue_depth
-      | Wire.Hello _ | Wire.Stats_report _ | Wire.Pong | Wire.Error_msg _ ->
+      | Wire.Hello _ | Wire.Stats_report _ | Wire.Metrics_report _
+      | Wire.Pong | Wire.Error_msg _ ->
           ()
     in
     let replies =
-      match Client.submit_all client jobs ~on_result:print_result with
+      match Client.submit_all ~corr_prefix client jobs ~on_result:print_result
+      with
       | Ok replies ->
           Client.close client;
           replies
@@ -1288,24 +1336,76 @@ let submit_cmd =
               — same columns as $(b,noc_tool batch), with $(b,(warm)) \
               marking results served from the daemon's persistent store.";
            `P
+             "Every job carries a correlation id ($(b,--corr) prefix plus \
+              its index), so one submission is traceable across the wire, \
+              the daemon's telemetry JSONL and its trace spans.";
+           `P
              "Exits 1 on an unusable job file or unreachable daemon, 2 \
               when any job fails, is rejected or is shed as overloaded.";
          ])
-    Term.(const run $ logs_term $ jobs_file_arg $ socket_arg)
+    Term.(const run $ logs_term $ jobs_file_arg $ socket_arg $ corr_arg)
+
+(* Client-side rendering of the typed stats record — line-compatible
+   with the daemon's legacy text report, because the serve-smoke and
+   store-persistence CI jobs grep these exact shapes out of
+   serve-stats output. *)
+let render_wire_stats b (s : Noc_service.Wire.stats) =
+  let open Noc_service in
+  Printf.bprintf b "serve_uptime_seconds %.3f\n" s.Wire.uptime_s;
+  Printf.bprintf b "serve_queue_depth %d\n" s.Wire.queue_depth;
+  Printf.bprintf b "serve_inflight %d\n" s.Wire.inflight;
+  Printf.bprintf b "serve_draining %d\n" (if s.Wire.draining then 1 else 0);
+  match s.Wire.store with
+  | None -> Printf.bprintf b "store_enabled 0\n"
+  | Some st ->
+      Printf.bprintf b "store_enabled 1\n";
+      Printf.bprintf b "store_entries %d\n" st.Wire.entries;
+      Printf.bprintf b "store_hits %d\n" st.Wire.hits;
+      Printf.bprintf b "store_misses %d\n" st.Wire.misses;
+      Printf.bprintf b "store_evictions %d\n" st.Wire.evictions;
+      Printf.bprintf b "store_hit_rate %.6f\n" st.Wire.hit_rate
+
+let render_wire_metric b m =
+  match m with
+  | Noc_obs.Metrics.Counter { value; _ } ->
+      Printf.bprintf b "%s %d\n" (Noc_obs.Metrics.metric_name m) value
+  | Noc_obs.Metrics.Gauge { value; _ } ->
+      Printf.bprintf b "%s %g\n" (Noc_obs.Metrics.metric_name m) value
+  | Noc_obs.Metrics.Histogram { buckets; overflow; count; sum; _ } ->
+      let name = Noc_obs.Metrics.metric_name m in
+      let cum = ref 0 in
+      List.iter
+        (fun (le, n) ->
+          cum := !cum + n;
+          Printf.bprintf b "%s_bucket{le=\"%g\"} %d\n" name le !cum)
+        buckets;
+      Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" name (!cum + overflow);
+      Printf.bprintf b "%s_sum %g\n" name sum;
+      Printf.bprintf b "%s_count %d\n" name count
+
+let fetch_metrics_report socket =
+  let open Noc_service in
+  let client = or_die (Client.connect ~socket) in
+  match Client.metrics client with
+  | Ok report ->
+      Client.close client;
+      report
+  | Error e ->
+      Client.close client;
+      or_die (Error e)
 
 let serve_stats_cmd =
   let run () socket =
-    let client = or_die (Noc_service.Client.connect ~socket) in
-    let report =
-      match Noc_service.Client.stats client with
-      | Ok report ->
-          Noc_service.Client.close client;
-          report
-      | Error e ->
-          Noc_service.Client.close client;
-          or_die (Error e)
-    in
-    print_string report
+    let open Noc_service in
+    let report = fetch_metrics_report socket in
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "# noc serve metrics (%s)\n" Wire.protocol;
+    render_wire_stats b report.Wire.mr_stats;
+    (match Noc_obs.Expo.metrics_of_json report.Wire.mr_metrics with
+    | Ok metrics -> List.iter (render_wire_metric b) metrics
+    | Error e ->
+        or_die (Error (Printf.sprintf "malformed metrics payload: %s" e)));
+    print_string (Buffer.contents b)
   in
   Cmd.v
     (Cmd.info "serve-stats"
@@ -1314,12 +1414,310 @@ let serve_stats_cmd =
          [
            `S Manpage.s_description;
            `P
-             "Asks the daemon for its metrics snapshot: uptime, queue \
-              depth, in-flight jobs, store entries/hit-rate/evictions, \
-              and every counter, gauge and histogram in the noc_obs \
-              registry, one plain-text line each.";
+             "Asks the daemon for its typed metrics report and renders it \
+              as text: uptime, queue depth, in-flight jobs, store \
+              entries/hit-rate/evictions, then every counter, gauge and \
+              histogram in the noc_obs registry (including the \
+              noc_slo_ok verdict gauges), one plain-text line each.";
+           `P
+             "For the Prometheus exposition format, scrape the daemon's \
+              $(b,--metrics-addr) HTTP endpoint or use $(b,noc_tool top \
+              --raw) instead.";
          ])
     Term.(const run $ logs_term $ socket_arg)
+
+(* noc_tool top ----------------------------------------------------- *)
+
+(* One-shot HTTP/1.0 GET against the daemon's --metrics-addr listener:
+   connect, send the request, read to EOF, strip the header block. *)
+let http_scrape ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally (fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to 127.0.0.1:%d: %s" port
+               (Unix.error_message e))
+      | () -> (
+          let req = "GET /metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n" in
+          let rec write_all off =
+            if off < String.length req then
+              write_all
+                (off + Unix.write_substring fd req off (String.length req - off))
+          in
+          let buf = Buffer.create 4096 and chunk = Bytes.create 65536 in
+          let rec read_all () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_all ()
+          in
+          try
+            write_all 0;
+            read_all ();
+            let response = Buffer.contents buf in
+            let header_end =
+              match String.index_opt response '\r' with
+              | _ -> (
+                  let rec find i =
+                    if i + 3 >= String.length response then None
+                    else if String.sub response i 4 = "\r\n\r\n" then Some i
+                    else find (i + 1)
+                  in
+                  find 0)
+            in
+            match header_end with
+            | None -> Error "malformed HTTP response (no header terminator)"
+            | Some i ->
+                let status = String.sub response 0 (String.index response '\r') in
+                if
+                  String.length status >= 12
+                  && String.sub status 9 3 = "200"
+                then
+                  Ok
+                    (String.sub response (i + 4)
+                       (String.length response - i - 4))
+                else Error (Printf.sprintf "scrape failed: %s" status)
+          with Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "scrape failed: %s" (Unix.error_message e))))
+
+let top_cmd =
+  let addr_arg =
+    Arg.(value & opt (some int) None
+         & info [ "addr" ] ~docv:"PORT"
+             ~doc:"Scrape the daemon's HTTP metrics listener on \
+                   127.0.0.1:$(docv) instead of speaking the wire protocol \
+                   (implies $(b,--raw)).")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between refreshes.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 0
+         & info [ "iterations" ] ~docv:"N"
+             ~doc:"Stop after $(docv) refreshes; 0 runs until interrupted.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print a single frame and exit (no screen clearing); \
+                   shorthand for $(b,--iterations 1).")
+  in
+  let raw_arg =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Print one validated Prometheus text exposition instead \
+                   of the dashboard (repeat with $(b,--iterations)). The \
+                   document is checked against the format parser first, \
+                   so a malformed scrape fails loudly.")
+  in
+  (* Dashboard helpers: all lookups go through the decoded snapshot so
+     wire mode and tests share one path. *)
+  let gauge_value metrics name =
+    List.find_map
+      (function
+        | Noc_obs.Metrics.Gauge { name = n; labels = []; value } when n = name
+          ->
+            Some value
+        | _ -> None)
+      metrics
+  in
+  let counter_value metrics name =
+    List.find_map
+      (function
+        | Noc_obs.Metrics.Counter { name = n; labels = []; value } when n = name
+          ->
+            Some value
+        | _ -> None)
+      metrics
+  in
+  let render_dashboard ~socket ~interval ~prev
+      (report : Noc_service.Wire.metrics_report) metrics verdicts =
+    let open Noc_service in
+    let b = Buffer.create 2048 in
+    let s = report.Wire.mr_stats in
+    let now = Unix.gettimeofday () in
+    Printf.bprintf b "noc top — %s   uptime %.1fs   refresh %.1fs\n" socket
+      s.Wire.uptime_s interval;
+    let workers = gauge_value metrics "noc_pool_workers"
+    and busy = gauge_value metrics "noc_pool_busy_workers" in
+    Printf.bprintf b "queue %d   inflight %d   draining %s   workers %s\n"
+      s.Wire.queue_depth s.Wire.inflight
+      (if s.Wire.draining then "yes" else "no")
+      (match (workers, busy) with
+      | Some w, Some u -> Printf.sprintf "%.0f (%.0f busy)" w u
+      | Some w, None -> Printf.sprintf "%.0f" w
+      | None, _ -> "-");
+    (match s.Wire.store with
+    | None -> Printf.bprintf b "store: disabled\n"
+    | Some st ->
+        Printf.bprintf b
+          "store: %d entries, %d hits / %d misses (hit rate %.1f%%), %d \
+           evictions\n"
+          st.Wire.entries st.Wire.hits st.Wire.misses
+          (100. *. st.Wire.hit_rate) st.Wire.evictions);
+    Printf.bprintf b "jobs %s   rejected %s   overloaded %s   warm hits %s\n"
+      (match counter_value metrics "noc_serve_jobs_total" with
+      | Some v -> string_of_int v
+      | None -> "-")
+      (match counter_value metrics "noc_serve_rejected_total" with
+      | Some v -> string_of_int v
+      | None -> "-")
+      (match counter_value metrics "noc_serve_overloaded_total" with
+      | Some v -> string_of_int v
+      | None -> "-")
+      (match counter_value metrics "noc_serve_warm_hits_total" with
+      | Some v -> string_of_int v
+      | None -> "-");
+    (* Per-method latency table; rates are client-side deltas between
+       refreshes, so the first frame shows "-". *)
+    Printf.bprintf b "\n%-10s %9s %9s %9s %9s\n" "method" "req/s" "p50 ms"
+      "p99 ms" "count";
+    let methods =
+      List.filter_map
+        (fun m ->
+          match m with
+          | Noc_obs.Metrics.Histogram { name = "noc_serve_request_ms"; labels;
+                                        count; _ } ->
+              Option.map
+                (fun meth -> (meth, m, count))
+                (List.assoc_opt "method" labels)
+          | _ -> None)
+        metrics
+    in
+    List.iter
+      (fun (meth, m, count) ->
+        let quant q =
+          match Noc_obs.Metrics.quantile ~q m with
+          | Some v -> Printf.sprintf "%9.2f" v
+          | None -> Printf.sprintf "%9s" "-"
+        in
+        let rate =
+          match !prev with
+          | Some (t0, counts) -> (
+              match List.assoc_opt meth counts with
+              | Some c0 when now > t0 ->
+                  Printf.sprintf "%9.2f" (float_of_int (count - c0) /. (now -. t0))
+              | _ -> Printf.sprintf "%9s" "-")
+          | None -> Printf.sprintf "%9s" "-"
+        in
+        Printf.bprintf b "%-10s %s %s %s %9d\n" meth rate (quant 0.5)
+          (quant 0.99) count)
+      (List.sort compare methods);
+    prev := Some (now, List.map (fun (meth, _, c) -> (meth, c)) methods);
+    (match
+       List.find_map
+         (fun m ->
+           match m with
+           | Noc_obs.Metrics.Histogram
+               { name = "noc_serve_submit_to_result_ms"; _ } ->
+               Noc_obs.Metrics.quantile ~q:0.99 m
+           | _ -> None)
+         metrics
+     with
+    | Some p99 -> Printf.bprintf b "\nsubmit-to-result p99: %.2f ms\n" p99
+    | None -> ());
+    if verdicts <> [] then begin
+      Printf.bprintf b "\nSLOs:\n";
+      List.iter
+        (fun v ->
+          Printf.bprintf b "  %s\n"
+            (Format.asprintf "%a" Noc_obs.Slo.pp_verdict v))
+        verdicts
+    end;
+    Buffer.contents b
+  in
+  let run () socket addr interval iterations once raw =
+    let open Noc_service in
+    if interval <= 0. then or_die (Error "--interval must be positive");
+    let raw = raw || addr <> None in
+    let iterations =
+      (* Raw dumps are one-shot unless a repeat count is asked for;
+         the dashboard refreshes until interrupted. *)
+      if once then 1 else if raw && iterations = 0 then 1 else iterations
+    in
+    let prev = ref None in
+    let frame () =
+      if raw then begin
+        let text =
+          match addr with
+          | Some port -> or_die (http_scrape ~port)
+          | None ->
+              let report = fetch_metrics_report socket in
+              let metrics =
+                match Noc_obs.Expo.metrics_of_json report.Wire.mr_metrics with
+                | Ok ms -> ms
+                | Error e ->
+                    or_die
+                      (Error (Printf.sprintf "malformed metrics payload: %s" e))
+              in
+              Noc_obs.Expo.text metrics
+        in
+        (match Noc_obs.Expo.check_text text with
+        | Ok () -> ()
+        | Error e ->
+            or_die (Error (Printf.sprintf "malformed exposition: %s" e)));
+        print_string text
+      end
+      else begin
+        let report = fetch_metrics_report socket in
+        let metrics =
+          match Noc_obs.Expo.metrics_of_json report.Wire.mr_metrics with
+          | Ok ms -> ms
+          | Error e ->
+              or_die (Error (Printf.sprintf "malformed metrics payload: %s" e))
+        in
+        let verdicts =
+          match report.Wire.mr_slo with
+          | Noc_json.Json.Null -> []
+          | v -> (
+              match Noc_obs.Slo.verdicts_of_json v with
+              | Ok vs -> vs
+              | Error e ->
+                  or_die (Error (Printf.sprintf "malformed slo payload: %s" e)))
+        in
+        if iterations <> 1 then print_string "\027[H\027[2J";
+        print_string
+          (render_dashboard ~socket ~interval ~prev report metrics verdicts)
+      end;
+      flush stdout
+    in
+    let rec loop i =
+      if iterations = 0 || i < iterations then begin
+        frame ();
+        if iterations = 0 || i + 1 < iterations then Unix.sleepf interval;
+        loop (i + 1)
+      end
+    in
+    loop 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard over a running noc serve daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Polls the daemon's typed metrics report over the wire and \
+              renders a refreshing dashboard: per-method request rates \
+              (client-side deltas between refreshes), p50/p99 latency \
+              quantiles interpolated from histogram buckets, queue depth, \
+              worker utilization, store hit rate, and the declared SLOs \
+              with their burn status.";
+           `P
+             "$(b,--raw) prints the Prometheus text exposition instead \
+              (validated against the format checker); with $(b,--addr) \
+              the document is scraped from the daemon's HTTP listener, \
+              exactly as a Prometheus server would see it.";
+         ])
+    Term.(const run $ logs_term $ socket_arg $ addr_arg $ interval_arg
+          $ iterations_arg $ once_arg $ raw_arg)
 
 let campaign_cmd =
   let benchmarks_arg =
@@ -1424,11 +1822,13 @@ let campaign_cmd =
   in
   let run () benchmarks switch_counts degree workload_kinds rates seed
       prepare_names domains store_dir store_capacity out report_path no_lint
-      no_expect trace =
+      no_expect slo_overrides trace =
     let open Noc_service in
     if domains < 1 then or_die (Error "--domains must be at least 1");
     if store_capacity < 1 then
       or_die (Error "--store-capacity must be at least 1");
+    (* Validate overrides before any cell runs. *)
+    let slos = apply_slo_overrides slo_overrides in
     List.iter (fun b -> ignore (or_die (lookup_benchmark b))) benchmarks;
     let workloads =
       List.map
@@ -1502,17 +1902,37 @@ let campaign_cmd =
         cells
     in
     Format.printf "@.%a@." Noc_campaign.Campaign.pp_verdict verdict;
+    (* SLO gate: the campaign's own objectives (per-cell wall time,
+       prover agreement, …) evaluated over the in-process registry the
+       run just populated. *)
+    let slo_verdicts =
+      Noc_obs.Slo.evaluate slos (Noc_obs.Metrics.snapshot ())
+    in
+    let burned = Noc_obs.Slo.burned slo_verdicts in
+    (* Green verdicts print as one deterministic line (the measured
+       values are wall times, which would churn the cram pins); burned
+       ones print in full — that output precedes a non-zero exit. *)
+    (match burned with
+    | [] ->
+        Format.printf "slo: %d objective%s green@."
+          (List.length slo_verdicts)
+          (if List.length slo_verdicts = 1 then "" else "s")
+    | bs ->
+        Format.printf "%d SLO%s burned:@." (List.length bs)
+          (if List.length bs = 1 then "" else "s");
+        List.iter (fun v -> Format.printf "  %a@." Noc_obs.Slo.pp_verdict v) bs);
     Option.iter
       (fun path ->
         write_file path
           (Noc_campaign.Sim_report.to_json
-             (Noc_campaign.Sim_report.of_cells cells)))
+             (Noc_campaign.Sim_report.of_cells ~slo:slo_verdicts cells)))
       out;
     Option.iter
       (fun path ->
         write_file path (Noc_campaign.Campaign.markdown_report cells verdict))
       report_path;
-    if not (Noc_campaign.Campaign.verdict_ok verdict) then exit 2
+    if not (Noc_campaign.Campaign.verdict_ok verdict) || burned <> [] then
+      exit 2
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -1535,12 +1955,20 @@ let campaign_cmd =
               bench-sim/1 JSON consumed by the CI regression gate; \
               $(b,--report) renders the Markdown table with load-latency \
               curves.";
-           `P "Exits 2 when any invariant is violated.";
+           `P
+             "After the behavioural invariants, the declared SLOs \
+              (per-cell p99 wall time, prover/certify agreement, …) are \
+              evaluated over the run's metrics registry and recorded in \
+              the report's $(b,slo) section; $(b,--slo NAME=VALUE) \
+              overrides a threshold, which is how CI injects a violation \
+              to prove the gate burns.";
+           `P "Exits 2 when any invariant is violated or any SLO is burned.";
          ])
     Term.(const run $ logs_term $ benchmarks_arg $ switch_counts_arg
           $ degree_arg $ workloads_arg $ rates_arg $ seed_arg $ prepares_arg
           $ domains_arg $ campaign_store_arg $ store_capacity_arg $ out_arg
-          $ report_arg $ no_lint_arg $ no_expect_arg $ trace_file_arg)
+          $ report_arg $ no_lint_arg $ no_expect_arg $ slo_arg
+          $ trace_file_arg)
 
 let trace_cmd =
   let output_arg =
@@ -1607,7 +2035,7 @@ let () =
         analyze_cmd; lint_cmd; prove_cmd; duato_cmd; optimal_cmd; harden_cmd;
         tables_cmd;
         compare_cmd; simulate_cmd; campaign_cmd; batch_cmd; serve_cmd;
-        submit_cmd; serve_stats_cmd; trace_cmd; example_cmd;
+        submit_cmd; serve_stats_cmd; top_cmd; trace_cmd; example_cmd;
       ]
   in
   exit (Cmd.eval group)

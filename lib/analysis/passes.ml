@@ -229,8 +229,18 @@ let certificate =
    from tests with a fabricated verdict (the pass itself can only see
    the codes fire when one of the implementations is actually buggy,
    which is the point). *)
+(* SLO surface: every NOC-DLF-001/002 finding is a prover/certify
+   disagreement, counted so the dlf_agreement objective (disagreements
+   at most 0) burns the moment either implementation drifts. *)
+let disagreements_total =
+  lazy (Noc_obs.Metrics.counter "noc_dlf_disagreements_total")
+
 let cross_check_findings ~certified_acyclic (v : Deadlock_freedom.verdict) =
-  if certified_acyclic && not v.Deadlock_freedom.deadlock_free then
+  let disagree () =
+    Noc_obs.Metrics.incr (Lazy.force disagreements_total)
+  in
+  if certified_acyclic && not v.Deadlock_freedom.deadlock_free then begin
+    disagree ();
     let where =
       match v.Deadlock_freedom.knot with
       | Some (c :: _) -> Diagnostic.Channel c
@@ -246,13 +256,16 @@ let cross_check_findings ~certified_acyclic (v : Deadlock_freedom.verdict) =
            | None -> 0))
         ~fix:"one of the two provers is wrong: file a bug with the design";
     ]
-  else if (not certified_acyclic) && v.Deadlock_freedom.deadlock_free then
+  end
+  else if (not certified_acyclic) && v.Deadlock_freedom.deadlock_free then begin
+    disagree ();
     [
       Diagnostic.v Diag_code.dlf_prover_accepts_rejected Diagnostic.Design
         "Verify.certify rejects the design but the independent condition \
          proves deadlock freedom"
         ~fix:"one of the two provers is wrong: file a bug with the design";
     ]
+  end
   else []
 
 (* Replay of the prover's own witness, again as an exposed helper so a

@@ -50,8 +50,23 @@ type config = { domains : int; store : Store.t option; lint : bool }
 
 let default_config = { domains = 1; store = None; lint = true }
 
+(* SLO surface: per-cell wall time feeds the campaign_cell_p99_ms
+   objective.  Warm cells observe their stored wall time — the SLO is
+   about what a cell costs, however it was obtained. *)
+let cell_ms =
+  lazy
+    (Noc_obs.Metrics.histogram "noc_campaign_cell_ms"
+       ~buckets:[| 1.; 5.; 25.; 100.; 500.; 2_500.; 10_000.; 60_000. |])
+
+let observe_cell cell =
+  Noc_obs.Metrics.observe (Lazy.force cell_ms) cell.outcome.Outcome.wall_ms
+
 let run ?(on_cell = fun (_ : cell) -> ()) config jobs =
   if config.domains < 1 then invalid_arg "Campaign.run: domains < 1";
+  let on_cell cell =
+    observe_cell cell;
+    on_cell cell
+  in
   (* Serve what the store already knows (the resume path), then batch
      the rest and write fresh deterministic results back. *)
   let warm, cold =

@@ -32,11 +32,11 @@ type entry = {
   vcs_added : float;
 }
 
-type t = { entries : entry list }
+type t = { entries : entry list; slo : Noc_obs.Slo.verdict list }
 
 let schema = "bench-sim/1"
 
-let of_cells cells =
+let of_cells ?(slo = []) cells =
   let entry (cell : Campaign.cell) =
     if not (Noc_service.Outcome.is_done cell.Campaign.outcome) then None
     else
@@ -75,7 +75,7 @@ let of_cells cells =
           vcs_added = m "vcs_added";
         }
   in
-  { entries = List.filter_map entry cells }
+  { entries = List.filter_map entry cells; slo }
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -104,12 +104,19 @@ let to_json report =
         ("vcs_added", Json.Num e.vcs_added);
       ]
   in
+  (* [slo] is emitted only when present, so reports from campaigns
+     that never evaluated objectives — and every pre-existing pinned
+     baseline — keep their exact byte shape. *)
   Json.to_string_pretty
     (Json.Obj
-       [
-         ("schema", Json.Str schema);
-         ("cells", Json.Arr (List.map entry report.entries));
-       ])
+       ([
+          ("schema", Json.Str schema);
+          ("cells", Json.Arr (List.map entry report.entries));
+        ]
+       @
+       match report.slo with
+       | [] -> []
+       | slo -> [ ("slo", Noc_obs.Slo.to_json slo) ]))
   ^ "\n"
 
 let of_json text =
@@ -147,6 +154,13 @@ let of_json text =
                       vcs_added = Json.to_num (Json.field "vcs_added" item);
                     })
                   (Json.to_list (Json.field "cells" root));
+              slo =
+                (match Json.member "slo" root with
+                | None -> []
+                | Some v -> (
+                    match Noc_obs.Slo.verdicts_of_json v with
+                    | Ok slo -> slo
+                    | Error msg -> raise (Json.Parse_error msg)));
             }
       with Json.Parse_error msg -> Error msg)
 
@@ -170,6 +184,13 @@ let invariant_errors report =
       if e.deadlocked && not e.certified then
         err "%s: deadlock without a waits-for cycle certificate" e.label)
     report.entries;
+  (* A burned SLO recorded in the report fails the gate like any other
+     invariant: the campaign declared the objective, then missed it. *)
+  List.iter
+    (fun (v : Noc_obs.Slo.verdict) ->
+      if not v.Noc_obs.Slo.ok then
+        err "SLO %s burned: %s" v.Noc_obs.Slo.slo v.Noc_obs.Slo.detail)
+    report.slo;
   List.rev !errors
 
 let compare_to_baseline ?(latency_tolerance = 0.25)

@@ -30,14 +30,21 @@ type entry = {
   vcs_added : float;
 }
 
-type t = { entries : entry list }
+type t = {
+  entries : entry list;
+  slo : Noc_obs.Slo.verdict list;
+      (** Campaign-time SLO verdicts; empty (and absent from the JSON)
+          when the campaign did not evaluate objectives, so
+          pre-existing baselines parse and re-serialize unchanged. *)
+}
 
 val schema : string
 (** ["bench-sim/1"]. *)
 
-val of_cells : Campaign.cell list -> t
+val of_cells : ?slo:Noc_obs.Slo.verdict list -> Campaign.cell list -> t
 (** One entry per finished cell; unfinished cells are dropped (they are
-    {!Campaign.verify}'s problem, not the report's). *)
+    {!Campaign.verify}'s problem, not the report's).  [slo] (default
+    empty) records the campaign's objective verdicts. *)
 
 val to_json : t -> string
 val of_json : string -> (t, string) result

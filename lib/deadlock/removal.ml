@@ -62,9 +62,9 @@ module Trace = Noc_obs.Trace
 
 (* Incremental CDG maintenance versus full rebuilds is the perf story
    of this module; the counters expose the split in every trace. *)
-let cdg_incremental = Noc_obs.Metrics.counter "removal.cdg_incremental"
-let cdg_rebuild = Noc_obs.Metrics.counter "removal.cdg_rebuild"
-let cycles_broken = Noc_obs.Metrics.counter "removal.cycles_broken"
+let cdg_incremental = Noc_obs.Metrics.counter "noc_removal_cdg_incremental_total"
+let cdg_rebuild = Noc_obs.Metrics.counter "noc_removal_cdg_rebuild_total"
+let cycles_broken = Noc_obs.Metrics.counter "noc_removal_cycles_broken_total"
 
 let direction_label = function
   | Cost_table.Forward -> "forward"

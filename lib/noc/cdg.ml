@@ -141,8 +141,8 @@ let insert_channels t channels =
 
 (* Rebuild-vs-incremental is the central perf trade of the incremental
    CDG work; the counters make the split visible in every trace. *)
-let builds_total = Noc_obs.Metrics.counter "cdg.builds"
-let applies_total = Noc_obs.Metrics.counter "cdg.apply_changes"
+let builds_total = Noc_obs.Metrics.counter "noc_cdg_builds_total"
+let applies_total = Noc_obs.Metrics.counter "noc_cdg_apply_changes_total"
 
 let build net =
   Noc_obs.Trace.with_span "cdg.build" @@ fun sp ->

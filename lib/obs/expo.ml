@@ -1,0 +1,388 @@
+module Json = Noc_json.Json
+
+let schema = "noc-metrics/1"
+
+(* Number formatting: Prometheus values are decimal floats; counters
+   and bucket counts stay integral so scrapes diff cleanly. *)
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let pair (k, v) =
+        Printf.sprintf "%s=\"%s\"" k (Metrics.escape_label_value v)
+      in
+      "{" ^ String.concat "," (List.map pair labels) ^ "}"
+
+(* Text exposition (Prometheus text format v0.0.4) ------------------- *)
+
+let kind_of = function
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+let render_metric b m =
+  let base = Metrics.metric_base m in
+  match m with
+  | Metrics.Counter { labels; value; _ } ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %d\n" base (render_labels labels) value)
+  | Metrics.Gauge { labels; value; _ } ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %s\n" base (render_labels labels) (fmt_num value))
+  | Metrics.Histogram { labels; buckets; overflow; count; sum; _ } ->
+      let cumulative = ref 0 in
+      List.iter
+        (fun (le, n) ->
+          cumulative := !cumulative + n;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" base
+               (render_labels (labels @ [ ("le", fmt_num le) ]))
+               !cumulative))
+        buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket%s %d\n" base
+           (render_labels (labels @ [ ("le", "+Inf") ]))
+           (!cumulative + overflow));
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum%s %s\n" base (render_labels labels)
+           (fmt_num sum));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count%s %d\n" base (render_labels labels) count)
+
+let text metrics =
+  (* Group by base name so labeled instruments share one TYPE line;
+     snapshot order is by identity, which can interleave bases. *)
+  let ordered =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (Metrics.metric_base a, Metrics.metric_labels a)
+          (Metrics.metric_base b, Metrics.metric_labels b))
+      metrics
+  in
+  let b = Buffer.create 1024 in
+  let last_base = ref "" in
+  List.iter
+    (fun m ->
+      let base = Metrics.metric_base m in
+      if base <> !last_base then (
+        last_base := base;
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" base (kind_of m)));
+      render_metric b m)
+    ordered;
+  Buffer.contents b
+
+(* JSON snapshot ----------------------------------------------------- *)
+
+let json metrics =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("metrics", Json.Arr (List.map Metrics.to_json metrics));
+    ]
+
+(* The inverse: what [noc_tool top] uses to rebuild typed metrics from
+   a wire Metrics reply so it can reuse Metrics.quantile and the text
+   renderer client-side.  Decoded values are plain variant data — they
+   are not registered as live instruments. *)
+let metrics_of_json v =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" v with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | Some (Json.Str s) ->
+        Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+    | _ -> Error "missing \"schema\" field"
+  in
+  let* items =
+    match Json.member "metrics" v with
+    | Some (Json.Arr items) -> Ok items
+    | _ -> Error "missing \"metrics\" array"
+  in
+  let str name item =
+    match Json.member name item with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let num name item =
+    match Json.member name item with
+    | Some (Json.Num n) -> Ok n
+    | _ -> Error (Printf.sprintf "missing numeric field %S" name)
+  in
+  let int name item = Result.map int_of_float (num name item) in
+  let labels item =
+    match Json.member "labels" item with
+    | None -> Ok []
+    | Some (Json.Obj pairs) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Str value) :: rest -> go ((k, value) :: acc) rest
+          | (k, _) :: _ ->
+              Error (Printf.sprintf "label %S must be a string" k)
+        in
+        go [] pairs
+    | Some _ -> Error "\"labels\" must be an object"
+  in
+  let metric item =
+    let* kind = str "kind" item in
+    let* name = str "name" item in
+    let* labels = labels item in
+    match kind with
+    | "counter" ->
+        let* value = int "value" item in
+        Ok (Metrics.Counter { name; labels; value })
+    | "gauge" ->
+        let* value = num "value" item in
+        Ok (Metrics.Gauge { name; labels; value })
+    | "histogram" ->
+        let* buckets =
+          match Json.member "buckets" item with
+          | Some (Json.Arr bs) ->
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | b :: rest ->
+                    let* le = num "le" b in
+                    let* n = int "count" b in
+                    go ((le, n) :: acc) rest
+              in
+              go [] bs
+          | _ -> Error "missing \"buckets\" array"
+        in
+        let* overflow = int "overflow" item in
+        let* count = int "count" item in
+        let* sum = num "sum" item in
+        Ok (Metrics.Histogram { name; labels; buckets; overflow; count; sum })
+    | k -> Error (Printf.sprintf "unknown metric kind %S" k)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+        let* m = metric item in
+        go (m :: acc) rest
+  in
+  go [] items
+
+(* Format checker ---------------------------------------------------- *)
+
+(* A strict parser for the subset of the text format we emit, shared
+   by the qcheck exposition property and the smoke jobs: every sample
+   must parse, reference a declared TYPE, carry well-formed escaped
+   labels, and histograms must be cumulative with a trailing +Inf
+   bucket that equals their _count. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+let strip_suffix name suffix =
+  let n = String.length name and k = String.length suffix in
+  if n >= k && String.sub name (n - k) k = suffix then
+    Some (String.sub name 0 (n - k))
+  else None
+
+let parse_name line pos =
+  let n = String.length line in
+  let start = pos in
+  let ok c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let pos = ref pos in
+  while !pos < n && ok line.[!pos] do
+    incr pos
+  done;
+  if !pos = start then Error "expected metric name"
+  else Ok (String.sub line start (!pos - start), !pos)
+
+let parse_label_value line pos =
+  (* [pos] is just past the opening quote. *)
+  let n = String.length line in
+  let b = Buffer.create 16 in
+  let rec go i =
+    if i >= n then Error "unterminated label value"
+    else
+      match line.[i] with
+      | '"' -> Ok (Buffer.contents b, i + 1)
+      | '\\' ->
+          if i + 1 >= n then Error "dangling backslash"
+          else (
+            (match line.[i + 1] with
+            | '\\' -> Buffer.add_char b '\\'
+            | '"' -> Buffer.add_char b '"'
+            | 'n' -> Buffer.add_char b '\n'
+            | c ->
+                Buffer.add_char b '\\';
+                Buffer.add_char b c);
+            go (i + 2))
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go pos
+
+let parse_labels line pos =
+  (* [pos] is at '{'. *)
+  let n = String.length line in
+  let rec pairs acc pos =
+    match parse_name line pos with
+    | Error e -> Error e
+    | Ok (key, pos) ->
+        if pos >= n || line.[pos] <> '=' then Error "expected = after label key"
+        else if pos + 1 >= n || line.[pos + 1] <> '"' then
+          Error "expected quoted label value"
+        else
+          match parse_label_value line (pos + 2) with
+          | Error e -> Error e
+          | Ok (value, pos) ->
+              let acc = (key, value) :: acc in
+              if pos < n && line.[pos] = ',' then pairs acc (pos + 1)
+              else if pos < n && line.[pos] = '}' then
+                Ok (List.rev acc, pos + 1)
+              else Error "expected , or } in labels"
+  in
+  if pos < String.length line && line.[pos] = '{' then
+    if pos + 1 < n && line.[pos + 1] = '}' then Ok ([], pos + 2)
+    else pairs [] (pos + 1)
+  else Ok ([], pos)
+
+let parse_sample line =
+  match parse_name line 0 with
+  | Error e -> Error e
+  | Ok (name, pos) -> (
+      match parse_labels line pos with
+      | Error e -> Error e
+      | Ok (labels, pos) ->
+          if pos >= String.length line || line.[pos] <> ' ' then
+            Error "expected space before value"
+          else
+            let rest =
+              String.sub line (pos + 1) (String.length line - pos - 1)
+            in
+            let value_str =
+              match String.index_opt rest ' ' with
+              | Some i -> String.sub rest 0 i  (* optional timestamp *)
+              | None -> rest
+            in
+            let value_str =
+              if value_str = "+Inf" then "infinity"
+              else if value_str = "-Inf" then "neg_infinity"
+              else value_str
+            in
+            (match float_of_string_opt value_str with
+            | None -> Error (Printf.sprintf "bad value %S" value_str)
+            | Some v -> Ok { s_name = name; s_labels = labels; s_value = v }))
+
+let check_text s =
+  let lines = String.split_on_char '\n' s in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let samples = ref [] in
+  let err = ref None in
+  let fail lineno msg =
+    if !err = None then err := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then (
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.split_on_char ' ' rest with
+        | [ name; kind ]
+          when List.mem kind [ "counter"; "gauge"; "histogram" ] ->
+            if Hashtbl.mem types name then
+              fail lineno (Printf.sprintf "duplicate TYPE for %s" name)
+            else Hashtbl.replace types name kind
+        | _ -> fail lineno "malformed TYPE line")
+      else if String.length line >= 1 && line.[0] = '#' then ()
+      else
+        match parse_sample line with
+        | Error e -> fail lineno e
+        | Ok sample -> samples := (lineno, sample) :: !samples)
+    lines;
+  let samples = List.rev !samples in
+  (* Every sample must belong to a declared family. *)
+  let family name =
+    if Hashtbl.mem types name then Some (name, Hashtbl.find types name)
+    else
+      let of_suffix suffix =
+        match strip_suffix name suffix with
+        | Some base
+          when Hashtbl.find_opt types base = Some "histogram" ->
+            Some (base, "histogram")
+        | _ -> None
+      in
+      match of_suffix "_bucket" with
+      | Some f -> Some f
+      | None -> (
+          match of_suffix "_sum" with
+          | Some f -> Some f
+          | None -> of_suffix "_count")
+  in
+  List.iter
+    (fun (lineno, s) ->
+      match family s.s_name with
+      | None -> fail lineno (Printf.sprintf "sample %s has no TYPE" s.s_name)
+      | Some _ -> ())
+    samples;
+  (* Histogram invariants: buckets cumulative, +Inf present and equal
+     to _count, per label set. *)
+  let bucket_groups : (string * (string * string) list, float list) Hashtbl.t =
+    Hashtbl.create 16
+  and inf_counts = Hashtbl.create 16
+  and counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, s) ->
+      match strip_suffix s.s_name "_bucket" with
+      | Some base when Hashtbl.find_opt types base = Some "histogram" ->
+          let le = List.assoc_opt "le" s.s_labels in
+          let rest = List.filter (fun (k, _) -> k <> "le") s.s_labels in
+          if le = Some "+Inf" then
+            Hashtbl.replace inf_counts (base, rest) s.s_value
+          else
+            Hashtbl.replace bucket_groups (base, rest)
+              (s.s_value
+              :: Option.value ~default:[]
+                   (Hashtbl.find_opt bucket_groups (base, rest)))
+      | _ -> (
+          match strip_suffix s.s_name "_count" with
+          | Some base when Hashtbl.find_opt types base = Some "histogram" ->
+              Hashtbl.replace counts (base, s.s_labels) s.s_value
+          | _ -> ()))
+    samples;
+  Hashtbl.iter
+    (fun key buckets ->
+      let buckets = List.rev buckets in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      if not (non_decreasing buckets) then
+        fail 0 (Printf.sprintf "histogram %s buckets not cumulative" (fst key));
+      match Hashtbl.find_opt inf_counts key with
+      | None ->
+          fail 0 (Printf.sprintf "histogram %s missing +Inf bucket" (fst key))
+      | Some inf -> (
+          (match buckets with
+          | [] -> ()
+          | _ ->
+              let last = List.nth buckets (List.length buckets - 1) in
+              if last > inf then
+                fail 0
+                  (Printf.sprintf "histogram %s +Inf below last bucket"
+                     (fst key)));
+          match Hashtbl.find_opt counts key with
+          | Some c when c <> inf ->
+              fail 0
+                (Printf.sprintf "histogram %s _count disagrees with +Inf"
+                   (fst key))
+          | _ -> ()))
+    bucket_groups;
+  match !err with None -> Ok () | Some e -> Error e

@@ -1,10 +1,98 @@
 module Json = Noc_json.Json
 
-type counter = { c_name : string; cell : int Atomic.t }
-type gauge = { g_name : string; level : float Atomic.t }
+(* Name hygiene ------------------------------------------------------ *)
+
+(* One convention for every instrument in the process:
+   [noc_<subsystem>_<name>]; counters additionally end in [_total].
+   Enforced at registration so a malformed name fails fast at module
+   load rather than surfacing misspelled in a dashboard. *)
+
+let name_convention = "noc_<subsystem>_<name>[_total]"
+
+let valid_name_chars name =
+  String.length name > 0
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let segments name = String.split_on_char '_' name
+
+let base_name_ok name =
+  valid_name_chars name
+  &&
+  match segments name with
+  | "noc" :: rest when List.length rest >= 2 ->
+      List.for_all (fun s -> String.length s > 0) rest
+  | _ -> false
+
+let has_total_suffix name =
+  let suffix = "_total" in
+  let n = String.length name and k = String.length suffix in
+  n >= k && String.sub name (n - k) k = suffix
+
+let validate_name ~kind name =
+  let fail reason =
+    invalid_arg
+      (Printf.sprintf "Metrics: invalid %s name %S (%s; expected %s)" kind name
+         reason name_convention)
+  in
+  if not (base_name_ok name) then fail "malformed";
+  match kind with
+  | "counter" -> if not (has_total_suffix name) then fail "missing _total"
+  | _ -> if has_total_suffix name then fail "_total is reserved for counters"
+
+let label_key_ok key =
+  String.length key > 0
+  && (match key.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && valid_name_chars key
+
+let validate_labels labels =
+  List.iter
+    (fun (k, _) ->
+      if not (label_key_ok k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label key %S" k))
+    labels;
+  let keys = List.map fst labels in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg "Metrics: duplicate label keys"
+
+(* Prometheus label-value escaping: backslash, double quote, newline. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '"' -> Buffer.add_string b {|\"|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      let pair (k, v) = Printf.sprintf "%s=%S" k (escape_label_value v) in
+      "{" ^ String.concat "," (List.map pair labels) ^ "}"
+
+(* Instruments ------------------------------------------------------- *)
+
+type meta = {
+  base : string;
+  labels : (string * string) list;  (* sorted by key *)
+  identity : string;  (* base ^ rendered labels: the registry key *)
+}
+
+let make_meta ~kind ?(labels = []) base =
+  validate_name ~kind base;
+  validate_labels labels;
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  { base; labels; identity = base ^ render_labels labels }
+
+type counter = { c_meta : meta; cell : int Atomic.t }
+type gauge = { g_meta : meta; level : float Atomic.t }
 
 type histogram = {
-  h_name : string;
+  h_meta : meta;
   bounds : float array;  (* strictly increasing upper bounds *)
   counts : int Atomic.t array;  (* length = Array.length bounds + 1 (overflow) *)
   sum : float Atomic.t;
@@ -20,29 +108,30 @@ let registry_mutex = Mutex.create ()
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
-let register name make match_existing =
+let register identity make match_existing =
   Mutex.lock registry_mutex;
   let result =
-    match Hashtbl.find_opt registry name with
+    match Hashtbl.find_opt registry identity with
     | Some existing -> (
         match match_existing existing with
         | Some v -> Ok v
         | None ->
             Error
-              (Printf.sprintf "Metrics: %S is already a %s" name
+              (Printf.sprintf "Metrics: %S is already a %s" identity
                  (kind_name existing)))
     | None ->
         let i, v = make () in
-        Hashtbl.replace registry name i;
+        Hashtbl.replace registry identity i;
         Ok v
   in
   Mutex.unlock registry_mutex;
   match result with Ok v -> v | Error msg -> invalid_arg msg
 
-let counter name =
-  register name
+let counter ?labels name =
+  let meta = make_meta ~kind:"counter" ?labels name in
+  register meta.identity
     (fun () ->
-      let c = { c_name = name; cell = Atomic.make 0 } in
+      let c = { c_meta = meta; cell = Atomic.make 0 } in
       (C c, c))
     (function C c -> Some c | _ -> None)
 
@@ -50,10 +139,11 @@ let incr c = Atomic.incr c.cell
 
 let add c n = ignore (Atomic.fetch_and_add c.cell n)
 
-let gauge name =
-  register name
+let gauge ?labels name =
+  let meta = make_meta ~kind:"gauge" ?labels name in
+  register meta.identity
     (fun () ->
-      let g = { g_name = name; level = Atomic.make 0. } in
+      let g = { g_meta = meta; level = Atomic.make 0. } in
       (G g, g))
     (function G g -> Some g | _ -> None)
 
@@ -62,18 +152,19 @@ let set_gauge g v = Atomic.set g.level v
 let default_buckets =
   [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
 
-let histogram ?(buckets = default_buckets) name =
+let histogram ?(buckets = default_buckets) ?labels name =
   let n = Array.length buckets in
   if n = 0 then invalid_arg "Metrics.histogram: empty bucket list";
   for i = 1 to n - 1 do
     if buckets.(i - 1) >= buckets.(i) then
       invalid_arg "Metrics.histogram: buckets must be strictly increasing"
   done;
-  register name
+  let meta = make_meta ~kind:"histogram" ?labels name in
+  register meta.identity
     (fun () ->
       let h =
         {
-          h_name = name;
+          h_meta = meta;
           bounds = Array.copy buckets;
           counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
           sum = Atomic.make 0.;
@@ -98,18 +189,25 @@ let observe h v =
   atomic_add_float h.sum v
 
 type metric =
-  | Counter of { name : string; value : int }
-  | Gauge of { name : string; value : float }
+  | Counter of { name : string; labels : (string * string) list; value : int }
+  | Gauge of { name : string; labels : (string * string) list; value : float }
   | Histogram of {
       name : string;
+      labels : (string * string) list;
       buckets : (float * int) list;
       overflow : int;
       count : int;
       sum : float;
     }
 
-let metric_name = function
+let metric_base = function
   | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+
+let metric_labels = function
+  | Counter { labels; _ } | Gauge { labels; _ } | Histogram { labels; _ } ->
+      labels
+
+let metric_name m = metric_base m ^ render_labels (metric_labels m)
 
 let snapshot () =
   Mutex.lock registry_mutex;
@@ -117,13 +215,26 @@ let snapshot () =
   Mutex.unlock registry_mutex;
   instruments
   |> List.map (function
-       | C c -> Counter { name = c.c_name; value = Atomic.get c.cell }
-       | G g -> Gauge { name = g.g_name; value = Atomic.get g.level }
+       | C c ->
+           Counter
+             {
+               name = c.c_meta.base;
+               labels = c.c_meta.labels;
+               value = Atomic.get c.cell;
+             }
+       | G g ->
+           Gauge
+             {
+               name = g.g_meta.base;
+               labels = g.g_meta.labels;
+               value = Atomic.get g.level;
+             }
        | H h ->
            let n = Array.length h.bounds in
            Histogram
              {
-               name = h.h_name;
+               name = h.h_meta.base;
+               labels = h.h_meta.labels;
                buckets =
                  List.init n (fun i ->
                      (h.bounds.(i), Atomic.get h.counts.(i)));
@@ -147,39 +258,75 @@ let reset () =
     registry;
   Mutex.unlock registry_mutex
 
+(* Quantile estimate in the Prometheus style: find the bucket holding
+   the q-th sample and interpolate linearly inside it.  Samples in the
+   overflow bucket clamp to the highest finite bound. *)
+let quantile ~q = function
+  | Counter _ | Gauge _ -> None
+  | Histogram { buckets; overflow = _; count; _ } when count = 0 || buckets = []
+    ->
+      None
+  | Histogram { buckets; overflow = _; count; _ } ->
+      let q = Float.min 1. (Float.max 0. q) in
+      let rank = q *. float_of_int count in
+      let rec scan lower cumulative = function
+        | [] -> Some (fst (List.hd (List.rev buckets)))
+        | (le, n) :: rest ->
+            let cumulative' = cumulative + n in
+            if float_of_int cumulative' >= rank && n > 0 then
+              let frac =
+                (rank -. float_of_int cumulative) /. float_of_int n
+              in
+              Some (lower +. (Float.max 0. frac *. (le -. lower)))
+            else scan le cumulative' rest
+      in
+      scan 0. 0 buckets
+
+let labels_to_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let with_labels labels fields =
+  match labels with
+  | [] -> fields
+  | _ -> fields @ [ ("labels", labels_to_json labels) ]
+
 let to_json = function
-  | Counter { name; value } ->
+  | Counter { name; labels; value } ->
       Json.Obj
-        [
-          ("kind", Json.Str "counter");
-          ("name", Json.Str name);
-          ("value", Json.Num (float_of_int value));
-        ]
-  | Gauge { name; value } ->
+        (with_labels labels
+           [
+             ("kind", Json.Str "counter");
+             ("name", Json.Str name);
+             ("value", Json.Num (float_of_int value));
+           ])
+  | Gauge { name; labels; value } ->
       Json.Obj
-        [
-          ("kind", Json.Str "gauge");
-          ("name", Json.Str name);
-          ("value", Json.Num value);
-        ]
-  | Histogram { name; buckets; overflow; count; sum } ->
+        (with_labels labels
+           [
+             ("kind", Json.Str "gauge");
+             ("name", Json.Str name);
+             ("value", Json.Num value);
+           ])
+  | Histogram { name; labels; buckets; overflow; count; sum } ->
       Json.Obj
-        [
-          ("kind", Json.Str "histogram");
-          ("name", Json.Str name);
-          ( "buckets",
-            Json.Arr
-              (List.map
-                 (fun (le, n) ->
-                   Json.Obj
-                     [
-                       ("le", Json.Num le); ("count", Json.Num (float_of_int n));
-                     ])
-                 buckets) );
-          ("overflow", Json.Num (float_of_int overflow));
-          ("count", Json.Num (float_of_int count));
-          ("sum", Json.Num sum);
-        ]
+        (with_labels labels
+           [
+             ("kind", Json.Str "histogram");
+             ("name", Json.Str name);
+             ( "buckets",
+               Json.Arr
+                 (List.map
+                    (fun (le, n) ->
+                      Json.Obj
+                        [
+                          ("le", Json.Num le);
+                          ("count", Json.Num (float_of_int n));
+                        ])
+                    buckets) );
+             ("overflow", Json.Num (float_of_int overflow));
+             ("count", Json.Num (float_of_int count));
+             ("sum", Json.Num sum);
+           ])
 
 let pp ppf metrics =
   Format.fprintf ppf "@[<v>";
@@ -187,11 +334,11 @@ let pp ppf metrics =
     (fun i m ->
       if i > 0 then Format.fprintf ppf "@,";
       match m with
-      | Counter { name; value } ->
-          Format.fprintf ppf "%-32s %d" name value
-      | Gauge { name; value } -> Format.fprintf ppf "%-32s %g" name value
-      | Histogram { name; count; sum; _ } ->
-          Format.fprintf ppf "%-32s %d sample%s, sum %.3f" name count
+      | Counter { value; _ } ->
+          Format.fprintf ppf "%-32s %d" (metric_name m) value
+      | Gauge { value; _ } -> Format.fprintf ppf "%-32s %g" (metric_name m) value
+      | Histogram { count; sum; _ } ->
+          Format.fprintf ppf "%-32s %d sample%s, sum %.3f" (metric_name m) count
             (if count = 1 then "" else "s")
             sum)
     metrics;

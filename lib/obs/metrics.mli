@@ -7,6 +7,15 @@
     counter bump is one atomic increment, far below timing noise — and
     nothing here participates in result hashing.
 
+    {b Naming convention} (validated at registration): every base name
+    matches [noc_<subsystem>_<name>] — lowercase [a-z0-9_] only, at
+    least two segments after the [noc_] prefix — and counters end in
+    [_total] while gauges and histograms must not.  Instruments may
+    additionally carry {e labels} (sorted key/value pairs); the
+    registry key is the full identity [name{k="v",...}], so
+    [noc_serve_request_ms{method="submit"}] and
+    [...{method="ping"}] are distinct instruments.
+
     {!snapshot} returns a point-in-time copy for export;
     {!reset} zeroes every registered instrument in place (handles stay
     valid), which is what tests and fresh trace runs want. *)
@@ -15,15 +24,16 @@ type counter
 type gauge
 type histogram
 
-val counter : string -> counter
-(** Get or create the counter named [name].
-    @raise Invalid_argument if [name] is registered as another kind. *)
+val counter : ?labels:(string * string) list -> string -> counter
+(** Get or create the counter named [name] (with optional labels).
+    @raise Invalid_argument if the identity is registered as another
+    kind, or the name/labels violate the convention above. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 
-val gauge : string -> gauge
-(** @raise Invalid_argument if [name] is registered as another kind. *)
+val gauge : ?labels:(string * string) list -> string -> gauge
+(** @raise Invalid_argument as for {!counter}. *)
 
 val set_gauge : gauge -> float -> unit
 
@@ -31,37 +41,58 @@ val default_buckets : float array
 (** Millisecond-scale upper bounds: [0.01 .. 5000] in a 1-5-10
     progression. *)
 
-val histogram : ?buckets:float array -> string -> histogram
+val histogram :
+  ?buckets:float array -> ?labels:(string * string) list -> string -> histogram
 (** Get or create; [buckets] (strictly increasing upper bounds,
     default {!default_buckets}) is fixed by the first creation.
-    @raise Invalid_argument if [name] is registered as another kind or
-    [buckets] is empty or not strictly increasing. *)
+    @raise Invalid_argument if the identity is registered as another
+    kind, the name/labels are malformed, or [buckets] is empty or not
+    strictly increasing. *)
 
 val observe : histogram -> float -> unit
 (** Record a sample into its bucket (first bound [>=] sample; samples
     above every bound land in the implicit overflow bucket). *)
 
 type metric =
-  | Counter of { name : string; value : int }
-  | Gauge of { name : string; value : float }
+  | Counter of { name : string; labels : (string * string) list; value : int }
+  | Gauge of { name : string; labels : (string * string) list; value : float }
   | Histogram of {
       name : string;
+      labels : (string * string) list;
       buckets : (float * int) list;  (** (upper bound, count) pairs. *)
       overflow : int;
       count : int;
       sum : float;
     }
 
+val metric_base : metric -> string
+(** The base name, without labels. *)
+
+val metric_labels : metric -> (string * string) list
+
 val metric_name : metric -> string
+(** The full identity: base name plus rendered labels
+    ([name{k="v"}]); equals {!metric_base} when unlabeled. *)
+
+val escape_label_value : string -> string
+(** Prometheus label-value escaping: backslash, double quote, and
+    newline get a backslash escape. *)
 
 val snapshot : unit -> metric list
-(** Every registered metric, sorted by name. *)
+(** Every registered metric, sorted by identity. *)
 
 val reset : unit -> unit
 (** Zero all registered instruments in place. *)
 
+val quantile : q:float -> metric -> float option
+(** Prometheus-style quantile estimate over a histogram's buckets:
+    linear interpolation inside the bucket holding the [q]-th sample;
+    overflow samples clamp to the highest finite bound.  [None] for
+    counters, gauges, and empty histograms. *)
+
 val to_json : metric -> Noc_json.Json.t
-(** One flat object per metric ([kind], [name], value fields) — the
-    shape of [noc-trace/1] metric lines. *)
+(** One flat object per metric ([kind], [name], value fields, plus
+    [labels] when present) — the shape of [noc-trace/1] metric
+    lines. *)
 
 val pp : Format.formatter -> metric list -> unit

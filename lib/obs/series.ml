@@ -1,0 +1,219 @@
+module Json = Noc_json.Json
+
+let schema = "noc-series/1"
+
+(* One fixed-capacity ring per scalar key: parallel timestamp/value
+   arrays, oldest sample overwritten once the window is full. *)
+type ring = {
+  ts : float array;
+  values : float array;
+  mutable start : int;
+  mutable len : int;
+}
+
+type t = {
+  interval_s : float;
+  window : int;
+  rings : (string, ring) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let create ?(interval_s = 1.) ?(window = 120) () =
+  if interval_s <= 0. then invalid_arg "Series.create: interval_s <= 0";
+  if window <= 0 then invalid_arg "Series.create: window <= 0";
+  {
+    interval_s;
+    window;
+    rings = Hashtbl.create 32;
+    mutex = Mutex.create ();
+  }
+
+let interval_s t = t.interval_s
+let window t = t.window
+
+let ring_push t key ts value =
+  let r =
+    match Hashtbl.find_opt t.rings key with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            ts = Array.make t.window 0.;
+            values = Array.make t.window 0.;
+            start = 0;
+            len = 0;
+          }
+        in
+        Hashtbl.replace t.rings key r;
+        r
+  in
+  if r.len < t.window then (
+    let i = (r.start + r.len) mod t.window in
+    r.ts.(i) <- ts;
+    r.values.(i) <- value;
+    r.len <- r.len + 1)
+  else (
+    r.ts.(r.start) <- ts;
+    r.values.(r.start) <- value;
+    r.start <- (r.start + 1) mod t.window)
+
+(* Flatten a metric to scalar series points: counters and gauges are
+   their value; a histogram contributes its running count and sum
+   (quantiles are computed from the live snapshot, not the series). *)
+let scalar_points m =
+  let name = Metrics.metric_name m in
+  match m with
+  | Metrics.Counter { value; _ } -> [ (name, float_of_int value) ]
+  | Metrics.Gauge { value; _ } -> [ (name, value) ]
+  | Metrics.Histogram { count; sum; _ } ->
+      [
+        (name ^ "_count", float_of_int count);
+        (name ^ "_sum", sum);
+      ]
+
+let sample ?now_s t =
+  let now = match now_s with Some s -> s | None -> Unix.gettimeofday () in
+  let metrics = Metrics.snapshot () in
+  Mutex.lock t.mutex;
+  List.iter
+    (fun m ->
+      List.iter (fun (key, v) -> ring_push t key now v) (scalar_points m))
+    metrics;
+  Mutex.unlock t.mutex
+
+let keys t =
+  Mutex.lock t.mutex;
+  let ks = Hashtbl.fold (fun k _ acc -> k :: acc) t.rings [] in
+  Mutex.unlock t.mutex;
+  List.sort compare ks
+
+let points t key =
+  Mutex.lock t.mutex;
+  let result =
+    match Hashtbl.find_opt t.rings key with
+    | None -> []
+    | Some r ->
+        List.init r.len (fun i ->
+            let j = (r.start + i) mod t.window in
+            (r.ts.(j), r.values.(j)))
+  in
+  Mutex.unlock t.mutex;
+  result
+
+(* Average per-second rate over the window: (last - first) / elapsed.
+   Meaningful for monotone series (counters, histogram counts). *)
+let rate t key =
+  match points t key with
+  | [] | [ _ ] -> None
+  | (t0, v0) :: rest ->
+      let tn, vn = List.nth rest (List.length rest - 1) in
+      if tn <= t0 then None else Some ((vn -. v0) /. (tn -. t0))
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let series =
+    Hashtbl.fold
+      (fun key r acc ->
+        let pts =
+          List.init r.len (fun i ->
+              let j = (r.start + i) mod t.window in
+              Json.Arr [ Json.Num r.ts.(j); Json.Num r.values.(j) ])
+        in
+        (key, pts) :: acc)
+      t.rings []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (key, pts) ->
+           Json.Obj [ ("key", Json.Str key); ("points", Json.Arr pts) ])
+  in
+  Mutex.unlock t.mutex;
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("interval_s", Json.Num t.interval_s);
+      ("window", Json.Num (float_of_int t.window));
+      ("series", Json.Arr series);
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name = function
+    | Json.Obj fields -> (
+        match List.assoc_opt name fields with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "Series.of_json: missing %S" name))
+    | _ -> Error "Series.of_json: expected object"
+  in
+  let num = function
+    | Json.Num n -> Ok n
+    | _ -> Error "Series.of_json: expected number"
+  in
+  let* schema_v = field "schema" json in
+  let* () =
+    match schema_v with
+    | Json.Str s when s = schema -> Ok ()
+    | _ -> Error (Printf.sprintf "Series.of_json: expected schema %S" schema)
+  in
+  let* interval_s = Result.bind (field "interval_s" json) num in
+  let* window_f = Result.bind (field "window" json) num in
+  let window = int_of_float window_f in
+  if interval_s <= 0. || window <= 0 then
+    Error "Series.of_json: bad interval/window"
+  else
+    let* series =
+      match field "series" json with
+      | Ok (Json.Arr entries) -> Ok entries
+      | Ok _ -> Error "Series.of_json: series must be an array"
+      | Error e -> Error e
+    in
+    let t = create ~interval_s ~window () in
+    let rec load = function
+      | [] -> Ok t
+      | entry :: rest ->
+          let* key =
+            match field "key" entry with
+            | Ok (Json.Str k) -> Ok k
+            | _ -> Error "Series.of_json: entry missing key"
+          in
+          let* pts =
+            match field "points" entry with
+            | Ok (Json.Arr pts) -> Ok pts
+            | _ -> Error "Series.of_json: entry missing points"
+          in
+          let rec push = function
+            | [] -> Ok ()
+            | Json.Arr [ Json.Num ts; Json.Num v ] :: more ->
+                ring_push t key ts v;
+                push more
+            | _ -> Error "Series.of_json: bad point"
+          in
+          let* () = push pts in
+          load rest
+    in
+    load series
+
+(* Collector --------------------------------------------------------- *)
+
+type collector = { stop_flag : bool Atomic.t; domain : unit Domain.t }
+
+let start t =
+  let stop_flag = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        (* Sleep in short slices so [stop] joins promptly even with a
+           multi-second interval. *)
+        let rec pause remaining =
+          if remaining > 0. && not (Atomic.get stop_flag) then (
+            let slice = Float.min 0.05 remaining in
+            Unix.sleepf slice;
+            pause (remaining -. slice))
+        in
+        while not (Atomic.get stop_flag) do
+          sample t;
+          pause t.interval_s
+        done)
+  in
+  { stop_flag; domain }
+
+let stop c =
+  Atomic.set c.stop_flag true;
+  Domain.join c.domain

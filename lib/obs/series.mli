@@ -1,0 +1,51 @@
+(** Fixed-size ring-buffer time series over the metrics registry.
+
+    A {!t} holds one ring per scalar key (counter/gauge value,
+    histogram running [_count]/[_sum]), each capped at [window]
+    samples; {!sample} appends one point per key from a fresh
+    {!Metrics.snapshot}, overwriting the oldest once full.  A
+    {!collector} runs {!sample} on its own domain every [interval_s]
+    seconds (default 1s), so a long-lived daemon carries a sliding
+    window of its own recent history at a fixed memory bound.
+
+    The whole store round-trips through {!to_json}/{!of_json}
+    ([noc-series/1]), which is how the daemon ships its window to
+    [noc_tool top]. *)
+
+type t
+
+val create : ?interval_s:float -> ?window:int -> unit -> t
+(** Empty store; [interval_s] defaults to 1s, [window] to 120 samples
+    (2 minutes at the default cadence).
+    @raise Invalid_argument on a non-positive interval or window. *)
+
+val interval_s : t -> float
+val window : t -> int
+
+val sample : ?now_s:float -> t -> unit
+(** Append one point per scalar key from a fresh registry snapshot;
+    [now_s] (default [Unix.gettimeofday ()]) stamps the points. *)
+
+val keys : t -> string list
+(** All keys with at least one sample, sorted. *)
+
+val points : t -> string -> (float * float) list
+(** [(timestamp, value)] pairs, oldest first; empty for unknown keys. *)
+
+val rate : t -> string -> float option
+(** Average per-second rate across the window ([(last - first) /
+    elapsed]); [None] with fewer than two samples.  Meaningful for
+    monotone series. *)
+
+val to_json : t -> Noc_json.Json.t
+val of_json : Noc_json.Json.t -> (t, string) result
+(** [noc-series/1] round-trip: [of_json (to_json t)] rebuilds an
+    equivalent store ([to_json] output is identical). *)
+
+type collector
+
+val start : t -> collector
+(** Spawn a domain sampling [t] every [interval_s t] seconds. *)
+
+val stop : collector -> unit
+(** Signal and join the collector domain (returns within ~50ms). *)

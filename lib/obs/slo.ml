@@ -1,0 +1,266 @@
+module Json = Noc_json.Json
+
+type objective =
+  | P99_below of { metric : string; threshold_ms : float }
+  | Gauge_at_least of { metric : string; floor : float }
+  | Counter_at_most of { metric : string; max_value : float }
+  | Ratio_at_least of { num : string; den : string; floor : float }
+
+type t = { slo_name : string; objective : objective }
+
+type verdict = {
+  slo : string;
+  ok : bool;
+  value : float option;  (* the observed quantity, when there was data *)
+  detail : string;
+}
+
+(* Declared service objectives.  Thresholds are deliberately generous:
+   the gate exists to catch a service that is broken, and to give
+   campaigns/CI a knob ([override]) for injecting a violation. *)
+let defaults =
+  [
+    {
+      slo_name = "submit_p99_ms";
+      objective =
+        P99_below { metric = "noc_serve_submit_to_result_ms"; threshold_ms = 30_000. };
+    };
+    {
+      slo_name = "queue_wait_p99_ms";
+      objective =
+        P99_below { metric = "noc_pool_queue_wait_ms"; threshold_ms = 30_000. };
+    };
+    {
+      slo_name = "store_hit_rate";
+      objective =
+        Ratio_at_least
+          {
+            num = "noc_store_hits_total";
+            den = "noc_store_lookups_total";
+            floor = 0.;
+          };
+    };
+    {
+      slo_name = "dlf_agreement";
+      objective =
+        Counter_at_most
+          { metric = "noc_dlf_disagreements_total"; max_value = 0. };
+    };
+    {
+      slo_name = "campaign_cell_p99_ms";
+      objective =
+        P99_below { metric = "noc_campaign_cell_ms"; threshold_ms = 600_000. };
+    };
+  ]
+
+(* Metric lookup by base name, merging labeled instruments of one
+   family (per-method histograms fold into one distribution). *)
+
+let matching metrics name =
+  List.filter
+    (fun m -> Metrics.metric_base m = name || Metrics.metric_name m = name)
+    metrics
+
+let merge_histograms = function
+  | [] -> None
+  | first :: rest ->
+      let merge a b =
+        match (a, b) with
+        | ( Metrics.Histogram
+              ({ buckets = ba; overflow = oa; count = ca; sum = sa; _ } as h),
+            Metrics.Histogram
+              { buckets = bb; overflow = ob; count = cb; sum = sb; _ } )
+          when List.map fst ba = List.map fst bb ->
+            Metrics.Histogram
+              {
+                h with
+                buckets =
+                  List.map2 (fun (le, x) (_, y) -> (le, x + y)) ba bb;
+                overflow = oa + ob;
+                count = ca + cb;
+                sum = sa +. sb;
+              }
+        | _ -> a
+      in
+      Some (List.fold_left merge first rest)
+
+let counter_total metrics name =
+  match matching metrics name with
+  | [] -> None
+  | ms ->
+      Some
+        (List.fold_left
+           (fun acc m ->
+             match m with
+             | Metrics.Counter { value; _ } -> acc +. float_of_int value
+             | _ -> acc)
+           0. ms)
+
+let gauge_min metrics name =
+  let values =
+    List.filter_map
+      (function Metrics.Gauge { value; _ } -> Some value | _ -> None)
+      (matching metrics name)
+  in
+  match values with
+  | [] -> None
+  | v :: rest -> Some (List.fold_left Float.min v rest)
+
+let evaluate_one metrics t =
+  let vacuous detail = { slo = t.slo_name; ok = true; value = None; detail } in
+  match t.objective with
+  | P99_below { metric; threshold_ms } -> (
+      let hists =
+        List.filter
+          (function Metrics.Histogram _ -> true | _ -> false)
+          (matching metrics metric)
+      in
+      match merge_histograms hists with
+      | None -> vacuous (Printf.sprintf "%s: no data" metric)
+      | Some h -> (
+          match Metrics.quantile ~q:0.99 h with
+          | None -> vacuous (Printf.sprintf "%s: no samples" metric)
+          | Some p99 ->
+              {
+                slo = t.slo_name;
+                ok = p99 <= threshold_ms;
+                value = Some p99;
+                detail =
+                  Printf.sprintf "p99(%s) = %.3f ms (threshold %.3f)" metric
+                    p99 threshold_ms;
+              }))
+  | Gauge_at_least { metric; floor } -> (
+      match gauge_min metrics metric with
+      | None -> vacuous (Printf.sprintf "%s: no data" metric)
+      | Some v ->
+          {
+            slo = t.slo_name;
+            ok = v >= floor;
+            value = Some v;
+            detail = Printf.sprintf "%s = %g (floor %g)" metric v floor;
+          })
+  | Counter_at_most { metric; max_value } -> (
+      match counter_total metrics metric with
+      | None -> vacuous (Printf.sprintf "%s: no data" metric)
+      | Some v ->
+          {
+            slo = t.slo_name;
+            ok = v <= max_value;
+            value = Some v;
+            detail = Printf.sprintf "%s = %g (max %g)" metric v max_value;
+          })
+  | Ratio_at_least { num; den; floor } -> (
+      match (counter_total metrics num, counter_total metrics den) with
+      | _, (None | Some 0.) -> vacuous (Printf.sprintf "%s: no traffic" den)
+      | None, _ -> vacuous (Printf.sprintf "%s: no data" num)
+      | Some n, Some d ->
+          let ratio = n /. d in
+          {
+            slo = t.slo_name;
+            ok = ratio >= floor;
+            value = Some ratio;
+            detail =
+              Printf.sprintf "%s/%s = %.6f (floor %.6f)" num den ratio floor;
+          })
+
+let evaluate slos metrics = List.map (evaluate_one metrics) slos
+let burned verdicts = List.filter (fun v -> not v.ok) verdicts
+
+(* Thresholds are overridable as NAME=VALUE so a campaign or smoke job
+   can inject a violation without recompiling. *)
+let override slos spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "bad SLO override %S (expected NAME=VALUE)" spec)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let value_str = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt value_str with
+      | None -> Error (Printf.sprintf "bad SLO override value %S" value_str)
+      | Some value ->
+          if not (List.exists (fun t -> t.slo_name = name) slos) then
+            Error
+              (Printf.sprintf "unknown SLO %S (have: %s)" name
+                 (String.concat ", " (List.map (fun t -> t.slo_name) slos)))
+          else
+            Ok
+              (List.map
+                 (fun t ->
+                   if t.slo_name <> name then t
+                   else
+                     let objective =
+                       match t.objective with
+                       | P99_below o -> P99_below { o with threshold_ms = value }
+                       | Gauge_at_least o -> Gauge_at_least { o with floor = value }
+                       | Counter_at_most o ->
+                           Counter_at_most { o with max_value = value }
+                       | Ratio_at_least o -> Ratio_at_least { o with floor = value }
+                     in
+                     { t with objective })
+                 slos))
+
+(* Exposition: one [noc_slo_ok{slo="..."}] gauge per verdict, appended
+   to the scrape so dashboards alert off the same endpoint. *)
+let to_metrics verdicts =
+  List.map
+    (fun v ->
+      Metrics.Gauge
+        {
+          name = "noc_slo_ok";
+          labels = [ ("slo", v.slo) ];
+          value = (if v.ok then 1. else 0.);
+        })
+    verdicts
+
+let verdict_to_json v =
+  Json.Obj
+    ([
+       ("slo", Json.Str v.slo);
+       ("ok", Json.Bool v.ok);
+       ("detail", Json.Str v.detail);
+     ]
+    @ match v.value with None -> [] | Some x -> [ ("value", Json.Num x) ])
+
+let to_json verdicts = Json.Arr (List.map verdict_to_json verdicts)
+
+let verdicts_of_json json =
+  let ( let* ) = Result.bind in
+  match json with
+  | Json.Arr entries ->
+      let parse = function
+        | Json.Obj fields ->
+            let* slo =
+              match List.assoc_opt "slo" fields with
+              | Some (Json.Str s) -> Ok s
+              | _ -> Error "slo verdict: missing slo"
+            in
+            let* ok =
+              match List.assoc_opt "ok" fields with
+              | Some (Json.Bool b) -> Ok b
+              | _ -> Error "slo verdict: missing ok"
+            in
+            let detail =
+              match List.assoc_opt "detail" fields with
+              | Some (Json.Str s) -> s
+              | _ -> ""
+            in
+            let value =
+              match List.assoc_opt "value" fields with
+              | Some (Json.Num n) -> Some n
+              | _ -> None
+            in
+            Ok { slo; ok; value; detail }
+        | _ -> Error "slo verdict: expected object"
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest ->
+            let* v = parse e in
+            go (v :: acc) rest
+      in
+      go [] entries
+  | _ -> Error "slo section: expected array"
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%-24s %s  %s" v.slo
+    (if v.ok then "ok " else "BURNED")
+    v.detail

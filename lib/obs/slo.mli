@@ -1,0 +1,56 @@
+(** Declared service-level objectives evaluated against a metrics
+    snapshot.
+
+    An SLO pairs a name with an objective over registry metrics —
+    a p99 latency ceiling (histogram-bucket interpolation via
+    {!Metrics.quantile}), a gauge floor, a counter ceiling, or a
+    counter ratio floor.  {!evaluate} turns a snapshot into verdicts;
+    an objective whose metric has no data yet is {e vacuously green}
+    (the daemon just started, the store is disabled, the prover never
+    ran), so default thresholds stay green on a healthy service and
+    only real burn — or an {!override}-injected threshold — fails the
+    gate.
+
+    Verdicts surface three ways: {!to_metrics} renders them as
+    [noc_slo_ok{slo="..."}] gauges appended to the scrape,
+    {!to_json}/{!verdicts_of_json} carry them through the [slo]
+    section of bench reports, and {!pp_verdict} prints the
+    [noc_tool top] / campaign table rows. *)
+
+type objective =
+  | P99_below of { metric : string; threshold_ms : float }
+  | Gauge_at_least of { metric : string; floor : float }
+  | Counter_at_most of { metric : string; max_value : float }
+  | Ratio_at_least of { num : string; den : string; floor : float }
+
+type t = { slo_name : string; objective : objective }
+
+type verdict = {
+  slo : string;
+  ok : bool;
+  value : float option;
+  detail : string;
+}
+
+val defaults : t list
+(** The declared objectives: [submit_p99_ms], [queue_wait_p99_ms],
+    [store_hit_rate], [dlf_agreement], [campaign_cell_p99_ms]. *)
+
+val evaluate : t list -> Metrics.metric list -> verdict list
+(** One verdict per objective.  Labeled instruments of a family merge
+    (histograms bucket-wise, counters by sum, gauges by min) before
+    evaluation. *)
+
+val burned : verdict list -> verdict list
+(** The failing verdicts. *)
+
+val override : t list -> string -> (t list, string) result
+(** [override slos "NAME=VALUE"] replaces the named objective's
+    threshold/floor/ceiling — how tests and CI inject a violation. *)
+
+val to_metrics : verdict list -> Metrics.metric list
+(** [noc_slo_ok{slo="..."}] gauges (1 green, 0 burned). *)
+
+val to_json : verdict list -> Noc_json.Json.t
+val verdicts_of_json : Noc_json.Json.t -> (verdict list, string) result
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -11,8 +11,24 @@ let default_queue_capacity = 256
 (* Queue wait — push to pop — is the pool's saturation signal; it is
    measured per task (the histogram is always on, one atomic per
    sample) rather than per pool so traces from nested pools merge. *)
-let queue_wait_ms = Noc_obs.Metrics.histogram "pool.queue_wait_ms"
-let tasks_total = Noc_obs.Metrics.counter "pool.tasks"
+let queue_wait_ms = Noc_obs.Metrics.histogram "noc_pool_queue_wait_ms"
+let tasks_total = Noc_obs.Metrics.counter "noc_pool_tasks_total"
+
+(* Worker-utilization gauges (lazy: they only appear once a pool
+   exists, keeping pool-free traces clean).  Counts aggregate across
+   live pools; busy/total is the utilization `noc_tool top` shows. *)
+let workers_gauge = lazy (Noc_obs.Metrics.gauge "noc_pool_workers")
+let busy_gauge = lazy (Noc_obs.Metrics.gauge "noc_pool_busy_workers")
+let total_workers = Atomic.make 0
+let busy_workers = Atomic.make 0
+
+let adjust_workers delta =
+  let v = Atomic.fetch_and_add total_workers delta + delta in
+  Noc_obs.Metrics.set_gauge (Lazy.force workers_gauge) (float_of_int v)
+
+let adjust_busy delta =
+  let v = Atomic.fetch_and_add busy_workers delta + delta in
+  Noc_obs.Metrics.set_gauge (Lazy.force busy_gauge) (float_of_int v)
 
 let worker_loop queue () =
   (* One span per worker domain, covering its whole lifetime; task
@@ -31,6 +47,7 @@ let create ?(queue_capacity = default_queue_capacity) ~domains () =
   if domains < 1 then invalid_arg "Pool.create: domains < 1";
   let queue = Bounded_queue.create ~capacity:queue_capacity in
   let workers = Array.init domains (fun _ -> Domain.spawn (worker_loop queue)) in
+  adjust_workers domains;
   { queue; workers; shut_down = false }
 
 let domains t = Array.length t.workers
@@ -41,7 +58,8 @@ let shutdown t =
   if not t.shut_down then begin
     t.shut_down <- true;
     Bounded_queue.close t.queue;
-    Array.iter Domain.join t.workers
+    Array.iter Domain.join t.workers;
+    adjust_workers (-Array.length t.workers)
   end
 
 let with_pool ?queue_capacity ~domains f =
@@ -57,9 +75,13 @@ let instrumented task =
     in
     Noc_obs.Metrics.observe queue_wait_ms wait_ms;
     Noc_obs.Metrics.incr tasks_total;
-    Noc_obs.Trace.with_span "pool.task"
-      ~attrs:[ ("queue_wait_ms", Noc_obs.Trace.Float wait_ms) ]
-      (fun _sp -> task ())
+    adjust_busy 1;
+    Fun.protect
+      ~finally:(fun () -> adjust_busy (-1))
+      (fun () ->
+        Noc_obs.Trace.with_span "pool.task"
+          ~attrs:[ ("queue_wait_ms", Noc_obs.Trace.Float wait_ms) ]
+          (fun _sp -> task ()))
 
 let submit t task =
   if t.shut_down then invalid_arg "Pool.submit: pool is shut down";

@@ -116,7 +116,7 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
     if Atomic.get cancelled then begin
       let r = { index; job; outcome = Outcome.cancelled; cache_hit = false } in
       config.telemetry.Telemetry.emit
-        (Telemetry.job_finished ~index ~job ~outcome:r.outcome ~cache_hit:false);
+        (Telemetry.job_finished ~index ~job ~outcome:r.outcome ~cache_hit:false ());
       record index r
     end
     else begin
@@ -127,7 +127,7 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
             ("job", Noc_obs.Trace.Str (Job.short_hash job));
           ]
       @@ fun job_sp ->
-      config.telemetry.Telemetry.emit (Telemetry.job_started ~index ~job);
+      config.telemetry.Telemetry.emit (Telemetry.job_started ~index ~job ());
       let hash = Job.hash job in
       let outcome, cache_hit =
         match config.cache with
@@ -159,7 +159,7 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
           if config.fail_fast then Atomic.set cancelled true
       | Outcome.Done | Outcome.Cancelled -> ());
       config.telemetry.Telemetry.emit
-        (Telemetry.job_finished ~index ~job ~outcome ~cache_hit);
+        (Telemetry.job_finished ~index ~job ~outcome ~cache_hit ());
       record index { index; job; outcome; cache_hit }
     end
   in
@@ -170,7 +170,7 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
     let outcome = Outcome.failed ~wall_ms:0. msg in
     if config.fail_fast then Atomic.set cancelled true;
     config.telemetry.Telemetry.emit
-      (Telemetry.job_finished ~index ~job ~outcome ~cache_hit:false);
+      (Telemetry.job_finished ~index ~job ~outcome ~cache_hit:false ());
     record index { index; job; outcome; cache_hit = false }
   in
   (if config.domains = 1 then
@@ -178,7 +178,7 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
         reference trajectory the differential tests compare against. *)
      for index = 0 to n - 1 do
        config.telemetry.Telemetry.emit
-         (Telemetry.job_submitted ~index ~job:jobs.(index) ~queue_depth:0);
+         (Telemetry.job_submitted ~index ~job:jobs.(index) ~queue_depth:0 ());
        match vetoed.(index) with
        | Some msg -> reject index msg
        | None -> process index
@@ -190,7 +190,7 @@ let run ?(on_result = fun _ -> ()) (config : config) jobs =
            config.telemetry.Telemetry.emit (Telemetry.queue_depth ~depth);
            config.telemetry.Telemetry.emit
              (Telemetry.job_submitted ~index ~job:jobs.(index)
-                ~queue_depth:depth);
+                ~queue_depth:depth ());
            match vetoed.(index) with
            | Some msg -> reject index msg
            | None -> Noc_pool.Pool.submit pool (fun () -> process index)

@@ -72,7 +72,9 @@ let ping t =
   | Ok _ -> Error "unexpected reply to ping"
   | Error e -> Error e
 
-let stats t =
+(* Deprecated text report: pre-PR-8 servers only speak [Stats].  New
+   code wants the typed [stats] / [metrics] below. *)
+let stats_text t =
   let* () = request t Wire.Stats in
   match next_response t with
   | Ok (Wire.Stats_report report) -> Ok report
@@ -80,19 +82,34 @@ let stats t =
   | Ok _ -> Error "unexpected reply to stats"
   | Error e -> Error e
 
+let metrics t =
+  let* () = request t Wire.Metrics in
+  match next_response t with
+  | Ok (Wire.Metrics_report report) -> Ok report
+  | Ok (Wire.Error_msg m) -> Error m
+  | Ok _ -> Error "unexpected reply to metrics"
+  | Error e -> Error e
+
+let stats t = Result.map (fun r -> r.Wire.mr_stats) (metrics t)
+
 (* Submit every job (id = list index), then collect exactly one reply
    per id, calling [on_result] in submission order (buffering replies
    that complete out of order — same streaming discipline as
    Batch.run).  Job files are small and the server reads eagerly, so
    write-all-then-read cannot deadlock on socket buffers. *)
-let submit_all t jobs ~on_result =
+let submit_all ?corr_prefix t jobs ~on_result =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let replies = Array.make n None in
+  let corr i =
+    Option.map (fun p -> Printf.sprintf "%s-%d" p i) corr_prefix
+  in
   let rec send_all i =
     if i = n then Ok ()
     else
-      let* () = request t (Wire.Submit { id = i; job = jobs.(i) }) in
+      let* () =
+        request t (Wire.Submit { id = i; corr = corr i; job = jobs.(i) })
+      in
       send_all (i + 1)
   in
   let* () = send_all 0 in

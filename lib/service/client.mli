@@ -15,14 +15,28 @@ val request : t -> Wire.request -> (unit, string) result
 val next_response : t -> (Wire.response, string) result
 
 val ping : t -> (unit, string) result
-val stats : t -> (string, string) result
-(** The daemon's text [/metrics]-style report. *)
+
+val stats : t -> (Wire.stats, string) result
+(** Typed daemon statistics ({!Wire.stats}) — the [stats] record of a
+    {!Wire.Metrics} exchange. *)
+
+val metrics : t -> (Wire.metrics_report, string) result
+(** The full typed report: stats record, [noc-metrics/1] snapshot,
+    [noc-series/1] window, and SLO verdicts. *)
+
+val stats_text : t -> (string, string) result
+[@@ocaml.deprecated "use Client.stats (typed) or Client.metrics"]
+(** The legacy text report via {!Wire.Stats}.  Kept one release for
+    pre-PR-8 servers; new code should use {!stats} or {!metrics}. *)
 
 val submit_all :
+  ?corr_prefix:string ->
   t ->
   Job.t list ->
   on_result:(int -> Job.t -> Wire.response -> unit) ->
   (Wire.response list, string) result
-(** Submit every job (correlation id = list index) and collect one
+(** Submit every job (reply-matching id = list index) and collect one
     reply per job, invoking [on_result] in submission order regardless
-    of completion order.  The returned list is in submission order. *)
+    of completion order.  The returned list is in submission order.
+    When [corr_prefix] is given, job [i] carries the correlation id
+    ["<corr_prefix>-<i>"] into the daemon's spans and telemetry. *)

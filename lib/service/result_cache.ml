@@ -7,7 +7,7 @@
    looking at [stats]; the registry counter makes them visible to
    serve-stats and every other metrics consumer as they happen.  Lazy
    so tools that never build a cache keep it out of their traces. *)
-let evictions_total = lazy (Noc_obs.Metrics.counter "cache.evictions")
+let evictions_total = lazy (Noc_obs.Metrics.counter "noc_cache_evictions_total")
 
 type entry = { key : string; mutable outcome : Outcome.t }
 

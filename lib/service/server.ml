@@ -39,41 +39,70 @@ type serve_metrics = {
   m_overloaded : Noc_obs.Metrics.counter;
   m_warm_hits : Noc_obs.Metrics.counter;
   m_connections : Noc_obs.Metrics.counter;
+  m_scrapes : Noc_obs.Metrics.counter;
   m_queue_depth : Noc_obs.Metrics.gauge;
   m_inflight : Noc_obs.Metrics.gauge;
+  (* Per-method request-handling latency (admission time for submit —
+     the queue and solver are covered by m_submit_to_result_ms). *)
+  m_req_submit : Noc_obs.Metrics.histogram;
+  m_req_stats : Noc_obs.Metrics.histogram;
+  m_req_metrics : Noc_obs.Metrics.histogram;
+  m_req_ping : Noc_obs.Metrics.histogram;
+  (* Receipt of the submit frame to the result frame going out. *)
+  m_submit_to_result_ms : Noc_obs.Metrics.histogram;
 }
 
 let serve_metrics =
   lazy
-    {
-      m_jobs = Noc_obs.Metrics.counter "serve.jobs";
-      m_rejected = Noc_obs.Metrics.counter "serve.rejected";
-      m_overloaded = Noc_obs.Metrics.counter "serve.overloaded";
-      m_warm_hits = Noc_obs.Metrics.counter "serve.warm_hits";
-      m_connections = Noc_obs.Metrics.counter "serve.connections";
-      m_queue_depth = Noc_obs.Metrics.gauge "serve.queue_depth";
-      m_inflight = Noc_obs.Metrics.gauge "serve.inflight";
-    }
+    (let request_ms name =
+       Noc_obs.Metrics.histogram "noc_serve_request_ms"
+         ~labels:[ ("method", name) ]
+     in
+     {
+       m_jobs = Noc_obs.Metrics.counter "noc_serve_jobs_total";
+       m_rejected = Noc_obs.Metrics.counter "noc_serve_rejected_total";
+       m_overloaded = Noc_obs.Metrics.counter "noc_serve_overloaded_total";
+       m_warm_hits = Noc_obs.Metrics.counter "noc_serve_warm_hits_total";
+       m_connections = Noc_obs.Metrics.counter "noc_serve_connections_total";
+       m_scrapes = Noc_obs.Metrics.counter "noc_serve_scrapes_total";
+       m_queue_depth = Noc_obs.Metrics.gauge "noc_serve_queue_depth";
+       m_inflight = Noc_obs.Metrics.gauge "noc_serve_inflight";
+       m_req_submit = request_ms "submit";
+       m_req_stats = request_ms "stats";
+       m_req_metrics = request_ms "metrics";
+       m_req_ping = request_ms "ping";
+       m_submit_to_result_ms =
+         Noc_obs.Metrics.histogram "noc_serve_submit_to_result_ms";
+     })
 
 type config = {
   socket_path : string;
   tcp_port : int option;  (* loopback, for clients that cannot speak AF_UNIX *)
+  metrics_addr : int option;
+      (* loopback HTTP port serving the Prometheus text exposition *)
   domains : int;
   queue_capacity : int;
   store : Store.t option;
   telemetry : Telemetry.sink;
   lint : bool;
+  slos : Noc_obs.Slo.t list;
+  series_interval_s : float;
+  series_window : int;
 }
 
 let default_config =
   {
     socket_path = "noc-serve.sock";
     tcp_port = None;
+    metrics_addr = None;
     domains = 2;
     queue_capacity = 64;
     store = None;
     telemetry = Telemetry.null;
     lint = true;
+    slos = Noc_obs.Slo.defaults;
+    series_interval_s = 1.;
+    series_window = 120;
   }
 
 type conn = {
@@ -89,6 +118,7 @@ type conn = {
 type t = {
   config : config;
   pool : Noc_pool.Pool.t;
+  series : Noc_obs.Series.t;
   stopping : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -109,6 +139,9 @@ let create config =
     pool =
       Noc_pool.Pool.create ~queue_capacity:config.queue_capacity
         ~domains:config.domains ();
+    series =
+      Noc_obs.Series.create ~interval_s:config.series_interval_s
+        ~window:config.series_window ();
     stopping = Atomic.make false;
     wake_r;
     wake_w;
@@ -149,16 +182,70 @@ let send conn response =
 (* The /metrics-style report                                           *)
 (* ------------------------------------------------------------------ *)
 
-let metric_name name =
-  String.map (function '.' | '-' -> '_' | c -> c) name
+let typed_stats t =
+  {
+    Wire.uptime_s = Unix.gettimeofday () -. t.started_at;
+    draining = stopping t;
+    queue_depth = Noc_pool.Pool.queue_depth t.pool;
+    inflight = Atomic.get t.inflight;
+    store =
+      Option.map
+        (fun store ->
+          let s = Store.stats store in
+          {
+            Wire.entries = s.Store.entries;
+            hits = s.Store.hits;
+            misses = s.Store.misses;
+            evictions = s.Store.evictions;
+            hit_rate = Store.hit_rate s;
+          })
+        t.config.store;
+  }
 
-let render_metric b = function
-  | Noc_obs.Metrics.Counter { name; value } ->
-      Printf.bprintf b "%s %d\n" (metric_name name) value
-  | Noc_obs.Metrics.Gauge { name; value } ->
-      Printf.bprintf b "%s %g\n" (metric_name name) value
-  | Noc_obs.Metrics.Histogram { name; buckets; overflow; count; sum } ->
-      let name = metric_name name in
+(* Snapshot plus the SLO verdict gauges — what both the wire Metrics
+   reply and the HTTP exposition serve. *)
+let evaluated_snapshot t =
+  let metrics = Noc_obs.Metrics.snapshot () in
+  let verdicts = Noc_obs.Slo.evaluate t.config.slos metrics in
+  (metrics @ Noc_obs.Slo.to_metrics verdicts, verdicts)
+
+let metrics_report t =
+  let metrics, verdicts = evaluated_snapshot t in
+  Wire.Metrics_report
+    {
+      Wire.mr_stats = typed_stats t;
+      mr_metrics = Noc_obs.Expo.json metrics;
+      mr_series = Noc_obs.Series.to_json t.series;
+      mr_slo = Noc_obs.Slo.to_json verdicts;
+    }
+
+(* The legacy text report behind the deprecated Stats request; the
+   line shapes are pinned by the serve-smoke/store-persistence CI
+   greps, so it renders from the same typed record the Metrics reply
+   carries. *)
+let render_stats b (s : Wire.stats) =
+  Printf.bprintf b "serve_uptime_seconds %.3f\n" s.Wire.uptime_s;
+  Printf.bprintf b "serve_queue_depth %d\n" s.Wire.queue_depth;
+  Printf.bprintf b "serve_inflight %d\n" s.Wire.inflight;
+  Printf.bprintf b "serve_draining %d\n" (if s.Wire.draining then 1 else 0);
+  match s.Wire.store with
+  | None -> Printf.bprintf b "store_enabled 0\n"
+  | Some st ->
+      Printf.bprintf b "store_enabled 1\n";
+      Printf.bprintf b "store_entries %d\n" st.Wire.entries;
+      Printf.bprintf b "store_hits %d\n" st.Wire.hits;
+      Printf.bprintf b "store_misses %d\n" st.Wire.misses;
+      Printf.bprintf b "store_evictions %d\n" st.Wire.evictions;
+      Printf.bprintf b "store_hit_rate %.6f\n" st.Wire.hit_rate
+
+let render_metric b m =
+  match m with
+  | Noc_obs.Metrics.Counter { value; _ } ->
+      Printf.bprintf b "%s %d\n" (Noc_obs.Metrics.metric_name m) value
+  | Noc_obs.Metrics.Gauge { value; _ } ->
+      Printf.bprintf b "%s %g\n" (Noc_obs.Metrics.metric_name m) value
+  | Noc_obs.Metrics.Histogram { buckets; overflow; count; sum; _ } ->
+      let name = Noc_obs.Metrics.metric_name m in
       let cum = ref 0 in
       List.iter
         (fun (le, n) ->
@@ -172,21 +259,7 @@ let render_metric b = function
 let stats_report t =
   let b = Buffer.create 1024 in
   Printf.bprintf b "# noc serve metrics (%s)\n" Wire.protocol;
-  Printf.bprintf b "serve_uptime_seconds %.3f\n"
-    (Unix.gettimeofday () -. t.started_at);
-  Printf.bprintf b "serve_queue_depth %d\n" (Noc_pool.Pool.queue_depth t.pool);
-  Printf.bprintf b "serve_inflight %d\n" (Atomic.get t.inflight);
-  Printf.bprintf b "serve_draining %d\n" (if stopping t then 1 else 0);
-  (match t.config.store with
-  | None -> Printf.bprintf b "store_enabled 0\n"
-  | Some store ->
-      let s = Store.stats store in
-      Printf.bprintf b "store_enabled 1\n";
-      Printf.bprintf b "store_entries %d\n" s.Store.entries;
-      Printf.bprintf b "store_hits %d\n" s.Store.hits;
-      Printf.bprintf b "store_misses %d\n" s.Store.misses;
-      Printf.bprintf b "store_evictions %d\n" s.Store.evictions;
-      Printf.bprintf b "store_hit_rate %.6f\n" (Store.hit_rate s));
+  render_stats b (typed_stats t);
   List.iter (render_metric b) (Noc_obs.Metrics.snapshot ());
   Buffer.contents b
 
@@ -194,14 +267,19 @@ let stats_report t =
 (* Request handling (the loop thread)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let finish_job t conn ~id ~job ~hash ~cached outcome =
+let finish_job t conn ~id ?corr ~received_ns ~job ~hash ~cached outcome =
+  Noc_obs.Metrics.observe
+    (Lazy.force serve_metrics).m_submit_to_result_ms
+    (Noc_obs.Clock.ms_between ~start_ns:received_ns
+       ~stop_ns:(Noc_obs.Clock.now_ns ()));
   t.config.telemetry.Telemetry.emit
-    (Telemetry.job_finished ~index:id ~job ~outcome ~cache_hit:cached);
+    (Telemetry.job_finished ?corr ~index:id ~job ~outcome ~cache_hit:cached ());
   Atomic.incr t.served;
   send conn (Wire.Result { id; job_hash = hash; outcome; cached })
 
-let handle_submit t conn ~id job =
+let handle_submit t conn ~id ?corr job =
   let m = Lazy.force serve_metrics in
+  let received_ns = Noc_obs.Clock.now_ns () in
   Noc_obs.Metrics.incr m.m_jobs;
   let hash = Job.hash job in
   if stopping t then begin
@@ -213,8 +291,8 @@ let handle_submit t conn ~id job =
     | Error reason ->
         Noc_obs.Metrics.incr m.m_rejected;
         t.config.telemetry.Telemetry.emit
-          (Telemetry.job_finished ~index:id ~job
-             ~outcome:(Outcome.failed ~wall_ms:0. reason) ~cache_hit:false);
+          (Telemetry.job_finished ?corr ~index:id ~job
+             ~outcome:(Outcome.failed ~wall_ms:0. reason) ~cache_hit:false ());
         send conn (Wire.Rejected { id; reason })
     | Ok () -> (
         match
@@ -222,7 +300,8 @@ let handle_submit t conn ~id job =
         with
         | Some outcome ->
             Noc_obs.Metrics.incr m.m_warm_hits;
-            finish_job t conn ~id ~job ~hash ~cached:true outcome
+            finish_job t conn ~id ?corr ~received_ns ~job ~hash ~cached:true
+              outcome
         | None ->
             let depth = Noc_pool.Pool.queue_depth t.pool in
             Noc_obs.Metrics.set_gauge m.m_queue_depth (float_of_int depth);
@@ -232,20 +311,27 @@ let handle_submit t conn ~id job =
               (float_of_int (Atomic.get t.inflight));
             let task () =
               Noc_obs.Trace.with_span "serve.job"
-                ~attrs:[ ("job", Noc_obs.Trace.Str (Job.short_hash job)) ]
+                ~attrs:
+                  (("job", Noc_obs.Trace.Str (Job.short_hash job))
+                  ::
+                  (match corr with
+                  | None -> []
+                  | Some c -> [ ("corr", Noc_obs.Trace.Str c) ]))
               @@ fun _sp ->
               let outcome = Runner.execute job in
               (match t.config.store with
               | Some store when Outcome.is_done outcome ->
                   ignore (Store.store store hash outcome)
               | _ -> ());
-              finish_job t conn ~id ~job ~hash ~cached:false outcome;
+              finish_job t conn ~id ?corr ~received_ns ~job ~hash ~cached:false
+                outcome;
               Atomic.decr t.inflight;
               Atomic.decr conn.pending;
               wake t
             in
             t.config.telemetry.Telemetry.emit
-              (Telemetry.job_submitted ~index:id ~job ~queue_depth:depth);
+              (Telemetry.job_submitted ?corr ~index:id ~job ~queue_depth:depth
+                 ());
             if not (Noc_pool.Pool.try_submit t.pool task) then begin
               Atomic.decr t.inflight;
               Atomic.decr conn.pending;
@@ -253,10 +339,23 @@ let handle_submit t conn ~id job =
               send conn (Wire.Overloaded { id; queue_depth = depth })
             end)
 
-let handle_request t conn = function
+let handle_request t conn request =
+  let m = Lazy.force serve_metrics in
+  let request_hist =
+    match request with
+    | Wire.Ping -> m.m_req_ping
+    | Wire.Stats -> m.m_req_stats
+    | Wire.Metrics -> m.m_req_metrics
+    | Wire.Submit _ -> m.m_req_submit
+  in
+  let t0 = Noc_obs.Clock.now_ns () in
+  (match request with
   | Wire.Ping -> send conn Wire.Pong
   | Wire.Stats -> send conn (Wire.Stats_report (stats_report t))
-  | Wire.Submit { id; job } -> handle_submit t conn ~id job
+  | Wire.Metrics -> send conn (metrics_report t)
+  | Wire.Submit { id; corr; job } -> handle_submit t conn ~id ?corr job);
+  Noc_obs.Metrics.observe request_hist
+    (Noc_obs.Clock.ms_between ~start_ns:t0 ~stop_ns:(Noc_obs.Clock.now_ns ()))
 
 let handle_readable t conn buf =
   match Unix.read conn.fd buf 0 (Bytes.length buf) with
@@ -337,6 +436,41 @@ let accept t conns lfd =
 
 let close_conn conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
+(* One-shot HTTP exchange on the loop thread: accept, read whatever
+   request bytes arrived (with a receive timeout so a silent client
+   cannot wedge the loop), write the exposition, close.  Scrapers are
+   loopback-only (tcp_listener binds 127.0.0.1) and the body is a few
+   KiB, so a blocking write is fine here. *)
+let handle_scrape t lfd =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd, _ ->
+      Noc_obs.Metrics.incr (Lazy.force serve_metrics).m_scrapes;
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+       with Unix.Unix_error _ -> ());
+      (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
+       with Unix.Unix_error _ -> ());
+      let metrics, _ = evaluated_snapshot t in
+      let body = Noc_obs.Expo.text metrics in
+      let response =
+        Printf.sprintf
+          "HTTP/1.0 200 OK\r\n\
+           Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+           Content-Length: %d\r\n\
+           Connection: close\r\n\
+           \r\n\
+           %s"
+          (String.length body) body
+      in
+      (try
+         let len = String.length response in
+         let off = ref 0 in
+         while !off < len do
+           off := !off + Unix.write_substring fd response !off (len - !off)
+         done
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let run t =
   (* A client that vanished mid-reply must cost an EPIPE error code,
      not the process. *)
@@ -349,6 +483,8 @@ let run t =
        | None -> []
        | Some port -> [ tcp_listener port ])
   in
+  let metrics_listener = Option.map tcp_listener t.config.metrics_addr in
+  let collector = Noc_obs.Series.start t.series in
   (match t.config.store with
   | Some store ->
       t.config.telemetry.Telemetry.emit
@@ -368,6 +504,11 @@ let run t =
       listeners_open := false;
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners
     end
+  in
+  let close_metrics_listener () =
+    Option.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      metrics_listener
   in
   let finished = ref false in
   while not !finished do
@@ -393,6 +534,7 @@ let run t =
           !conns;
       let read_fds =
         (t.wake_r :: (if !listeners_open then listeners else []))
+        @ Option.to_list metrics_listener
         @ List.filter_map
             (fun c -> if c.eof then None else Some c.fd)
             !conns
@@ -406,6 +548,9 @@ let run t =
             List.iter
               (fun lfd -> if List.mem lfd readable then accept t conns lfd)
               listeners;
+          Option.iter
+            (fun lfd -> if List.mem lfd readable then handle_scrape t lfd)
+            metrics_listener;
           List.iter
             (fun c ->
               if (not c.eof) && List.mem c.fd readable then
@@ -415,9 +560,11 @@ let run t =
   done;
   (* Drained: no job will write again.  Joining the workers closes
      their pool.worker spans, so a --trace stream is balanced. *)
+  Noc_obs.Series.stop collector;
   Noc_pool.Pool.shutdown t.pool;
   List.iter close_conn !conns;
   close_listeners ();
+  close_metrics_listener ();
   (try Sys.remove t.config.socket_path with Sys_error _ -> ());
   Option.iter Store.flush t.config.store;
   t.config.telemetry.Telemetry.emit

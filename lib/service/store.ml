@@ -21,7 +21,9 @@
 
 (* Lazy for the same reason as Result_cache: only processes that open
    a store should carry its counter in their metric registry. *)
-let evictions_total = lazy (Noc_obs.Metrics.counter "store.evictions")
+let evictions_total = lazy (Noc_obs.Metrics.counter "noc_store_evictions_total")
+let hits_total = lazy (Noc_obs.Metrics.counter "noc_store_hits_total")
+let lookups_total = lazy (Noc_obs.Metrics.counter "noc_store_lookups_total")
 
 let object_schema = "noc-store/1"
 let index_schema = "noc-store-index/1"
@@ -206,6 +208,7 @@ let decode_object ~key text =
       | _ -> Error "missing schema or job_hash")
 
 let find t key =
+  Noc_obs.Metrics.incr (Lazy.force lookups_total);
   locked t (fun () ->
       if not (Hashtbl.mem t.table key) then begin
         t.misses <- t.misses + 1;
@@ -221,6 +224,7 @@ let find t key =
             match decode_object ~key text with
             | Ok outcome ->
                 t.hits <- t.hits + 1;
+                Noc_obs.Metrics.incr (Lazy.force hits_total);
                 touch t key;
                 Some outcome
             | Error _ ->

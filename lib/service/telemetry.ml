@@ -32,11 +32,17 @@ let now () = Unix.gettimeofday ()
 let event name fields =
   Json.Obj (("ts", Json.Num (now ())) :: ("event", Json.Str name) :: fields)
 
-let job_fields ~index ~job extra =
+(* [corr] is the wire-level correlation id (Wire.Submit), absent for
+   in-process batch jobs and pre-PR-8 clients; when present it ties a
+   telemetry line to one wire request end to end. *)
+let job_fields ?corr ~index ~job extra =
   ("index", Json.Num (float_of_int index))
   :: ("job", Json.Str (Job.short_hash job))
   :: ("label", Json.Str (Job.label job))
-  :: extra
+  ::
+  (match corr with
+  | None -> extra
+  | Some c -> ("corr", Json.Str c) :: extra)
 
 let batch_started ~jobs ~domains ~cache_capacity =
   event "batch_started"
@@ -46,16 +52,17 @@ let batch_started ~jobs ~domains ~cache_capacity =
       ("cache_capacity", Json.Num (float_of_int cache_capacity));
     ]
 
-let job_submitted ~index ~job ~queue_depth =
+let job_submitted ?corr ~index ~job ~queue_depth () =
   event "job_submitted"
-    (job_fields ~index ~job [ ("queue_depth", Json.Num (float_of_int queue_depth)) ])
+    (job_fields ?corr ~index ~job
+       [ ("queue_depth", Json.Num (float_of_int queue_depth)) ])
 
-let job_started ~index ~job =
+let job_started ?corr ~index ~job () =
   event "job_started"
-    (job_fields ~index ~job
+    (job_fields ?corr ~index ~job
        [ ("domain", Json.Num (float_of_int (Domain.self () :> int))) ])
 
-let job_finished ~index ~job ~(outcome : Outcome.t) ~cache_hit =
+let job_finished ?corr ~index ~job ~(outcome : Outcome.t) ~cache_hit () =
   let status =
     match outcome.Outcome.status with
     | Outcome.Done -> "done"
@@ -64,7 +71,7 @@ let job_finished ~index ~job ~(outcome : Outcome.t) ~cache_hit =
     | Outcome.Cancelled -> "cancelled"
   in
   event "job_finished"
-    (job_fields ~index ~job
+    (job_fields ?corr ~index ~job
        ([
           ("status", Json.Str status);
           ("wall_ms", Json.Num outcome.Outcome.wall_ms);

@@ -32,13 +32,25 @@ val tee : sink -> sink -> sink
 val line : Json.t -> string
 (** The JSONL rendering of one event (no trailing newline). *)
 
-(** Event constructors.  [index] is the job's position in its batch. *)
+(** Event constructors.  [index] is the job's position in its batch;
+    [corr] is the wire-level correlation id (absent for in-process
+    batch jobs), emitted as a ["corr"] field when present. *)
 
 val batch_started : jobs:int -> domains:int -> cache_capacity:int -> Json.t
-val job_submitted : index:int -> job:Job.t -> queue_depth:int -> Json.t
-val job_started : index:int -> job:Job.t -> Json.t
+
+val job_submitted :
+  ?corr:string -> index:int -> job:Job.t -> queue_depth:int -> unit -> Json.t
+
+val job_started : ?corr:string -> index:int -> job:Job.t -> unit -> Json.t
+
 val job_finished :
-  index:int -> job:Job.t -> outcome:Outcome.t -> cache_hit:bool -> Json.t
+  ?corr:string ->
+  index:int ->
+  job:Job.t ->
+  outcome:Outcome.t ->
+  cache_hit:bool ->
+  unit ->
+  Json.t
 
 val queue_depth : depth:int -> Json.t
 (** Gauge event: instantaneous pool queue depth at submission time. *)

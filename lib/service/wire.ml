@@ -19,9 +19,38 @@ let protocol = "noc-wire/1"
 let max_frame_bytes = 16 * 1024 * 1024
 
 type request =
-  | Submit of { id : int; job : Job.t }
+  | Submit of { id : int; corr : string option; job : Job.t }
   | Stats
+  | Metrics
   | Ping
+
+(* The typed stats record behind the [Metrics] request — what
+   [Client.stats] returns and [noc_tool top] renders.  The legacy
+   [Stats]/[Stats_report] string pair stays one release for old
+   clients. *)
+
+type store_stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  hit_rate : float;
+}
+
+type stats = {
+  uptime_s : float;
+  draining : bool;
+  queue_depth : int;
+  inflight : int;
+  store : store_stats option;
+}
+
+type metrics_report = {
+  mr_stats : stats;
+  mr_metrics : Json.t;  (* noc-metrics/1 snapshot (Noc_obs.Expo.json) *)
+  mr_series : Json.t;  (* noc-series/1 window (Noc_obs.Series.to_json) *)
+  mr_slo : Json.t;  (* SLO verdicts (Noc_obs.Slo.to_json) *)
+}
 
 type response =
   | Hello of { protocol : string }
@@ -29,6 +58,7 @@ type response =
   | Rejected of { id : int; reason : string }
   | Overloaded of { id : int; queue_depth : int }
   | Stats_report of string
+  | Metrics_report of metrics_report
   | Pong
   | Error_msg of string
 
@@ -84,14 +114,15 @@ let next d =
 (* ------------------------------------------------------------------ *)
 
 let request_to_json = function
-  | Submit { id; job } ->
+  | Submit { id; corr; job } ->
       Json.Obj
-        [
-          ("type", Json.Str "submit");
-          ("id", Json.Num (float_of_int id));
-          ("job", Job.to_json job);
-        ]
+        ([ ("type", Json.Str "submit"); ("id", Json.Num (float_of_int id)) ]
+        @ (match corr with
+          | None -> []
+          | Some c -> [ ("corr", Json.Str c) ])
+        @ [ ("job", Job.to_json job) ])
   | Stats -> Json.Obj [ ("type", Json.Str "stats") ]
+  | Metrics -> Json.Obj [ ("type", Json.Str "metrics") ]
   | Ping -> Json.Obj [ ("type", Json.Str "ping") ]
 
 let ( let* ) = Result.bind
@@ -113,13 +144,21 @@ let request_of_json v =
   match type_ with
   | "submit" ->
       let* id = int_field "id" v in
+      let* corr =
+        (* Optional: pre-PR-8 clients never send it. *)
+        match Json.member "corr" v with
+        | None -> Ok None
+        | Some (Json.Str c) -> Ok (Some c)
+        | Some _ -> Error "\"corr\" must be a string"
+      in
       let* job =
         match Json.member "job" v with
         | Some job_v -> Job.of_json job_v
         | None -> Error "missing \"job\" field"
       in
-      Ok (Submit { id; job })
+      Ok (Submit { id; corr; job })
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "ping" -> Ok Ping
   | s -> Error (Printf.sprintf "unknown request type %S" s)
 
@@ -151,6 +190,39 @@ let response_to_json = function
         ]
   | Stats_report report ->
       Json.Obj [ ("type", Json.Str "stats"); ("report", Json.Str report) ]
+  | Metrics_report { mr_stats; mr_metrics; mr_series; mr_slo } ->
+      let stats_json =
+        Json.Obj
+          ([
+             ("uptime_s", Json.Num mr_stats.uptime_s);
+             ("draining", Json.Bool mr_stats.draining);
+             ("queue_depth", Json.Num (float_of_int mr_stats.queue_depth));
+             ("inflight", Json.Num (float_of_int mr_stats.inflight));
+           ]
+          @
+          match mr_stats.store with
+          | None -> []
+          | Some s ->
+              [
+                ( "store",
+                  Json.Obj
+                    [
+                      ("entries", Json.Num (float_of_int s.entries));
+                      ("hits", Json.Num (float_of_int s.hits));
+                      ("misses", Json.Num (float_of_int s.misses));
+                      ("evictions", Json.Num (float_of_int s.evictions));
+                      ("hit_rate", Json.Num s.hit_rate);
+                    ] );
+              ])
+      in
+      Json.Obj
+        [
+          ("type", Json.Str "metrics");
+          ("stats", stats_json);
+          ("metrics", mr_metrics);
+          ("series", mr_series);
+          ("slo", mr_slo);
+        ]
   | Pong -> Json.Obj [ ("type", Json.Str "pong") ]
   | Error_msg message ->
       Json.Obj [ ("type", Json.Str "error"); ("message", Json.Str message) ]
@@ -184,6 +256,52 @@ let response_of_json v =
   | "stats" ->
       let* report = str_field "report" v in
       Ok (Stats_report report)
+  | "metrics" ->
+      let* stats_v =
+        match Json.member "stats" v with
+        | Some s -> Ok s
+        | None -> Error "missing \"stats\" field"
+      in
+      let num_field name =
+        match Json.member name stats_v with
+        | Some (Json.Num n) -> Ok n
+        | _ -> Error (Printf.sprintf "missing numeric stats field %S" name)
+      in
+      let* uptime_s = num_field "uptime_s" in
+      let* queue_depth = Result.map int_of_float (num_field "queue_depth") in
+      let* inflight = Result.map int_of_float (num_field "inflight") in
+      let* draining =
+        match Json.member "draining" stats_v with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error "missing boolean stats field \"draining\""
+      in
+      let* store =
+        match Json.member "store" stats_v with
+        | None -> Ok None
+        | Some store_v ->
+            let sfield name =
+              match Json.member name store_v with
+              | Some (Json.Num n) -> Ok n
+              | _ -> Error (Printf.sprintf "missing store field %S" name)
+            in
+            let* entries = Result.map int_of_float (sfield "entries") in
+            let* hits = Result.map int_of_float (sfield "hits") in
+            let* misses = Result.map int_of_float (sfield "misses") in
+            let* evictions = Result.map int_of_float (sfield "evictions") in
+            let* hit_rate = sfield "hit_rate" in
+            Ok (Some { entries; hits; misses; evictions; hit_rate })
+      in
+      let passthrough name =
+        Option.value ~default:Json.Null (Json.member name v)
+      in
+      Ok
+        (Metrics_report
+           {
+             mr_stats = { uptime_s; draining; queue_depth; inflight; store };
+             mr_metrics = passthrough "metrics";
+             mr_series = passthrough "series";
+             mr_slo = passthrough "slo";
+           })
   | "pong" -> Ok Pong
   | "error" ->
       let* message = str_field "message" v in

@@ -19,11 +19,46 @@ val max_frame_bytes : int
 (** Frames larger than this are rejected as a protocol violation. *)
 
 type request =
-  | Submit of { id : int; job : Job.t }
-      (** Run [job]; [id] is the client's correlation id, echoed on the
-          reply. *)
-  | Stats  (** Ask for the text metrics report. *)
+  | Submit of { id : int; corr : string option; job : Job.t }
+      (** Run [job]; [id] is the per-connection reply-matching index,
+          echoed on the reply.  [corr] is an optional {e correlation
+          id}: an opaque client-chosen string the server threads into
+          its job span and telemetry events, so one request is
+          traceable across client log, wire, daemon telemetry, and
+          trace stream.  Absent from pre-PR-8 clients. *)
+  | Stats  (** Ask for the legacy text metrics report (deprecated). *)
+  | Metrics
+      (** Ask for the typed {!metrics_report}: stats record, metrics
+          snapshot, series window, SLO verdicts. *)
   | Ping
+
+(** Typed server statistics (the {!Metrics} reply): what the one-shot
+    [serve-stats] used to scrape out of a text blob. *)
+
+type store_stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  hit_rate : float;
+}
+
+type stats = {
+  uptime_s : float;
+  draining : bool;
+  queue_depth : int;
+  inflight : int;
+  store : store_stats option;  (** [None] when no store is attached. *)
+}
+
+type metrics_report = {
+  mr_stats : stats;
+  mr_metrics : Json.t;
+      (** [noc-metrics/1] registry snapshot ({!Noc_obs.Expo.json}),
+          including the [noc_slo_ok] verdict gauges. *)
+  mr_series : Json.t;  (** [noc-series/1] window ({!Noc_obs.Series}). *)
+  mr_slo : Json.t;  (** SLO verdicts ({!Noc_obs.Slo.to_json}). *)
+}
 
 type response =
   | Hello of { protocol : string }
@@ -37,6 +72,7 @@ type response =
   | Overloaded of { id : int; queue_depth : int }
       (** Backpressure: the bounded queue is full; resubmit later. *)
   | Stats_report of string
+  | Metrics_report of metrics_report
   | Pong
   | Error_msg of string  (** Protocol-level failure (unparsable frame…). *)
 

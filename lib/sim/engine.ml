@@ -39,9 +39,9 @@ type buffered = { flit : Packet.flit; mutable arrived : int }
    so merely linking the simulator never adds sim rows to unrelated
    metric snapshots. *)
 let span_cycle_batch = 1024
-let flits_injected_total = lazy (Noc_obs.Metrics.counter "sim.flits_injected")
-let flits_delivered_total = lazy (Noc_obs.Metrics.counter "sim.flits_delivered")
-let deadlocks_total = lazy (Noc_obs.Metrics.counter "sim.deadlocks")
+let flits_injected_total = lazy (Noc_obs.Metrics.counter "noc_sim_flits_injected_total")
+let flits_delivered_total = lazy (Noc_obs.Metrics.counter "noc_sim_flits_delivered_total")
+let deadlocks_total = lazy (Noc_obs.Metrics.counter "noc_sim_deadlocks_total")
 
 type chan_state = {
   channel : Channel.t;

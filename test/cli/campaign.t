@@ -20,6 +20,7 @@ deadlocks with a certificate.
   
   12 cells (0 warm), 2 deadlocks (2 on cyclic designs), 0 failed
   invariants hold
+  slo: 5 objectives green
   wrote report.json
   wrote report.md
 
@@ -44,6 +45,7 @@ warm from disk, so an interrupted sweep resumes for free:
   
   12 cells (12 warm), 2 deadlocks (2 on cyclic designs), 0 failed
   invariants hold
+  slo: 5 objectives green
 
 
 The JSON report carries the bench-sim/1 schema consumed by the CI
@@ -67,4 +69,24 @@ offer; --no-expect-deadlock accepts that:
   
   3 cells (0 warm), 0 deadlocks (0 on cyclic designs), 0 failed
   invariants hold
+  slo: 5 objectives green
+
+An artificially tight per-cell SLO burns the gate: the campaign prints
+the burned objective and exits 2, and the report's slo section records
+the verdicts (values are wall times, so only counts are checked here):
+
+  $ noc_tool campaign --benchmarks D26_media --workloads burst --no-expect-deadlock --slo campaign_cell_p99_ms=0.000001 --out burned.json > burned.txt 2>&1
+  [2]
+  $ grep -c 'SLO burned' burned.txt
+  1
+  $ grep -c 'campaign_cell_p99_ms' burned.txt
+  1
+  $ grep -c '"slo":' burned.json
+  6
+
+An unknown SLO name is rejected up front:
+
+  $ noc_tool campaign --benchmarks D26_media --workloads burst --slo nonsense=1
+  error: unknown SLO "nonsense" (have: submit_p99_ms, queue_wait_p99_ms, store_hit_rate, dlf_agreement, campaign_cell_p99_ms)
+  [1]
 

@@ -18,13 +18,13 @@ The summary format is the human-readable per-phase table:
   removal.run                         1        <ms> <pct>
   traced wall interval: <ms> ms over 27 spans
   metrics:
-  cdg.apply_changes                3
-  cdg.builds                       1
-  pool.queue_wait_ms               0 samples, sum <ms>
-  pool.tasks                       0
-  removal.cdg_incremental          3
-  removal.cdg_rebuild              0
-  removal.cycles_broken            3
+  noc_cdg_apply_changes_total      3
+  noc_cdg_builds_total             1
+  noc_pool_queue_wait_ms           0 samples, sum <ms>
+  noc_pool_tasks_total             0
+  noc_removal_cdg_incremental_total 3
+  noc_removal_cdg_rebuild_total    0
+  noc_removal_cycles_broken_total  3
 
 The chrome format writes Perfetto-loadable trace-event JSON with
 balanced begin/end pairs:

@@ -175,6 +175,7 @@ let test_sim_report_gate_passes_on_self () =
 
 let with_entry f report =
   {
+    report with
     Sim_report.entries =
       List.map
         (fun (e : Sim_report.entry) ->
@@ -227,6 +228,7 @@ let test_sim_report_gate_catches_regressions () =
   (* A missing cell is a gate failure. *)
   let missing =
     {
+      baseline with
       Sim_report.entries =
         List.filter
           (fun (e : Sim_report.entry) -> e.Sim_report.prepare <> "removal")

@@ -42,22 +42,22 @@ let find_metric name =
     (Metrics.snapshot ())
 
 let test_metrics_basics () =
-  let c = Metrics.counter "test.counter" in
-  let g = Metrics.gauge "test.gauge" in
-  let h = Metrics.histogram "test.histogram" in
+  let c = Metrics.counter "noc_test_ops_total" in
+  let g = Metrics.gauge "noc_test_level" in
+  let h = Metrics.histogram "noc_test_latency_ms" in
   Metrics.incr c;
   Metrics.add c 4;
   Metrics.set_gauge g 2.5;
   Metrics.observe h 0.25;
   Metrics.observe h 1e9;
-  (match find_metric "test.counter" with
+  (match find_metric "noc_test_ops_total" with
   | Some (Metrics.Counter { value; _ }) -> check int_c "counter" 5 value
   | _ -> Alcotest.fail "counter missing");
-  (match find_metric "test.gauge" with
+  (match find_metric "noc_test_level" with
   | Some (Metrics.Gauge { value; _ }) ->
       check (Alcotest.float 0.) "gauge" 2.5 value
   | _ -> Alcotest.fail "gauge missing");
-  (match find_metric "test.histogram" with
+  (match find_metric "noc_test_latency_ms" with
   | Some (Metrics.Histogram { count; overflow; sum; buckets; _ }) ->
       check int_c "histogram count" 2 count;
       check int_c "histogram overflow" 1 overflow;
@@ -67,20 +67,56 @@ let test_metrics_basics () =
   | _ -> Alcotest.fail "histogram missing");
   (* Same name, same kind: the same handle.  Same name, other kind:
      rejected. *)
-  Metrics.incr (Metrics.counter "test.counter");
-  (match find_metric "test.counter" with
+  Metrics.incr (Metrics.counter "noc_test_ops_total");
+  (match find_metric "noc_test_ops_total" with
   | Some (Metrics.Counter { value; _ }) -> check int_c "shared handle" 6 value
   | _ -> Alcotest.fail "counter missing");
   Alcotest.check_raises "kind mismatch"
-    (Invalid_argument "Metrics: \"test.counter\" is already a counter")
-    (fun () -> ignore (Metrics.gauge "test.counter"))
+    (Invalid_argument "Metrics: \"noc_test_level\" is already a gauge")
+    (fun () -> ignore (Metrics.histogram "noc_test_level"))
+
+let test_metrics_name_hygiene () =
+  let rejects name make =
+    match make name with
+    | exception Invalid_argument msg ->
+        check bool_c (name ^ " error names the convention") true
+          (String.length msg > 0
+          && (let needle = "noc_<subsystem>_<name>[_total]" in
+              let n = String.length needle and h = String.length msg in
+              let rec scan i =
+                i + n <= h && (String.sub msg i n = needle || scan (i + 1))
+              in
+              scan 0))
+    | _ -> Alcotest.failf "%S should have been rejected" name
+  in
+  (* No prefix, too few segments, bad characters, wrong suffix. *)
+  rejects "requests_total" (fun n -> ignore (Metrics.counter n));
+  rejects "noc_total" (fun n -> ignore (Metrics.counter n));
+  rejects "noc_serve_Requests_total" (fun n -> ignore (Metrics.counter n));
+  rejects "noc_serve_requests" (fun n -> ignore (Metrics.counter n));
+  rejects "noc_serve_depth_total" (fun n -> ignore (Metrics.gauge n));
+  (* Labeled identities are distinct instruments; bad label keys fail. *)
+  let a = Metrics.counter ~labels:[ ("method", "ping") ] "noc_test_req_total" in
+  let b = Metrics.counter ~labels:[ ("method", "stats") ] "noc_test_req_total" in
+  Metrics.incr a;
+  Metrics.incr a;
+  Metrics.incr b;
+  (match find_metric {|noc_test_req_total{method="ping"}|} with
+  | Some (Metrics.Counter { value; labels; _ }) ->
+      check int_c "labeled counter isolated" 2 value;
+      check bool_c "labels carried in snapshot" true
+        (labels = [ ("method", "ping") ])
+  | _ -> Alcotest.fail "labeled counter missing");
+  match Metrics.counter ~labels:[ ("Bad-Key", "x") ] "noc_test_req_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad label key accepted"
 
 let test_metrics_reset () =
-  let c = Metrics.counter "test.reset_counter" in
+  let c = Metrics.counter "noc_test_reset_total" in
   Metrics.add c 7;
   Metrics.reset ();
   Metrics.incr c;
-  match find_metric "test.reset_counter" with
+  match find_metric "noc_test_reset_total" with
   | Some (Metrics.Counter { value; _ }) ->
       check int_c "reset zeroes in place, handle survives" 1 value
   | _ -> Alcotest.fail "counter missing"
@@ -349,12 +385,142 @@ let prop_disabled_emits_nothing =
       run_prog prog;
       Trace.events c = [] && Export.jsonl c = [ List.hd (Export.jsonl c) ])
 
+(* ------------------------------------------------------------------ *)
+(* Exposition, concurrency, and series properties                      *)
+(* ------------------------------------------------------------------ *)
+
+module Expo = Noc_obs.Expo
+module Series = Noc_obs.Series
+
+(* Label values with every character the Prometheus text format must
+   escape, plus the structural characters of the format itself. *)
+let hostile_value_gen =
+  QCheck.Gen.(
+    string_size
+      ~gen:(oneofl [ '\\'; '"'; '\n'; 'a'; 'z'; '0'; ' '; '{'; '}'; ','; '=' ])
+      (int_bound 12))
+
+let expo_metric_gen i =
+  QCheck.Gen.(
+    let* v = hostile_value_gen in
+    let labels = [ ("i", string_of_int i); ("v", v) ] in
+    let counter =
+      let* value = int_bound 1000 in
+      return (Metrics.Counter { name = "noc_prop_events_total"; labels; value })
+    in
+    let gauge =
+      let* value = float_bound_inclusive 100. in
+      return (Metrics.Gauge { name = "noc_prop_depth"; labels; value })
+    in
+    let histogram =
+      let* c1 = int_bound 5 in
+      let* c2 = int_bound 5 in
+      let* overflow = int_bound 3 in
+      let* sum = float_bound_inclusive 50. in
+      return
+        (Metrics.Histogram
+           {
+             name = "noc_prop_wait_ms";
+             labels;
+             buckets = [ (0.5, c1); (2.0, c2) ];
+             overflow;
+             count = c1 + c2 + overflow;
+             sum;
+           })
+    in
+    oneof [ counter; gauge; histogram ])
+
+let expo_metrics_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let rec build i acc =
+      if i >= n then return (List.rev acc)
+      else
+        let* m = expo_metric_gen i in
+        build (i + 1) (m :: acc)
+    in
+    build 0 [])
+
+let prop_exposition_parses =
+  (* Whatever label values a metric carries, the rendered exposition
+     stays inside the strict grammar check_text accepts, and the JSON
+     form decodes back to the same metrics. *)
+  QCheck.Test.make ~name:"hostile label values survive exposition" ~count:200
+    (QCheck.make ~print:Expo.text expo_metrics_gen)
+    (fun ms ->
+      (match Expo.check_text (Expo.text ms) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+      && Expo.metrics_of_json (Expo.json ms) = Ok ms)
+
+let counter_total name =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | Metrics.Counter { name = n; value; _ } when n = name -> acc + value
+      | _ -> acc)
+    0 (Metrics.snapshot ())
+
+let histogram_count name =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | Metrics.Histogram { name = n; count; _ } when n = name -> acc + count
+      | _ -> acc)
+    0 (Metrics.snapshot ())
+
+let prop_concurrent_updates_lossless =
+  (* N domains hammering the same counter and histogram lose nothing,
+     and snapshots taken mid-flight never tear. *)
+  QCheck.Test.make ~name:"concurrent domain updates are lossless" ~count:5
+    QCheck.(pair (int_range 1 4) (int_range 100 2000))
+    (fun (domains, iters) ->
+      let c = Metrics.counter "noc_test_concurrent_total" in
+      let h = Metrics.histogram "noc_test_concurrent_ms" in
+      let c0 = counter_total "noc_test_concurrent_total" in
+      let h0 = histogram_count "noc_test_concurrent_ms" in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for i = 1 to iters do
+                  Metrics.incr c;
+                  Metrics.observe h (float_of_int (i mod 7));
+                  if i mod 256 = 0 then ignore (Metrics.snapshot ())
+                done))
+      in
+      List.iter Domain.join workers;
+      counter_total "noc_test_concurrent_total" - c0 = domains * iters
+      && histogram_count "noc_test_concurrent_ms" - h0 = domains * iters)
+
+let prop_series_round_trips =
+  (* A sampled ring buffer survives to_json/of_json byte-identically,
+     at any window size and past the wrap-around point. *)
+  QCheck.Test.make ~name:"series ring buffer round-trips through JSON"
+    ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 0 15))
+    (fun (window, samples) ->
+      ignore (Metrics.counter "noc_test_series_total");
+      let t = Series.create ~interval_s:0.5 ~window () in
+      for i = 1 to samples do
+        Series.sample ~now_s:(float_of_int i) t
+      done;
+      match Series.of_json (Series.to_json t) with
+      | Error _ -> false
+      | Ok t' ->
+          Series.to_json t' = Series.to_json t
+          && List.for_all
+               (fun k -> List.length (Series.points t k) <= window)
+               (Series.keys t))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_streams_well_parenthesized;
       prop_chrome_round_trips;
       prop_disabled_emits_nothing;
+      prop_exposition_parses;
+      prop_concurrent_updates_lossless;
+      prop_series_round_trips;
     ]
 
 let () =
@@ -365,6 +531,7 @@ let () =
       ( "metrics",
         [
           tc "counters, gauges, histograms" `Quick test_metrics_basics;
+          tc "name hygiene" `Quick test_metrics_name_hygiene;
           tc "reset in place" `Quick test_metrics_reset;
           tc "snapshot sorted" `Quick test_metrics_snapshot_sorted;
         ] );

@@ -630,9 +630,13 @@ let request_gen =
     [
       ( 4,
         let* id = int_bound 10_000 in
+        let* corr =
+          opt (string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+        in
         let* job = job_gen in
-        return (Wire.Submit { id; job }) );
+        return (Wire.Submit { id; corr; job }) );
       (1, return Wire.Stats);
+      (1, return Wire.Metrics);
       (1, return Wire.Ping);
     ]
 
@@ -663,6 +667,30 @@ let response_gen =
         map
           (fun s -> Wire.Stats_report s)
           (string_size ~gen:printable (int_bound 200)) );
+      ( 1,
+        let* uptime_s = map float_of_int (int_bound 100_000) in
+        let* draining = bool in
+        let* queue_depth = int_bound 256 in
+        let* inflight = int_bound 64 in
+        let* store =
+          opt
+            (let* entries = int_bound 500 in
+             let* hits = int_bound 500 in
+             let* misses = int_bound 500 in
+             let* evictions = int_bound 500 in
+             let* hit_rate = map float_of_int (int_bound 1) in
+             return { Wire.entries; hits; misses; evictions; hit_rate })
+        in
+        let* tag = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+        return
+          (Wire.Metrics_report
+             {
+               mr_stats =
+                 { Wire.uptime_s; draining; queue_depth; inflight; store };
+               mr_metrics = Json.Obj [ ("schema", Json.Str tag) ];
+               mr_series = Json.Arr [ Json.Num 1.; Json.Num 2. ];
+               mr_slo = Json.Obj [ ("slos", Json.Arr []) ];
+             }) );
       (1, return Wire.Pong);
       (1, map (fun s -> Wire.Error_msg s) (string_size ~gen:printable (int_bound 40)));
     ]
@@ -842,18 +870,18 @@ let counter_value name =
   List.fold_left
     (fun acc m ->
       match m with
-      | Noc_obs.Metrics.Counter { name = n; value } when n = name -> value
+      | Noc_obs.Metrics.Counter { name = n; value; _ } when n = name -> value
       | _ -> acc)
     0
     (Noc_obs.Metrics.snapshot ())
 
 let test_cache_eviction_bumps_obs_counter () =
-  let before = counter_value "cache.evictions" in
+  let before = counter_value "noc_cache_evictions_total" in
   let cache = Result_cache.create ~capacity:1 in
   ignore (Result_cache.store cache "a" (Outcome.done_ [ ("k", 1.) ]));
   ignore (Result_cache.store cache "b" (Outcome.done_ [ ("k", 2.) ]));
-  check int_c "cache.evictions counter bumped" (before + 1)
-    (counter_value "cache.evictions")
+  check int_c "noc_cache_evictions_total counter bumped" (before + 1)
+    (counter_value "noc_cache_evictions_total")
 
 (* ------------------------------------------------------------------ *)
 (* Server: in-process end-to-end, warm across a restart                *)

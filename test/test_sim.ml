@@ -363,7 +363,8 @@ let counter_value name =
   List.fold_left
     (fun acc m ->
       match m with
-      | Noc_obs.Metrics.Counter { name = n; value } when n = name -> acc + value
+      | Noc_obs.Metrics.Counter { name = n; value; _ } when n = name ->
+          acc + value
       | _ -> acc)
     0 (Noc_obs.Metrics.snapshot ())
 
@@ -389,9 +390,9 @@ let test_engine_emits_spans_and_counters () =
   in
   check bool_c "one sim.run span" true (List.length (named "sim.run") = 1);
   check bool_c "cycle batch spans" true (named "sim.cycles" <> []);
-  check int_c "injected counter" 4 (counter_value "sim.flits_injected");
-  check int_c "delivered counter" 4 (counter_value "sim.flits_delivered");
-  check int_c "no deadlock counted" 0 (counter_value "sim.deadlocks")
+  check int_c "injected counter" 4 (counter_value "noc_sim_flits_injected_total");
+  check int_c "delivered counter" 4 (counter_value "noc_sim_flits_delivered_total");
+  check int_c "no deadlock counted" 0 (counter_value "noc_sim_deadlocks_total")
 
 let test_engine_counts_deadlocks () =
   let collector = Noc_obs.Trace.create () in
@@ -407,7 +408,7 @@ let test_engine_counts_deadlocks () =
   (match outcome with
   | Engine.Deadlocked _ -> ()
   | Engine.Completed _ | Engine.Timed_out _ -> Alcotest.fail "expected deadlock");
-  check int_c "deadlock counted" 1 (counter_value "sim.deadlocks")
+  check int_c "deadlock counted" 1 (counter_value "noc_sim_deadlocks_total")
 
 (* ------------------------------------------------------------------ *)
 (* Adaptive engine                                                     *)
